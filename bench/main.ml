@@ -1,0 +1,180 @@
+(* Benchmark harness.
+
+   Two jobs:
+
+   1. Regenerate the paper's evaluation: with no arguments (or with
+      experiment names / "tables" / "figures" / "all"), print every
+      table and figure.  This is what EXPERIMENTS.md records.
+
+   2. `micro`: Bechamel micro-benchmarks — one Test.make per table and
+      figure, each timing the core operation that experiment stresses
+      (full experiment runs take seconds and belong to job 1; the micro
+      suite watches for regressions in the underlying machinery). *)
+
+open Bechamel
+module Workload = Vmht_workloads.Workload
+module Registry = Vmht_workloads.Registry
+
+let vecadd = Registry.find "vecadd"
+
+let list_sum = Registry.find "list_sum"
+
+let spmv = Registry.find "spmv"
+
+(* --- micro-benchmark bodies ------------------------------------- *)
+
+let synthesize_vm () =
+  ignore (Vmht_eval.Common.synthesize Vmht.Wrapper.Vm_iface vecadd)
+
+let synthesize_dma () =
+  ignore (Vmht_eval.Common.synthesize Vmht.Wrapper.Dma_iface vecadd)
+
+let run_small mode w () =
+  let o = Vmht_eval.Common.run mode w ~size:256 in
+  assert o.Vmht_eval.Common.correct
+
+let optimize_pipeline () =
+  let f = Vmht_ir.Lower.lower_kernel (Workload.kernel spmv) in
+  ignore (Vmht_ir.Passes.optimize f)
+
+let tlb_churn () =
+  let tlb =
+    Vmht_vm.Tlb.create
+      { Vmht_vm.Tlb.entries = 16; assoc = 0; policy = Vmht_vm.Tlb.Lru }
+  in
+  for i = 0 to 999 do
+    let vpn = i * 7 mod 64 in
+    (match Vmht_vm.Tlb.lookup tlb ~vpn with
+     | Some _ -> ()
+     | None ->
+       Vmht_vm.Tlb.insert tlb ~vpn
+         { Vmht_vm.Tlb.frame = vpn * 4096; writable = true });
+    ignore (Vmht_vm.Tlb.lookup tlb ~vpn)
+  done
+
+let page_table_churn () =
+  let phys = Vmht_mem.Phys_mem.create ~bytes:(1 lsl 21) in
+  let frames =
+    Vmht_vm.Frame_alloc.create ~base:0 ~bytes:(1 lsl 21) ~page_bytes:4096
+  in
+  let pt = Vmht_vm.Page_table.create phys frames ~page_shift:12 ~va_bits:24 in
+  for vpn = 1 to 100 do
+    Vmht_vm.Page_table.map pt ~vaddr:(vpn * 4096)
+      ~frame:(Vmht_vm.Frame_alloc.alloc frames)
+      ~writable:true
+  done;
+  for vpn = 1 to 100 do
+    ignore (Vmht_vm.Page_table.lookup pt ~vaddr:(vpn * 4096))
+  done
+
+let unroll_synthesis () =
+  let config = Vmht.Config.with_unroll Vmht.Config.default 8 in
+  ignore (Vmht_eval.Common.synthesize ~config Vmht.Wrapper.Vm_iface vecadd)
+
+let multi_thread_pair () =
+  (* Two concurrent hardware threads, as fig6 scales up. *)
+  let config = Vmht.Config.default in
+  let soc = Vmht.Soc.create config in
+  let i1 = vecadd.Workload.setup (Vmht.Soc.aspace soc) ~size:128 ~seed:1 in
+  let i2 = vecadd.Workload.setup (Vmht.Soc.aspace soc) ~size:128 ~seed:2 in
+  let hw =
+    Vmht.Flow.synthesize config Vmht.Wrapper.Vm_iface (Workload.kernel vecadd)
+  in
+  Vmht.Launch.run_to_completion soc (fun () ->
+      let spawn inst =
+        Vmht_rt.Hthreads.spawn ~name:"ht" (fun () ->
+            Vmht.Launch.run_hw soc hw
+              { Vmht.Launch.args = inst.Workload.args; buffers = [] })
+      in
+      let t1 = spawn i1 in
+      let t2 = spawn i2 in
+      ignore (Vmht_rt.Hthreads.join t1);
+      ignore (Vmht_rt.Hthreads.join t2))
+
+let micro_tests =
+  [
+    Test.make ~name:"table1.sw-profile"
+      (Staged.stage (run_small Vmht_eval.Common.Sw vecadd));
+    Test.make ~name:"table2.synthesize-vm" (Staged.stage synthesize_vm);
+    Test.make ~name:"table3.run-vm-small"
+      (Staged.stage (run_small Vmht_eval.Common.Vm vecadd));
+    Test.make ~name:"table4.optimizer" (Staged.stage optimize_pipeline);
+    Test.make ~name:"table5.synthesize-dma" (Staged.stage synthesize_dma);
+    Test.make ~name:"fig1.run-dma-small"
+      (Staged.stage (run_small Vmht_eval.Common.Dma vecadd));
+    Test.make ~name:"fig2.tlb-churn" (Staged.stage tlb_churn);
+    Test.make ~name:"fig3.page-table-churn" (Staged.stage page_table_churn);
+    Test.make ~name:"fig4.pointer-chase-vm"
+      (Staged.stage (run_small Vmht_eval.Common.Vm list_sum));
+    Test.make ~name:"fig5.unroll-synthesis" (Staged.stage unroll_synthesis);
+    Test.make ~name:"fig6.two-threads" (Staged.stage multi_thread_pair);
+  ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) ()
+  in
+  let test = Test.make_grouped ~name:"vmht" ~fmt:"%s %s" micro_tests in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  print_endline "micro-benchmarks (monotonic clock, ns per run):";
+  Hashtbl.iter
+    (fun _metric tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let estimate =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ e ] -> Printf.sprintf "%14.0f ns" e
+              | Some es ->
+                String.concat ", " (List.map (Printf.sprintf "%.0f") es)
+              | None -> "n/a"
+            in
+            (name, estimate) :: acc)
+          tbl []
+      in
+      List.iter
+        (fun (name, estimate) -> Printf.printf "  %-32s %s\n" name estimate)
+        (List.sort compare rows))
+    results
+
+(* --- entry point -------------------------------------------------- *)
+
+let usage () =
+  Printf.printf "usage: main.exe [all|tables|figures|micro|%s]...\n"
+    (String.concat "|" Vmht_eval.All_experiments.names)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets = if args = [] then [ "all" ] else args in
+  List.iter
+    (fun target ->
+      match target with
+      | "all" ->
+        print_string (Vmht_eval.All_experiments.run_all ());
+        run_micro ()
+      | "tables" ->
+        List.iter
+          (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
+          [ "table1"; "table2"; "table3"; "table4"; "table5" ]
+      | "figures" ->
+        List.iter
+          (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
+          [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
+      | "micro" -> run_micro ()
+      | "help" | "--help" | "-h" -> usage ()
+      | name -> (
+        match Vmht_eval.All_experiments.run name with
+        | output -> print_string (output ^ "\n")
+        | exception Not_found ->
+          Printf.eprintf "unknown experiment '%s'\n" name;
+          usage ();
+          exit 1))
+    targets

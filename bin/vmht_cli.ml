@@ -1,0 +1,314 @@
+(* Command-line front end of the system-level synthesis flow:
+
+     vmht compile FILE            front end + optimizer, dump IR
+     vmht synth FILE [...]        full HLS + wrapper synthesis, dump report/RTL
+     vmht run NAME [...]          run a benchmark workload on the simulated SoC
+     vmht bench NAME|all|...      regenerate evaluation tables/figures
+     vmht list                    available workloads and experiments *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let handle_frontend_errors f =
+  match f () with
+  | () -> 0
+  | exception Vmht_lang.Loc.Error (loc, msg) ->
+    Printf.eprintf "error at %s: %s\n" (Vmht_lang.Loc.to_string loc) msg;
+    1
+
+(* ------------------------- compile -------------------------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let no_opt =
+    Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimizer.")
+  in
+  let action file no_opt =
+    handle_frontend_errors (fun () ->
+        let program = Vmht_lang.Parser.parse_program (read_file file) in
+        Vmht_lang.Typecheck.check_program program;
+        let program = Vmht_lang.Inline.program program in
+        List.iter
+          (fun kernel ->
+            let func = Vmht_ir.Lower.lower_kernel kernel in
+            if not no_opt then begin
+              let report = Vmht_ir.Passes.optimize func in
+              Printf.printf "; %s\n" (Vmht_ir.Passes.report_to_string report)
+            end;
+            print_string (Vmht_ir.Ir.func_to_string func);
+            print_newline ())
+          program)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Parse, typecheck, lower and optimize kernels.")
+    Term.(const action $ file $ no_opt)
+
+(* ------------------------- synth ---------------------------------- *)
+
+let iface_conv =
+  Arg.enum [ ("vm", Vmht.Wrapper.Vm_iface); ("dma", Vmht.Wrapper.Dma_iface) ]
+
+let synth_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let iface =
+    Arg.(
+      value
+      & opt iface_conv Vmht.Wrapper.Vm_iface
+      & info [ "iface" ] ~doc:"Interface wrapper style: vm or dma.")
+  in
+  let unroll =
+    Arg.(value & opt int 1 & info [ "unroll" ] ~doc:"Loop unroll factor.")
+  in
+  let emit_rtl =
+    Arg.(
+      value & flag & info [ "verilog" ] ~doc:"Print the generated RTL too.")
+  in
+  let pipeline =
+    Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
+  in
+  let action file iface unroll emit_rtl pipeline =
+    handle_frontend_errors (fun () ->
+        let config =
+          Vmht.Config.with_pipelining
+            (Vmht.Config.with_unroll Vmht.Config.default unroll)
+            pipeline
+        in
+        let program = Vmht_lang.Parser.parse_program (read_file file) in
+        Vmht_lang.Typecheck.check_program program;
+        let program = Vmht_lang.Inline.program program in
+        List.iter
+          (fun kernel ->
+            let hw = Vmht.Flow.synthesize config iface kernel in
+            print_endline (Vmht.Flow.summary hw);
+            if emit_rtl then begin
+              print_newline ();
+              print_string hw.Vmht.Flow.verilog
+            end)
+          program)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize hardware threads (HLS + interface wrapper).")
+    Term.(const action $ file $ iface $ unroll $ emit_rtl $ pipeline)
+
+(* ------------------------- run ------------------------------------ *)
+
+let mode_conv =
+  Arg.enum
+    [
+      ("sw", Vmht_eval.Common.Sw);
+      ("vm", Vmht_eval.Common.Vm);
+      ("dma", Vmht_eval.Common.Dma);
+    ]
+
+let run_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Vmht_eval.Common.Vm
+      & info [ "mode" ] ~doc:"Execution style: sw, vm or dma.")
+  in
+  let size = Arg.(value & opt (some int) None & info [ "size" ]) in
+  let tlb = Arg.(value & opt (some int) None & info [ "tlb" ]) in
+  let page_shift = Arg.(value & opt (some int) None & info [ "page-shift" ]) in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the full system report.")
+  in
+  let trace_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Record the system trace and print its first $(docv) events.")
+  in
+  let pipeline =
+    Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
+  in
+  let action wname mode size tlb page_shift stats trace_n pipeline =
+    match Vmht_workloads.Registry.find wname with
+    | exception Not_found ->
+      Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
+      1
+    | w ->
+      let config = Vmht.Config.default in
+      let config =
+        match tlb with
+        | Some entries -> Vmht.Config.with_tlb_entries config entries
+        | None -> config
+      in
+      let config =
+        match page_shift with
+        | Some shift -> Vmht.Config.with_page_shift config shift
+        | None -> config
+      in
+      let config = Vmht.Config.with_pipelining config pipeline in
+      let size =
+        Option.value ~default:w.Vmht_workloads.Workload.default_size size
+      in
+      let o =
+        Vmht_eval.Common.run ~config ?trace_events:trace_n mode w ~size
+      in
+      let r = o.Vmht_eval.Common.result in
+      Printf.printf "%s / %s / size %d: %s cycles (%s)\n" wname
+        (Vmht_eval.Common.mode_name mode)
+        size
+        (Vmht_util.Table.fmt_int r.Vmht.Launch.total_cycles)
+        (if o.Vmht_eval.Common.correct then "correct" else "WRONG RESULT");
+      Printf.printf
+        "  phases: stage=%d compute=%d drain=%d\n"
+        r.Vmht.Launch.phases.Vmht.Launch.stage_cycles
+        r.Vmht.Launch.phases.Vmht.Launch.compute_cycles
+        r.Vmht.Launch.phases.Vmht.Launch.drain_cycles;
+      (match r.Vmht.Launch.mmu_stats with
+       | Some s ->
+         Printf.printf
+           "  mmu: %d accesses, %d hits, %d misses, %d faults, hit rate %.3f\n"
+           s.Vmht_vm.Mmu.accesses s.Vmht_vm.Mmu.tlb_hits
+           s.Vmht_vm.Mmu.tlb_misses s.Vmht_vm.Mmu.page_faults
+           (Option.value ~default:0. r.Vmht.Launch.tlb_hit_rate)
+       | None -> ());
+      (match trace_n with
+       | Some n ->
+         let events =
+           Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc)
+         in
+         Printf.printf "  trace (%d of %d events):\n"
+           (min n (List.length events))
+           (List.length events);
+         List.iteri
+           (fun i e ->
+             if i < n then
+               Printf.printf "    [%8d] %-4s %s\n" e.Vmht_sim.Trace.at
+                 e.Vmht_sim.Trace.component e.Vmht_sim.Trace.detail)
+           events
+       | None -> ());
+      if stats then begin
+        let report =
+          Vmht.Report.gather o.Vmht_eval.Common.soc ~workload:wname
+            ~mode:(Vmht_eval.Common.mode_name mode)
+            ~size r
+        in
+        print_newline ();
+        print_string (Vmht.Report.to_string report)
+      end;
+      if o.Vmht_eval.Common.correct then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
+    Term.(
+      const action $ workload_arg $ mode $ size $ tlb $ page_shift $ stats
+      $ trace_n $ pipeline)
+
+(* ------------------------- system --------------------------------- *)
+
+let device_conv =
+  Arg.enum [ ("7020", Vmht.Sysgen.zynq_7020); ("7045", Vmht.Sysgen.zynq_7045) ]
+
+let system_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let iface =
+    Arg.(
+      value
+      & opt iface_conv Vmht.Wrapper.Vm_iface
+      & info [ "iface" ] ~doc:"Interface wrapper style: vm or dma.")
+  in
+  let copies =
+    Arg.(
+      value & opt int 1
+      & info [ "copies" ] ~doc:"Instances of each kernel to place.")
+  in
+  let device =
+    Arg.(
+      value
+      & opt device_conv Vmht.Sysgen.zynq_7020
+      & info [ "device" ] ~doc:"Target device: 7020 or 7045.")
+  in
+  let emit_top =
+    Arg.(value & flag & info [ "top" ] ~doc:"Print the system-top RTL stub.")
+  in
+  let action file iface copies device emit_top =
+    handle_frontend_errors (fun () ->
+        let config = Vmht.Config.default in
+        let program = Vmht_lang.Parser.parse_program (read_file file) in
+        Vmht_lang.Typecheck.check_program program;
+        let program = Vmht_lang.Inline.program program in
+        let threads =
+          List.map
+            (fun kernel -> (Vmht.Flow.synthesize config iface kernel, copies))
+            program
+        in
+        let design = Vmht.Sysgen.compose ~device threads in
+        print_string (Vmht.Sysgen.summary design);
+        if emit_top then begin
+          print_newline ();
+          print_string design.Vmht.Sysgen.top_verilog
+        end)
+  in
+  Cmd.v
+    (Cmd.info "system"
+       ~doc:
+         "Compose every kernel of a file into a full SoC design and check           it against a device budget.")
+    Term.(const action $ file $ iface $ copies $ device $ emit_top)
+
+(* ------------------------- bench ---------------------------------- *)
+
+let bench_cmd =
+  let names =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT")
+  in
+  let action names =
+    let run_one = function
+      | "all" ->
+        print_string (Vmht_eval.All_experiments.run_all ());
+        0
+      | name -> (
+        match Vmht_eval.All_experiments.run name with
+        | output ->
+          print_string (output ^ "\n");
+          0
+        | exception Not_found ->
+          Printf.eprintf "unknown experiment '%s'\n" name;
+          1)
+    in
+    List.fold_left (fun acc n -> max acc (run_one n)) 0 names
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures.")
+    Term.(const action $ names)
+
+(* ------------------------- list ----------------------------------- *)
+
+let list_cmd =
+  let action () =
+    print_endline "workloads:";
+    List.iter
+      (fun (w : Vmht_workloads.Workload.t) ->
+        Printf.printf "  %-12s %s\n" w.Vmht_workloads.Workload.name
+          w.Vmht_workloads.Workload.description)
+      Vmht_workloads.Registry.all;
+    print_endline "experiments:";
+    List.iter (Printf.printf "  %s\n") Vmht_eval.All_experiments.names;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List workloads and experiments.")
+    Term.(const action $ const ())
+
+let () =
+  let doc = "system-level synthesis for virtual-memory-enabled hardware threads" in
+  let info = Cmd.info "vmht" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; synth_cmd; run_cmd; system_cmd; bench_cmd; list_cmd ]))

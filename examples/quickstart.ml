@@ -1,0 +1,71 @@
+(* Quickstart: synthesize a kernel into a VM-enabled hardware thread
+   and run it against memory shared with the host, start to finish.
+
+     dune exec examples/quickstart.exe
+
+   Walks the whole public API: write a kernel in HTL, synthesize it
+   (HLS + VM wrapper), build an SoC, allocate data in the process
+   address space, launch the hardware thread on virtual addresses, and
+   read the results back — no staging, no copies. *)
+
+open Vmht
+
+let kernel_source =
+  {|
+kernel scale_offset(src: int*, dst: int*, n: int, k: int, c: int) {
+  var i: int;
+  for (i = 0; i < n; i = i + 1) {
+    dst[i] = k * src[i] + c;
+  }
+}
+|}
+
+let () =
+  let config = Config.default in
+
+  (* 1. Synthesize: source -> optimized IR -> schedule -> datapath +
+        VM interface wrapper (TLB, page-table walker, bus port). *)
+  let hw = Flow.synthesize_source config Wrapper.Vm_iface kernel_source in
+  print_endline (Flow.summary hw);
+  print_newline ();
+
+  (* 2. Build the system: CPU, bus, DRAM, page tables. *)
+  let soc = Soc.create config in
+  let aspace = Soc.aspace soc in
+
+  (* 3. Allocate and fill the thread's data in *virtual* memory. *)
+  let n = 1000 in
+  let word = 8 in
+  let src = Vmht_vm.Addr_space.alloc aspace ~bytes:(n * word) in
+  let dst = Vmht_vm.Addr_space.alloc aspace ~bytes:(n * word) in
+  for i = 0 to n - 1 do
+    Vmht_vm.Addr_space.store_word aspace (src + (i * word)) i
+  done;
+
+  (* 4. Launch the hardware thread with plain virtual pointers. *)
+  let result =
+    Launch.run_to_completion soc (fun () ->
+        Launch.run_hw soc hw
+          { Launch.args = [ src; dst; n; 3; 7 ]; buffers = [] })
+  in
+
+  (* 5. The host reads the output directly — same address space. *)
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Vmht_vm.Addr_space.load_word aspace (dst + (i * word)) <> (3 * i) + 7
+    then ok := false
+  done;
+
+  Printf.printf "ran in %s cycles (compute %s, post %s)\n"
+    (Vmht_util.Table.fmt_int result.Launch.total_cycles)
+    (Vmht_util.Table.fmt_int result.Launch.phases.Launch.compute_cycles)
+    (Vmht_util.Table.fmt_int result.Launch.phases.Launch.drain_cycles);
+  (match result.Launch.mmu_stats with
+   | Some s ->
+     Printf.printf "TLB: %d accesses, %.1f%% hits, %d walks\n"
+       s.Vmht_vm.Mmu.accesses
+       (100. *. Option.value ~default:0. result.Launch.tlb_hit_rate)
+       s.Vmht_vm.Mmu.tlb_misses
+   | None -> ());
+  Printf.printf "results %s\n" (if !ok then "correct" else "WRONG");
+  exit (if !ok then 0 else 1)

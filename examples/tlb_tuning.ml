@@ -1,0 +1,39 @@
+(* Sizing the wrapper TLB for a kernel: area/performance trade-off.
+
+     dune exec examples/tlb_tuning.exe
+
+   Sweeps the per-thread TLB and prints runtime, hit rate and wrapper
+   area side by side — how a designer would pick the smallest TLB that
+   still saturates performance for a given kernel. *)
+
+module Common = Vmht_eval.Common
+module Table = Vmht_util.Table
+module Optypes = Vmht_hls.Optypes
+
+let () =
+  let w = Vmht_workloads.Registry.find "spmv" in
+  let table =
+    Table.create
+      ~title:"spmv: TLB size vs runtime, hit rate and wrapper area"
+      ~headers:[ "entries"; "cycles"; "hit rate"; "wrapper LUT"; "wrapper FF" ]
+  in
+  List.iter
+    (fun entries ->
+      let config = Vmht.Config.with_tlb_entries Vmht.Config.default entries in
+      let o = Common.run ~config Common.Vm w ~size:1024 in
+      assert o.Common.correct;
+      let area = Vmht.Wrapper.vm_area config.Vmht.Config.mmu in
+      Table.add_row table
+        [
+          string_of_int entries;
+          Table.fmt_int (Common.cycles o);
+          Table.fmt_float ~decimals:3
+            (Option.value ~default:0. o.Common.result.Vmht.Launch.tlb_hit_rate);
+          string_of_int area.Optypes.lut;
+          string_of_int area.Optypes.ff;
+        ])
+    [ 2; 4; 8; 16; 32; 64 ];
+  Table.print table;
+  print_endline
+    "Pick the knee: beyond the working set of pages, extra entries cost\n\
+     area without buying cycles."

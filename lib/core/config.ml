@@ -1,0 +1,75 @@
+type t = {
+  phys_bytes : int;
+  page_shift : int;
+  va_bits : int;
+  dram : Vmht_mem.Dram.config;
+  bus_arbitration_cycles : int;
+  cache : Vmht_mem.Cache.config;
+  resources : Vmht_hls.Schedule.resources;
+  unroll : int;
+  pipeline_loops : bool;
+  accel_mem_ports : int;
+  mmu : Vmht_vm.Mmu.config;
+  accel_stream_buffer : Vmht_mem.Cache.config;
+  scratchpad_words : int;
+  dma_setup_cycles : int;
+  dma_burst_words : int;
+  pin_cycles_per_page : int;
+  cache_maintenance_cycles : int;
+  seed : int;
+}
+
+let default =
+  {
+    phys_bytes = 64 * 1024 * 1024;
+    page_shift = 12;
+    va_bits = 26;
+    dram = Vmht_mem.Dram.default_config;
+    bus_arbitration_cycles = 2;
+    cache = Vmht_mem.Cache.default_config;
+    resources =
+      { Vmht_hls.Schedule.default_resources with Vmht_hls.Schedule.mem_ports = 2 };
+    unroll = 1;
+    pipeline_loops = false;
+    accel_mem_ports = 2;
+    mmu = Vmht_vm.Mmu.default_config;
+    (* The VM wrapper's stream buffer: a small write-back cache that
+       turns streaming word accesses into bus bursts.  Copy-based
+       wrappers get the same effect from their scratchpad. *)
+    accel_stream_buffer =
+      {
+        Vmht_mem.Cache.size_bytes = 4096;
+        line_bytes = 32;
+        ways = 4;
+        hit_latency = 1;
+      };
+    scratchpad_words = 1 lsl 16; (* 512 KiB window budget (Zynq-class) *)
+    dma_setup_cycles = 120;
+    dma_burst_words = 64;
+    pin_cycles_per_page = 40;
+    cache_maintenance_cycles = 64;
+    seed = 1;
+  }
+
+let with_tlb_entries t entries =
+  let mmu =
+    {
+      t.mmu with
+      Vmht_vm.Mmu.tlb = { t.mmu.Vmht_vm.Mmu.tlb with Vmht_vm.Tlb.entries };
+    }
+  in
+  { t with mmu }
+
+let with_page_shift t page_shift = { t with page_shift }
+
+let with_unroll t unroll = { t with unroll }
+
+let with_pipelining t pipeline_loops = { t with pipeline_loops }
+
+let to_string t =
+  Printf.sprintf
+    "page=%dB tlb=%d entries (hw_walk=%b) cache=%dB unroll=%d ports=%d \
+     scratchpad=%d words"
+    (1 lsl t.page_shift) t.mmu.Vmht_vm.Mmu.tlb.Vmht_vm.Tlb.entries
+    t.mmu.Vmht_vm.Mmu.hw_walk t.cache.Vmht_mem.Cache.size_bytes t.unroll
+    t.accel_mem_ports t.scratchpad_words

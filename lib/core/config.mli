@@ -1,0 +1,47 @@
+(** All knobs of the system-level synthesis flow and the simulated SoC,
+    with the defaults every experiment starts from.  Each experiment in
+    the evaluation varies exactly the fields its figure sweeps. *)
+
+type t = {
+  (* --- memory system --- *)
+  phys_bytes : int; (** physical memory size *)
+  page_shift : int; (** log2 page size (default 12 = 4 KiB) *)
+  va_bits : int; (** virtual address width *)
+  dram : Vmht_mem.Dram.config;
+  bus_arbitration_cycles : int;
+  cache : Vmht_mem.Cache.config; (** CPU L1 *)
+  (* --- HLS --- *)
+  resources : Vmht_hls.Schedule.resources;
+  unroll : int;
+  pipeline_loops : bool;
+      (** modulo-schedule eligible inner loops (extension mode) *)
+  accel_mem_ports : int; (** concurrent outstanding accesses per thread *)
+  (* --- VM interface wrapper --- *)
+  mmu : Vmht_vm.Mmu.config;
+  accel_stream_buffer : Vmht_mem.Cache.config;
+      (** small line buffer between the wrapper and the bus, so
+          streaming accesses become bursts *)
+  (* --- DMA interface wrapper --- *)
+  scratchpad_words : int;
+  dma_setup_cycles : int;
+  dma_burst_words : int;
+  pin_cycles_per_page : int;
+      (** CPU cost to pin + translate one page when staging a DMA *)
+  (* --- misc --- *)
+  cache_maintenance_cycles : int;
+      (** CPU cache invalidate after a hardware thread completes *)
+  seed : int;
+}
+
+val default : t
+
+val with_tlb_entries : t -> int -> t
+(** Convenience for the TLB sweep: same config, different TLB size. *)
+
+val with_page_shift : t -> int -> t
+
+val with_unroll : t -> int -> t
+
+val with_pipelining : t -> bool -> t
+
+val to_string : t -> string

@@ -1,0 +1,70 @@
+module Ast = Vmht_lang.Ast
+module Fsm = Vmht_hls.Fsm
+module Optypes = Vmht_hls.Optypes
+module Verilog = Vmht_hls.Verilog
+
+type hw_thread = {
+  kernel : Ast.kernel;
+  fsm : Fsm.t;
+  style : Wrapper.style;
+  datapath_area : Optypes.area;
+  wrapper_area : Optypes.area;
+  total_area : Optypes.area;
+  verilog : string;
+  synthesis_seconds : float;
+}
+
+let synthesize ?(windows = 3) (config : Config.t) style kernel =
+  let started = Sys.time () in
+  let fsm =
+    Fsm.synthesize ~resources:config.Config.resources
+      ~unroll:config.Config.unroll
+      ~pipeline:config.Config.pipeline_loops kernel
+  in
+  let wrapper_area = Wrapper.area config style ~windows in
+  let verilog =
+    Verilog.emit_with_wrapper fsm ~wrapper_ports:(Wrapper.ports style)
+  in
+  let finished = Sys.time () in
+  {
+    kernel;
+    fsm;
+    style;
+    datapath_area = fsm.Fsm.area;
+    wrapper_area;
+    total_area = Optypes.add_area fsm.Fsm.area wrapper_area;
+    verilog;
+    synthesis_seconds = finished -. started;
+  }
+
+let synthesize_source ?windows config style source =
+  synthesize ?windows config style (Vmht_lang.Parser.parse_kernel source)
+
+let synthesize_program ?windows config style source ~name =
+  let program = Vmht_lang.Parser.parse_program source in
+  Vmht_lang.Typecheck.check_program program;
+  let program = Vmht_lang.Inline.program program in
+  match Vmht_lang.Ast.find_kernel program name with
+  | Some kernel -> synthesize ?windows config style kernel
+  | None -> raise Not_found
+
+let compile_sw (config : Config.t) kernel =
+  Vmht_lang.Typecheck.check_kernel kernel;
+  (* Software threads get the same optimizer but no unrolling: the
+     scalar CPU gains nothing from wider loop bodies. *)
+  ignore config;
+  let func = Vmht_ir.Lower.lower_kernel kernel in
+  ignore (Vmht_ir.Passes.optimize func);
+  func
+
+let summary t =
+  Printf.sprintf
+    "hardware thread '%s' [%s interface]\n  datapath: %s\n  wrapper:  %s\n\
+    \  total:    %s\n  %s\n  synthesized in %.1f ms"
+    t.kernel.Ast.kname
+    (Wrapper.style_name t.style)
+    (Optypes.area_to_string t.datapath_area)
+    (Optypes.area_to_string t.wrapper_area)
+    (Optypes.area_to_string t.total_area)
+    (Fsm.stats_to_string t.fsm.Fsm.stats)
+    (t.synthesis_seconds *. 1000.)

@@ -1,0 +1,41 @@
+(** The end-to-end synthesis flow for one hardware thread:
+    parse -> typecheck -> unroll -> lower -> optimize -> schedule ->
+    bind -> wrapper synthesis -> RTL emission -> area roll-up. *)
+
+type hw_thread = {
+  kernel : Vmht_lang.Ast.kernel;
+  fsm : Vmht_hls.Fsm.t;
+  style : Wrapper.style;
+  datapath_area : Vmht_hls.Optypes.area;
+  wrapper_area : Vmht_hls.Optypes.area;
+  total_area : Vmht_hls.Optypes.area;
+  verilog : string;
+  synthesis_seconds : float; (** wall-clock time this flow took *)
+}
+
+val synthesize :
+  ?windows:int -> Config.t -> Wrapper.style -> Vmht_lang.Ast.kernel -> hw_thread
+(** [windows] (default 3) sizes the DMA wrapper's address-window
+    comparator bank; ignored for the VM style. *)
+
+val synthesize_source :
+  ?windows:int -> Config.t -> Wrapper.style -> string -> hw_thread
+(** Convenience: parse a single-kernel source string first.  Raises
+    {!Vmht_lang.Loc.Error} on bad input. *)
+
+val synthesize_program :
+  ?windows:int ->
+  Config.t ->
+  Wrapper.style ->
+  string ->
+  name:string ->
+  hw_thread
+(** Parse a multi-kernel source, typecheck it as a program (kernel
+    calls allowed), inline every call, and synthesize the kernel
+    [name].  Raises [Not_found] if no kernel has that name. *)
+
+val compile_sw : Config.t -> Vmht_lang.Ast.kernel -> Vmht_ir.Ir.func
+(** The software path: the same front end and optimizer, no HLS.  Used
+    for software-thread execution and as the Table 5 baseline. *)
+
+val summary : hw_thread -> string

@@ -1,0 +1,196 @@
+module Engine = Vmht_sim.Engine
+module Addr_space = Vmht_vm.Addr_space
+module Mmu = Vmht_vm.Mmu
+module Scratchpad = Vmht_mem.Scratchpad
+module Dma = Vmht_mem.Dma
+module Accel = Vmht_hls.Accel
+module Cpu = Vmht_cpu.Cpu
+module Ir = Vmht_ir.Ir
+
+type dir = In | Out | InOut
+
+type buffer = { base : int; words : int; dir : dir }
+
+type request = { args : int list; buffers : buffer list }
+
+type breakdown = {
+  stage_cycles : int;
+  compute_cycles : int;
+  drain_cycles : int;
+}
+
+type result = {
+  ret : int option;
+  total_cycles : int;
+  phases : breakdown;
+  mmu_stats : Mmu.stats option;
+  tlb_hit_rate : float option;
+  accel_stats : Accel.run_stats option;
+  page_faults : int;
+}
+
+exception Window_overflow of string
+
+let word_bytes = Vmht_mem.Phys_mem.word_bytes
+
+let run_sw soc func request =
+  let t0 = Engine.now_p () in
+  let cpu = Soc.cpu soc in
+  let faults_before = (Cpu.stats cpu).Cpu.faults in
+  let ret = Cpu.run_func cpu func ~args:request.args in
+  (* Make the thread's results visible to the rest of the system. *)
+  Cpu.flush_cache cpu;
+  let t1 = Engine.now_p () in
+  {
+    ret;
+    total_cycles = t1 - t0;
+    phases = { stage_cycles = 0; compute_cycles = t1 - t0; drain_cycles = 0 };
+    mmu_stats = None;
+    tlb_hit_rate = None;
+    accel_stats = None;
+    page_faults = (Cpu.stats cpu).Cpu.faults - faults_before;
+  }
+
+(* Cache maintenance the host performs after any hardware thread
+   completes, so CPU reads observe the accelerator's writes. *)
+let host_cache_maintenance soc =
+  Engine.wait (Soc.config soc).Config.cache_maintenance_cycles;
+  Vmht_mem.Cache.invalidate_all (Cpu.cache (Soc.cpu soc))
+
+let run_hw_vm soc (hw : Flow.hw_thread) request =
+  let t0 = Engine.now_p () in
+  let mmu = Soc.make_mmu soc in
+  let port, flush_buffer = Soc.vm_port soc mmu in
+  let stats = Accel.fresh_stats () in
+  let ret =
+    Accel.run ~stats
+      ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+      ~args:request.args
+  in
+  let t1 = Engine.now_p () in
+  flush_buffer ();
+  host_cache_maintenance soc;
+  let t2 = Engine.now_p () in
+  let mstats = Mmu.stats mmu in
+  {
+    ret;
+    total_cycles = t2 - t0;
+    phases =
+      {
+        stage_cycles = 0;
+        compute_cycles = t1 - t0;
+        drain_cycles = t2 - t1;
+      };
+    mmu_stats = Some mstats;
+    tlb_hit_rate = Some (Mmu.tlb_hit_rate mmu);
+    accel_stats = Some stats;
+    page_faults = mstats.Mmu.page_faults;
+  }
+
+(* Page-sized (phys, words) chunks covering a buffer, pinning (and if
+   needed demand-materializing) each page on the way. *)
+let pin_and_chunk soc buffer =
+  let aspace = Soc.aspace soc in
+  let config = Soc.config soc in
+  let page = 1 lsl config.Config.page_shift in
+  let bytes = buffer.words * word_bytes in
+  (* Pinning materializes lazy pages: the host touches each one. *)
+  let resolve va =
+    match Addr_space.translate aspace va with
+    | Some p -> p
+    | None ->
+      if Addr_space.handle_fault aspace ~vaddr:va then
+        match Addr_space.translate aspace va with
+        | Some p -> p
+        | None -> raise (Addr_space.Segfault va)
+      else raise (Addr_space.Segfault va)
+  in
+  let rec go va acc =
+    if va >= buffer.base + bytes then List.rev acc
+    else begin
+      Engine.wait config.Config.pin_cycles_per_page;
+      let phys = resolve va in
+      let chunk_words =
+        min (page / word_bytes) ((buffer.base + bytes - va) / word_bytes)
+      in
+      go (va + page) ((phys, chunk_words) :: acc)
+    end
+  in
+  go buffer.base []
+
+let run_hw_dma soc (hw : Flow.hw_thread) request =
+  let t0 = Engine.now_p () in
+  let pad, dma = Soc.make_scratchpad soc in
+  let total_words =
+    List.fold_left (fun acc b -> acc + b.words) 0 request.buffers
+  in
+  if total_words > Scratchpad.capacity_words pad then
+    raise
+      (Window_overflow
+         (Printf.sprintf
+            "buffers need %d words but the scratchpad holds %d" total_words
+            (Scratchpad.capacity_words pad)));
+  (* Stage: pin pages, program windows, DMA the inputs in. *)
+  List.iter
+    (fun b -> Scratchpad.map_window pad ~base:b.base ~words:b.words)
+    request.buffers;
+  List.iter
+    (fun b ->
+      let chunks = pin_and_chunk soc b in
+      match b.dir with
+      | In | InOut ->
+        Dma.copy_in_scattered dma pad ~chunks
+          ~dst_word:(Scratchpad.local_of_vaddr pad b.base)
+      | Out -> ())
+    request.buffers;
+  let t1 = Engine.now_p () in
+  (* Compute on the scratchpad. *)
+  let port = Soc.scratchpad_port pad in
+  let stats = Accel.fresh_stats () in
+  let ret =
+    Accel.run ~stats ~ports:(Soc.config soc).Config.accel_mem_ports
+      hw.Flow.fsm ~port ~args:request.args
+  in
+  let t2 = Engine.now_p () in
+  (* Drain: DMA the outputs back, then cache maintenance. *)
+  List.iter
+    (fun b ->
+      match b.dir with
+      | Out | InOut ->
+        let chunks = pin_and_chunk soc b in
+        Dma.copy_out_scattered dma pad
+          ~src_word:(Scratchpad.local_of_vaddr pad b.base)
+          ~chunks
+      | In -> ())
+    request.buffers;
+  host_cache_maintenance soc;
+  let t3 = Engine.now_p () in
+  {
+    ret;
+    total_cycles = t3 - t0;
+    phases =
+      {
+        stage_cycles = t1 - t0;
+        compute_cycles = t2 - t1;
+        drain_cycles = t3 - t2;
+      };
+    mmu_stats = None;
+    tlb_hit_rate = None;
+    accel_stats = Some stats;
+    page_faults = 0;
+  }
+
+let run_hw soc hw request =
+  match hw.Flow.style with
+  | Wrapper.Vm_iface -> run_hw_vm soc hw request
+  | Wrapper.Dma_iface -> run_hw_dma soc hw request
+
+let run_to_completion soc main =
+  let outcome = ref None in
+  Soc.run soc (fun () ->
+      outcome :=
+        Some (match main () with v -> Ok v | exception e -> Error e));
+  match !outcome with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> failwith "Launch.run_to_completion: main never ran"

@@ -1,0 +1,23 @@
+(** Consolidated post-run reporting: one place that gathers what every
+    component of the SoC observed during an execution and renders it
+    for humans (the CLI's [--stats] view) or for the experiment
+    harness. *)
+
+type t = {
+  workload : string;
+  mode : string;
+  size : int;
+  result : Launch.result;
+  bus : Vmht_mem.Bus.stats;
+  dram_row_hit_rate : float;
+  cpu : Vmht_cpu.Cpu.stats;
+  cpu_cache : Vmht_mem.Cache.stats;
+  mapped_pages : int;
+}
+
+val gather :
+  Soc.t -> workload:string -> mode:string -> size:int -> Launch.result -> t
+(** Snapshot all component statistics after a run on [soc]. *)
+
+val to_string : t -> string
+(** Multi-section human-readable rendering. *)

@@ -1,0 +1,170 @@
+module Engine = Vmht_sim.Engine
+module Phys_mem = Vmht_mem.Phys_mem
+module Dram = Vmht_mem.Dram
+module Bus = Vmht_mem.Bus
+module Scratchpad = Vmht_mem.Scratchpad
+module Dma = Vmht_mem.Dma
+module Frame_alloc = Vmht_vm.Frame_alloc
+module Addr_space = Vmht_vm.Addr_space
+module Mmu = Vmht_vm.Mmu
+module Cpu = Vmht_cpu.Cpu
+module Accel = Vmht_hls.Accel
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  phys : Phys_mem.t;
+  dram : Dram.t;
+  bus : Bus.t;
+  frames : Frame_alloc.t;
+  aspace : Addr_space.t;
+  cpu : Cpu.t;
+  mutable mmu_list : Mmu.t list;
+  mutable next_asid : int;
+  trace : Vmht_sim.Trace.t;
+}
+
+let create (config : Config.t) =
+  let engine = Engine.create () in
+  let phys = Phys_mem.create ~bytes:config.Config.phys_bytes in
+  let dram = Dram.create ~config:config.Config.dram () in
+  let bus =
+    Bus.create ~arbitration_cycles:config.Config.bus_arbitration_cycles phys
+      dram
+  in
+  let frames =
+    Frame_alloc.create ~base:0 ~bytes:config.Config.phys_bytes
+      ~page_bytes:(1 lsl config.Config.page_shift)
+  in
+  (* Two page-table levels of at most page-sized tables cover
+     3*page_shift - 6 bits of virtual space; clamp so small-page
+     configurations (the Figure 3 sweep) stay representable. *)
+  let va_bits =
+    min config.Config.va_bits ((3 * config.Config.page_shift) - 6)
+  in
+  let aspace =
+    Addr_space.create phys frames ~page_shift:config.Config.page_shift
+      ~va_bits
+  in
+  let cpu = Cpu.create ~cache_config:config.Config.cache bus aspace in
+  {
+    config;
+    engine;
+    phys;
+    dram;
+    bus;
+    frames;
+    aspace;
+    cpu;
+    mmu_list = [];
+    next_asid = 1;
+    trace = Vmht_sim.Trace.create ();
+  }
+
+let config t = t.config
+
+let engine t = t.engine
+
+let aspace t = t.aspace
+
+let bus t = t.bus
+
+let cpu t = t.cpu
+
+let now t = Engine.now t.engine
+
+let run t main =
+  Engine.spawn t.engine ~name:"main" main;
+  Engine.run t.engine
+
+let trace t = t.trace
+
+let record t ~component detail =
+  Vmht_sim.Trace.record t.trace ~at:(Engine.now t.engine) ~component detail
+
+let enable_tracing t =
+  Vmht_sim.Trace.enable t.trace true;
+  Bus.set_tracer t.bus (record t ~component:"bus");
+  List.iter
+    (fun mmu -> Mmu.set_tracer mmu (record t ~component:"mmu"))
+    t.mmu_list
+
+let make_mmu ?aspace t =
+  let space, asid = Option.value ~default:(t.aspace, 0) aspace in
+  let mmu = Mmu.create ~asid t.config.Config.mmu t.bus space in
+  t.mmu_list <- mmu :: t.mmu_list;
+  (* Late-created MMUs join an already-enabled trace. *)
+  Mmu.set_tracer mmu (record t ~component:"mmu");
+  mmu
+
+let create_process t =
+  let va_bits =
+    min t.config.Config.va_bits ((3 * t.config.Config.page_shift) - 6)
+  in
+  let space =
+    Addr_space.create t.phys t.frames ~page_shift:t.config.Config.page_shift
+      ~va_bits
+  in
+  let asid = t.next_asid in
+  t.next_asid <- asid + 1;
+  (space, asid)
+
+let unmap_page t space ~vaddr =
+  Vmht_vm.Page_table.unmap (Addr_space.page_table space) ~vaddr;
+  List.iter (fun mmu -> Mmu.invalidate_page mmu ~vaddr) t.mmu_list
+
+(* The VM wrapper's data path: translate through the thread's private
+   TLB/walker, then go through its small stream buffer so consecutive
+   words ride one bus burst.  The returned [flush] drains the buffer's
+   dirty lines (timed); the launcher calls it when the thread
+   completes, before handing results back to the host. *)
+let vm_port t mmu =
+  let buffer =
+    Vmht_mem.Cache.create ~config:t.config.Config.accel_stream_buffer t.bus
+  in
+  (* The buffer (like the TLB in front of it) is a single-issue
+     structure: concurrent accesses from a multi-ported datapath
+     serialize at its request port.  The scratchpad of the copy-based
+     wrapper, being true dual-ported BRAM, has no such arbiter. *)
+  let arbiter = Vmht_sim.Resource.create ~name:"vm-port" in
+  let exclusively f =
+    Vmht_sim.Resource.acquire arbiter;
+    Fun.protect ~finally:(fun () -> Vmht_sim.Resource.release arbiter) f
+  in
+  let port =
+    {
+      Accel.load =
+        (fun vaddr ->
+          exclusively (fun () ->
+              let phys = Mmu.translate mmu ~vaddr in
+              Vmht_mem.Cache.read buffer ~addr:vaddr ~phys));
+      Accel.store =
+        (fun vaddr value ->
+          exclusively (fun () ->
+              let phys = Mmu.translate mmu ~vaddr in
+              Vmht_mem.Cache.write buffer ~addr:vaddr ~phys value));
+    }
+  in
+  (port, fun () -> Vmht_mem.Cache.flush buffer)
+
+let make_scratchpad ?words t =
+  let words =
+    match words with
+    | Some w -> w
+    | None -> t.config.Config.scratchpad_words
+  in
+  let pad = Scratchpad.create ~words ~access_latency:1 in
+  let dma =
+    Dma.create ~setup_cycles:t.config.Config.dma_setup_cycles
+      ~burst_words:t.config.Config.dma_burst_words t.bus
+  in
+  (pad, dma)
+
+let scratchpad_port pad =
+  { Accel.load = Scratchpad.load pad; Accel.store = Scratchpad.store pad }
+
+let mmus t = t.mmu_list
+
+let bus_stats t = Bus.stats t.bus
+
+let dram_row_hit_rate t = Dram.row_hit_rate t.dram

@@ -1,0 +1,64 @@
+(** The composed system-on-chip: CPU + shared bus + DRAM + one process
+    address space, onto which hardware threads are instantiated. *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val engine : t -> Vmht_sim.Engine.t
+
+val aspace : t -> Vmht_vm.Addr_space.t
+
+val bus : t -> Vmht_mem.Bus.t
+
+val cpu : t -> Vmht_cpu.Cpu.t
+
+val now : t -> int
+
+val run : t -> (unit -> unit) -> unit
+(** Spawn [main] as the root simulated process and run the engine to
+    quiescence.  Exceptions raised inside propagate. *)
+
+val make_mmu : ?aspace:Vmht_vm.Addr_space.t * int -> t -> Vmht_vm.Mmu.t
+(** A fresh MMU (private TLB) for one VM-enabled hardware thread;
+    registered so shootdowns and stats reach it.  By default it serves
+    the primary process; pass an [(aspace, asid)] from
+    {!create_process} to attach the thread elsewhere. *)
+
+val create_process : t -> Vmht_vm.Addr_space.t * int
+(** A further process: a fresh address space (own page table, shared
+    physical frame pool) with a fresh ASID. *)
+
+val unmap_page : t -> Vmht_vm.Addr_space.t -> vaddr:int -> unit
+(** Unmap a page and shoot the translation down from every registered
+    MMU — the coherence step a real kernel performs with IPIs.  Timed
+    when called in process context is the caller's concern (charge
+    {!Config.t.cache_maintenance_cycles}-class costs as appropriate);
+    the bookkeeping itself is immediate. *)
+
+val vm_port : t -> Vmht_vm.Mmu.t -> Vmht_hls.Accel.port * (unit -> unit)
+(** The accelerator-facing memory port of a VM wrapper: translation
+    through the given MMU plus a private stream buffer
+    ([Config.accel_stream_buffer]) in front of the shared bus.  The
+    second component is the timed flush of that buffer, to be called
+    when the thread completes. *)
+
+val make_scratchpad : ?words:int -> t -> Vmht_mem.Scratchpad.t * Vmht_mem.Dma.t
+(** Scratchpad + DMA engine for one copy-based accelerator. *)
+
+val scratchpad_port : Vmht_mem.Scratchpad.t -> Vmht_hls.Accel.port
+
+val mmus : t -> Vmht_vm.Mmu.t list
+
+val trace : t -> Vmht_sim.Trace.t
+(** The system trace.  Disabled (and free) by default; after
+    {!enable_tracing} every bus transaction and every MMU miss/fault is
+    recorded with its timestamp. *)
+
+val enable_tracing : t -> unit
+
+val bus_stats : t -> Vmht_mem.Bus.stats
+
+val dram_row_hit_rate : t -> float

@@ -1,0 +1,23 @@
+(** Cycle costs of the simulated in-order scalar CPU.
+
+    The CPU shares the fabric clock with the accelerators (as on a
+    Zynq-class SoC after normalizing clock ratios into per-instruction
+    costs).  Loads/stores pay the issue cost here plus the timed cache
+    access. *)
+
+type t = {
+  alu : int;
+  cmp : int;
+  mul : int;
+  div : int;
+  shift : int;
+  mov : int;
+  branch : int; (** per conditional branch (mispredict amortized) *)
+  mem_issue : int; (** address-generation/issue cost of a load/store *)
+  fault_penalty : int; (** demand-page fault handling on the CPU *)
+}
+
+val default : t
+
+val instr_cycles : t -> Vmht_ir.Ir.instr -> int
+(** Cost of one instruction, memory access time excluded. *)

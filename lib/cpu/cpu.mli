@@ -1,0 +1,40 @@
+(** The simulated host CPU.
+
+    Executes compiled IR (software threads run the same code the HLS
+    flow consumes) with per-instruction cycle costs, loads and stores
+    through a private L1 cache, untimed address translation (the CPU's
+    own MMU is assumed warm; its demand-page faults still pay the
+    handler penalty), and demand paging against the shared address
+    space. *)
+
+type stats = {
+  instructions : int;
+  branches : int;
+  mem_accesses : int;
+  faults : int;
+}
+
+type t
+
+val create :
+  ?cost:Cost_model.t ->
+  ?cache_config:Vmht_mem.Cache.config ->
+  Vmht_mem.Bus.t ->
+  Vmht_vm.Addr_space.t ->
+  t
+
+val run_func : t -> Vmht_ir.Ir.func -> args:int list -> int option
+(** Timed execution in process context.  Raises
+    {!Vmht_vm.Addr_space.Segfault} on an unrepairable access. *)
+
+val flush_cache : t -> unit
+(** Timed: write all dirty L1 lines back (performed after a software
+    thread finishes, so other masters observe its results). *)
+
+val invalidate_cache : t -> unit
+(** Timed cache maintenance: flush, then discard all lines (performed
+    when joining a hardware thread so the CPU observes its writes). *)
+
+val cache : t -> Vmht_mem.Cache.t
+
+val stats : t -> stats

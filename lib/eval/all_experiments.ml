@@ -1,0 +1,30 @@
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("table4", Table4.run);
+    ("table5", Table5.run);
+    ("table6", Table6.run);
+    ("fig1", Fig1.run);
+    ("fig2", Fig2.run);
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("abl1", Abl1.run);
+    ("abl2", Abl2.run);
+    ("abl3", Abl3.run);
+    ("abl4", Abl4.run);
+  ]
+
+let names = List.map fst experiments
+
+let run name = (List.assoc name experiments) ()
+
+let run_all () =
+  String.concat "\n"
+    (List.map
+       (fun (name, f) ->
+         Printf.sprintf "===== %s =====\n%s" name (f ()))
+       experiments)

@@ -1,0 +1,12 @@
+(** Registry of every table and figure the benchmark harness can
+    regenerate. *)
+
+val names : string list
+(** In report order: table1..table5, fig1..fig6. *)
+
+val run : string -> string
+(** Run one experiment by name and return its rendered output.
+    Raises [Not_found] for unknown names. *)
+
+val run_all : unit -> string
+(** Every experiment, concatenated — the full evaluation section. *)

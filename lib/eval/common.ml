@@ -1,0 +1,60 @@
+open Vmht
+module Workload = Vmht_workloads.Workload
+module Addr_space = Vmht_vm.Addr_space
+
+type mode = Sw | Vm | Dma
+
+let mode_name = function Sw -> "sw" | Vm -> "vm" | Dma -> "dma"
+
+type outcome = {
+  result : Launch.result;
+  correct : bool;
+  soc : Soc.t;
+  instance : Workload.instance;
+  hw : Flow.hw_thread option;
+}
+
+let run ?(config = Config.default) ?(seed = 42) ?trace_events mode
+    (w : Workload.t) ~size =
+  let soc = Soc.create config in
+  (match trace_events with
+   | Some _ -> Soc.enable_tracing soc
+   | None -> ());
+  let instance = w.Workload.setup (Soc.aspace soc) ~size ~seed in
+  let request =
+    { Launch.args = instance.Workload.args; buffers = instance.Workload.buffers }
+  in
+  let hw = ref None in
+  let result =
+    Launch.run_to_completion soc (fun () ->
+        match mode with
+        | Sw ->
+          let func = Flow.compile_sw config (Workload.kernel w) in
+          Launch.run_sw soc func request
+        | Vm ->
+          let t = Flow.synthesize config Wrapper.Vm_iface (Workload.kernel w) in
+          hw := Some t;
+          Launch.run_hw soc t request
+        | Dma ->
+          let t = Flow.synthesize config Wrapper.Dma_iface (Workload.kernel w) in
+          hw := Some t;
+          Launch.run_hw soc t request)
+  in
+  let load = Addr_space.load_word (Soc.aspace soc) in
+  let correct =
+    result.Launch.ret = instance.Workload.expected_ret
+    && instance.Workload.check load
+  in
+  { result; correct; soc; instance; hw = !hw }
+
+let cycles o = o.result.Launch.total_cycles
+
+let speedup ~baseline o = float_of_int (cycles baseline) /. float_of_int (cycles o)
+
+let synthesize ?(config = Config.default) style (w : Workload.t) =
+  Flow.synthesize config style (Workload.kernel w)
+
+let source_lines (w : Workload.t) =
+  String.split_on_char '\n' w.Workload.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

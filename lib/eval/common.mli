@@ -1,0 +1,44 @@
+(** Shared machinery for the experiment runners: execute a workload on
+    a fresh SoC in a given style and collect everything the tables and
+    figures report. *)
+
+type mode = Sw | Vm | Dma
+
+val mode_name : mode -> string
+
+type outcome = {
+  result : Vmht.Launch.result;
+  correct : bool; (** outputs checked against the reference *)
+  soc : Vmht.Soc.t;
+  instance : Vmht_workloads.Workload.instance;
+  hw : Vmht.Flow.hw_thread option; (** absent for software runs *)
+}
+
+val run :
+  ?config:Vmht.Config.t ->
+  ?seed:int ->
+  ?trace_events:int ->
+  mode ->
+  Vmht_workloads.Workload.t ->
+  size:int ->
+  outcome
+(** Build a fresh SoC, set the workload up, synthesize (hardware
+    styles), execute, and verify the outputs.  [trace_events] enables
+    the SoC trace before running (the value is advisory — the trace's
+    own capacity bounds retention). *)
+
+val cycles : outcome -> int
+
+val speedup : baseline:outcome -> outcome -> float
+(** [baseline.cycles / outcome.cycles]. *)
+
+val synthesize :
+  ?config:Vmht.Config.t ->
+  Vmht.Wrapper.style ->
+  Vmht_workloads.Workload.t ->
+  Vmht.Flow.hw_thread
+(** Synthesis only (no execution) — for the area and synthesis-time
+    experiments. *)
+
+val source_lines : Vmht_workloads.Workload.t -> int
+(** Non-empty source lines of the workload's kernel. *)

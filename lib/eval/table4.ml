@@ -1,0 +1,40 @@
+(* Table 4 — synthesis statistics: what the optimizer and the scheduler
+   did to each kernel. *)
+
+module Table = Vmht_util.Table
+module Workload = Vmht_workloads.Workload
+module Fsm = Vmht_hls.Fsm
+module Bind = Vmht_hls.Bind
+module Passes = Vmht_ir.Passes
+
+let run () =
+  let table =
+    Table.create
+      ~title:"Table 4: synthesis flow statistics per kernel"
+      ~headers:
+        [
+          "kernel"; "IR in"; "IR out"; "folds"; "cse"; "licm"; "dce"; "states";
+          "FUs"; "regs"; "synth ms";
+        ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let hw = Common.synthesize Vmht.Wrapper.Vm_iface w in
+      let stats = hw.Vmht.Flow.fsm.Fsm.stats in
+      let report = stats.Fsm.opt_report in
+      Table.add_row table
+        [
+          w.Workload.name;
+          string_of_int report.Passes.instrs_before;
+          string_of_int report.Passes.instrs_after;
+          string_of_int report.Passes.folds;
+          string_of_int report.Passes.cses;
+          string_of_int report.Passes.licms;
+          string_of_int report.Passes.dces;
+          string_of_int stats.Fsm.states;
+          string_of_int (Bind.total_fus hw.Vmht.Flow.fsm.Fsm.binding);
+          string_of_int stats.Fsm.reg_count;
+          Table.fmt_float (hw.Vmht.Flow.synthesis_seconds *. 1000.);
+        ])
+    Vmht_workloads.Registry.all;
+  Table.render table

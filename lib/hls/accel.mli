@@ -1,0 +1,40 @@
+(** Cycle-level execution of a synthesized hardware thread.
+
+    The accelerator runs as a simulation process: each FSM state costs
+    one fabric cycle, and memory operations additionally stall the
+    state until the memory interface answers.  Register semantics match
+    the scheduler's model — operations read register values latched at
+    their start cycle, writes commit afterwards — so the result always
+    equals the IR interpreter's (a property the test suite checks).
+
+    Memory operations scheduled in the same cycle are issued through
+    the available ports: up to [ports] accesses go out concurrently
+    (fork/join); further ones queue behind them. *)
+
+type port = {
+  load : int -> int; (** timed word load; called in process context *)
+  store : int -> int -> unit; (** timed word store *)
+}
+
+type run_stats = {
+  mutable fsm_cycles : int; (** cycles spent stepping states *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable block_visits : int;
+}
+
+val fresh_stats : unit -> run_stats
+
+val run :
+  ?stats:run_stats ->
+  ?ports:int ->
+  Fsm.t ->
+  port:port ->
+  args:int list ->
+  int option
+(** Execute the hardware thread to completion.  Must be called from a
+    simulation process; simulated time advances as it runs. *)
+
+val untimed_port : Vmht_lang.Ast_interp.memory -> port
+(** Wrap an untimed memory as a port (for functional tests outside the
+    simulator the accesses still cost the caller nothing). *)

@@ -1,0 +1,64 @@
+module Ir = Vmht_ir.Ir
+module Liveness = Vmht_ir.Liveness
+
+type t = {
+  schedule : Schedule.t;
+  fu_counts : (Optypes.op_class * int) list;
+  fu_of_instr : (Ir.label * int, int) Hashtbl.t;
+  reg_count : int;
+}
+
+let bind (sched : Schedule.t) =
+  let fu_of_instr = Hashtbl.create 64 in
+  (* Greedy cycle-local assignment: operations in the same cycle take
+     unit 0, 1, ... of their class; across cycles units are reused. *)
+  List.iter
+    (fun (b : Schedule.block_schedule) ->
+      let used_this_cycle : (int * Optypes.op_class, int) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = Array.init (Array.length b.instrs) Fun.id in
+      Array.sort
+        (fun i j -> compare (b.starts.(i), i) (b.starts.(j), j))
+        order;
+      Array.iter
+        (fun i ->
+          let cls = Optypes.classify b.instrs.(i) in
+          let key = (b.starts.(i), cls) in
+          let unit_index =
+            Option.value ~default:0 (Hashtbl.find_opt used_this_cycle key)
+          in
+          Hashtbl.replace used_this_cycle key (unit_index + 1);
+          Hashtbl.replace fu_of_instr (b.label, i) unit_index)
+        order)
+    sched.blocks;
+  let fu_counts =
+    List.filter_map
+      (fun cls ->
+        match Schedule.max_concurrency sched cls with
+        | 0 -> None
+        | n when cls = Optypes.Move -> ignore n; None (* moves are wires *)
+        | n -> Some (cls, n))
+      Optypes.all_classes
+  in
+  let live = Liveness.compute sched.func in
+  let reg_count =
+    max
+      (Liveness.max_live sched.func live)
+      (List.length sched.func.Ir.arg_regs)
+  in
+  { schedule = sched; fu_counts; fu_of_instr; reg_count }
+
+let fu_count t cls =
+  Option.value ~default:0 (List.assoc_opt cls t.fu_counts)
+
+let total_fus t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.fu_counts
+
+let to_string t =
+  let fus =
+    String.concat ", "
+      (List.map
+         (fun (cls, n) -> Printf.sprintf "%s=%d" (Optypes.class_name cls) n)
+         t.fu_counts)
+  in
+  Printf.sprintf "bind: [%s], %d registers" fus t.reg_count

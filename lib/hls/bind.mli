@@ -1,0 +1,23 @@
+(** Functional-unit and register binding.
+
+    The schedule fixes how many same-class operations execute in one
+    cycle; binding assigns each operation a concrete unit (greedy,
+    cycle-local) and sizes the register file from peak liveness.  Units
+    are shared across basic blocks — the FSM is one datapath. *)
+
+type t = {
+  schedule : Schedule.t;
+  fu_counts : (Optypes.op_class * int) list;
+      (** units instantiated per class (classes with zero uses omitted) *)
+  fu_of_instr : (Vmht_ir.Ir.label * int, int) Hashtbl.t;
+      (** (block label, instruction index) -> unit index within class *)
+  reg_count : int; (** datapath registers (peak simultaneous liveness) *)
+}
+
+val bind : Schedule.t -> t
+
+val fu_count : t -> Optypes.op_class -> int
+
+val total_fus : t -> int
+
+val to_string : t -> string

@@ -1,0 +1,90 @@
+module Ast = Vmht_lang.Ast
+module Typecheck = Vmht_lang.Typecheck
+module Ir = Vmht_ir.Ir
+module Lower = Vmht_ir.Lower
+module Passes = Vmht_ir.Passes
+module Ast_unroll = Vmht_ir.Ast_unroll
+
+type stats = {
+  ir_instrs : int;
+  blocks : int;
+  states : int;
+  reg_count : int;
+  opt_report : Passes.pipeline_report;
+  unrolled_loops : int;
+  pipelined_loops : int;
+}
+
+type t = {
+  name : string;
+  func : Ir.func;
+  schedule : Schedule.t;
+  binding : Bind.t;
+  area : Optypes.area;
+  plans : Pipeliner.plan list;
+  stats : stats;
+}
+
+let datapath_area (binding : Bind.t) ~states =
+  let fu_area =
+    List.fold_left
+      (fun acc (cls, n) ->
+        Optypes.add_area acc (Optypes.scale_area n (Optypes.fu_area cls)))
+      Optypes.zero_area binding.Bind.fu_counts
+  in
+  Optypes.add_area fu_area
+    (Optypes.add_area
+       (Optypes.register_area binding.Bind.reg_count)
+       (Optypes.fsm_area ~states))
+
+let synthesize ?(resources = Schedule.default_resources) ?(unroll = 1)
+    ?(pipeline = false) kernel =
+  Typecheck.check_kernel kernel;
+  let kernel', unrolled_loops = Ast_unroll.unroll_kernel ~factor:unroll kernel in
+  let func = Lower.lower_kernel kernel' in
+  let opt_report = Passes.optimize func in
+  let schedule = Schedule.schedule_func ~resources func in
+  let binding = Bind.bind schedule in
+  let states = Schedule.total_states schedule in
+  let plans =
+    if pipeline then Pipeliner.plan_loops func ~resources else []
+  in
+  (* Overlapped iterations keep more values in flight: account one
+     extra register set per pipeline stage of each pipelined loop. *)
+  let pipeline_regs =
+    List.fold_left
+      (fun acc (p : Pipeliner.plan) ->
+        acc + (binding.Bind.reg_count * (p.Pipeliner.depth / max 1 p.Pipeliner.ii)))
+      0 plans
+  in
+  let area =
+    Optypes.add_area
+      (datapath_area binding ~states)
+      (Optypes.register_area pipeline_regs)
+  in
+  {
+    name = kernel.Ast.kname;
+    func;
+    schedule;
+    binding;
+    area;
+    plans;
+    stats =
+      {
+        ir_instrs = Ir.instr_count func;
+        blocks = Ir.block_count func;
+        states;
+        reg_count = binding.Bind.reg_count;
+        opt_report;
+        unrolled_loops;
+        pipelined_loops = List.length plans;
+      };
+  }
+
+let stats_to_string s =
+  Printf.sprintf
+    "%d IR instrs in %d blocks, %d FSM states, %d registers, %d loop(s) \
+     unrolled, %d pipelined; %s"
+    s.ir_instrs s.blocks s.states s.reg_count s.unrolled_loops
+    s.pipelined_loops
+    (Passes.report_to_string s.opt_report)

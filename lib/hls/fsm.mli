@@ -1,0 +1,43 @@
+(** The synthesized hardware-thread image.
+
+    Bundles everything HLS produced for one kernel: the optimized IR,
+    its static schedule, the binding, the datapath area (bare, before
+    any memory-interface wrapper) and synthesis statistics.  This is
+    what the system-level flow wraps with a VM or DMA interface. *)
+
+type stats = {
+  ir_instrs : int;
+  blocks : int;
+  states : int;
+  reg_count : int;
+  opt_report : Vmht_ir.Passes.pipeline_report;
+  unrolled_loops : int;
+  pipelined_loops : int;
+}
+
+type t = {
+  name : string;
+  func : Vmht_ir.Ir.func;
+  schedule : Schedule.t;
+  binding : Bind.t;
+  area : Optypes.area;
+  plans : Pipeliner.plan list;
+      (** modulo-scheduled loops ([] unless synthesized with
+          [~pipeline:true]) *)
+  stats : stats;
+}
+
+val synthesize :
+  ?resources:Schedule.resources ->
+  ?unroll:int ->
+  ?pipeline:bool ->
+  Vmht_lang.Ast.kernel ->
+  t
+(** The HLS flow: typecheck, (optionally) unroll, lower, optimize,
+    schedule, bind, and estimate datapath area.  Raises
+    {!Vmht_lang.Loc.Error} on ill-typed input. *)
+
+val datapath_area : Bind.t -> states:int -> Optypes.area
+(** FU area + register file + controller; no memory interface. *)
+
+val stats_to_string : stats -> string

@@ -1,0 +1,309 @@
+module Ir = Vmht_ir.Ir
+module Ast = Vmht_lang.Ast
+
+type plan = {
+  header : Ir.label;
+  body : Ir.label;
+  exit : Ir.label;
+  ii : int;
+  depth : int;
+  unpipelined_cycles : int;
+}
+
+let lat instr = Optypes.latency (Optypes.classify instr)
+
+let is_mem = function
+  | Ir.Load _ | Ir.Store _ -> true
+  | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
+
+let is_store = function
+  | Ir.Store _ -> true
+  | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Loop shape detection                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The lowerer emits while loops as  header(cond) -> body -> header.
+   A loop is pipelinable when the body is a single straight-line block
+   jumping back to the header and nothing else enters the body. *)
+let find_candidate_loops (f : Ir.func) =
+  let preds = Ir.predecessors f in
+  List.filter_map
+    (fun (h : Ir.block) ->
+      match h.Ir.term with
+      | Ir.Br (_, body_l, exit_l) when body_l <> exit_l -> (
+        match Ir.find_block f body_l with
+        | b when b.Ir.term = Ir.Jmp h.Ir.label ->
+          let body_preds =
+            Option.value ~default:[] (Hashtbl.find_opt preds body_l)
+          in
+          if body_preds = [ h.Ir.label ] then Some (h, b, exit_l) else None
+        | _ -> None
+        | exception Not_found -> None)
+      | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> None)
+    f.Ir.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Streaming-address analysis                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The registers the loop redefines each iteration. *)
+let defs_in instrs =
+  let defs = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match Ir.def_of i with
+      | Some d ->
+        Hashtbl.replace defs d
+          (1 + Option.value ~default:0 (Hashtbl.find_opt defs d))
+      | None -> ())
+    instrs;
+  defs
+
+(* The loop's induction registers: regs whose only in-loop definitions
+   form the chain  r' = r + imm ; r = r'  (what lowering produces for
+   [i = i + 1]), or directly  r = r + imm. *)
+let induction_regs instrs defs =
+  let inductions = Hashtbl.create 4 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Ir.Bin (Ast.Add, d, Ir.Reg r, Ir.Imm _)
+      | Ir.Bin (Ast.Add, d, Ir.Imm _, Ir.Reg r) -> (
+        (* d = r + c; is r then Mov'd back from d (or d = r)? *)
+        if d = r && Hashtbl.find_opt defs d = Some 1 then
+          Hashtbl.replace inductions r ()
+        else
+          Array.iter
+            (fun instr2 ->
+              match instr2 with
+              | Ir.Mov (r', Ir.Reg s)
+                when r' = r && s = d
+                     && Hashtbl.find_opt defs r = Some 1
+                     && Hashtbl.find_opt defs d = Some 1 ->
+                Hashtbl.replace inductions r ()
+              | _ -> ())
+            instrs)
+      | _ -> ())
+    instrs;
+  inductions
+
+(* An address register is "streaming" when it is computed inside the
+   loop as  base + (ind << k)  with [base] loop-invariant: iterations
+   then touch distinct words of distinct arrays (restrict assumption).
+   Returns the base register for disjointness comparison. *)
+let streaming_base instrs defs inductions addr_op =
+  let invariant r = not (Hashtbl.mem defs r) in
+  let shifted_induction = function
+    | Ir.Reg r ->
+      Array.exists
+        (fun instr ->
+          match instr with
+          | Ir.Bin (Ast.Shl, d, Ir.Reg src, Ir.Imm _) ->
+            d = r && Hashtbl.mem inductions src
+          | _ -> false)
+        instrs
+    | Ir.Imm _ -> false
+  in
+  match addr_op with
+  | Ir.Reg addr_reg ->
+    Array.fold_left
+      (fun acc instr ->
+        match instr with
+        | Ir.Bin (Ast.Add, d, Ir.Reg base, off)
+          when d = addr_reg && invariant base && shifted_induction off ->
+          Some base
+        | Ir.Bin (Ast.Add, d, off, Ir.Reg base)
+          when d = addr_reg && invariant base && shifted_induction off ->
+          Some base
+        | _ -> acc)
+      None instrs
+  | Ir.Imm _ -> None
+
+let mem_addr_op = function
+  | Ir.Load (_, addr) | Ir.Store (addr, _) -> Some addr
+  | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Inter-iteration (distance-1) dependence edges                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (producer, consumer, delay): start(consumer) >= start(producer) +
+   delay - II. *)
+let inter_iteration_edges instrs defs inductions =
+  let n = Array.length instrs in
+  let edges = ref [] in
+  (* Register recurrences: the LAST def of r feeds every use of r at or
+     before it (those uses read the previous iteration's value). *)
+  let last_def = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      match Ir.def_of instr with
+      | Some d -> Hashtbl.replace last_def d i
+      | None -> ())
+    instrs;
+  Array.iteri
+    (fun u instr ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt last_def r with
+          | Some p when u <= p ->
+            edges := (p, u, lat instrs.(p)) :: !edges
+          | Some _ | None -> ())
+        (Ir.uses_of instr))
+    instrs;
+  (* Memory recurrences, unless provably streaming-disjoint. *)
+  let base_of i = mem_addr_op instrs.(i)
+    |> Option.map (streaming_base instrs defs inductions)
+    |> Option.join
+  in
+  for p = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      if
+        is_mem instrs.(p) && is_mem instrs.(u)
+        && (is_store instrs.(p) || is_store instrs.(u))
+      then begin
+        let disjoint =
+          match (base_of p, base_of u) with
+          | Some bp, Some bu ->
+            (* Streaming against distinct restrict bases never recurs;
+               the same base recurs only if one is a store to the very
+               same induction offset — which streaming rules out. *)
+            bp <> bu || not (is_store instrs.(p) && is_store instrs.(u))
+          | _ -> false
+        in
+        if not disjoint then edges := (p, u, 1) :: !edges
+      end
+    done
+  done;
+  !edges
+
+(* ------------------------------------------------------------------ *)
+(* Modulo scheduling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let resource_min_ii resources instrs =
+  List.fold_left
+    (fun acc cls ->
+      let count =
+        Array.fold_left
+          (fun c i -> if Optypes.classify i = cls then c + 1 else c)
+          0 instrs
+      in
+      if count = 0 then acc
+      else
+        max acc
+          (Vmht_util.Bits.ceil_div count (Schedule.resource_limit resources cls)))
+    1 Optypes.all_classes
+
+(* Greedy program-order schedule under intra-iteration dependences and
+   the modulo resource table for a fixed II; [None] when the II's
+   resource table cannot host the instructions. *)
+let try_schedule resources ~ii instrs intra_edges =
+  let n = Array.length instrs in
+  let starts = Array.make n 0 in
+  let reservation : (int * Optypes.op_class, int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let fits slot cls =
+    Option.value ~default:0 (Hashtbl.find_opt reservation (slot mod ii, cls))
+    < Schedule.resource_limit resources cls
+  in
+  let reserve slot cls =
+    let key = (slot mod ii, cls) in
+    Hashtbl.replace reservation key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt reservation key))
+  in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    if !ok then begin
+      let earliest =
+        List.fold_left
+          (fun acc (i, delay) -> max acc (starts.(i) + delay))
+          0 intra_edges.(j)
+      in
+      let cls = Optypes.classify instrs.(j) in
+      (* A free modulo slot exists within any window of II slots. *)
+      let rec find slot budget =
+        if budget = 0 then None
+        else if fits slot cls then Some slot
+        else find (slot + 1) (budget - 1)
+      in
+      match find earliest ii with
+      | Some slot ->
+        starts.(j) <- slot;
+        reserve slot cls
+      | None -> ok := false
+    end
+  done;
+  if !ok then Some starts else None
+
+let plan_loop resources (h : Ir.block) (b : Ir.block) exit_l =
+  let instrs = Array.of_list (h.Ir.instrs @ b.Ir.instrs) in
+  if Array.length instrs = 0 then None
+  else begin
+    let intra = Schedule.dependence_edges instrs in
+    let defs = defs_in instrs in
+    let inductions = induction_regs instrs defs in
+    let inter = inter_iteration_edges instrs defs inductions in
+    (* What the plain FSM charges per iteration: the (resource-
+       unconstrained) ASAP makespans of the two blocks. *)
+    let makespan block_instrs =
+      let arr = Array.of_list block_instrs in
+      let e = Schedule.dependence_edges arr in
+      let starts = Array.make (Array.length arr) 0 in
+      Array.iteri
+        (fun j _ ->
+          starts.(j) <-
+            List.fold_left (fun acc (i, d) -> max acc (starts.(i) + d)) 0 e.(j))
+        arr;
+      Array.to_list arr
+      |> List.mapi (fun i instr -> starts.(i) + lat instr)
+      |> List.fold_left max 1
+    in
+    let unpipelined_cycles = makespan h.Ir.instrs + makespan b.Ir.instrs in
+    let min_ii = resource_min_ii resources instrs in
+    let max_ii = max min_ii unpipelined_cycles in
+    let rec search ii =
+      if ii > max_ii then None
+      else
+        match try_schedule resources ~ii instrs intra with
+        | None -> search (ii + 1)
+        | Some starts ->
+          let inter_ok =
+            List.for_all
+              (fun (p, u, delay) -> starts.(u) + ii >= starts.(p) + delay)
+              inter
+          in
+          if inter_ok then Some (ii, starts) else search (ii + 1)
+    in
+    match search min_ii with
+    | None -> None
+    | Some (ii, starts) ->
+      let depth =
+        Array.to_list instrs
+        |> List.mapi (fun i instr -> starts.(i) + lat instr)
+        |> List.fold_left max ii
+      in
+      if ii < unpipelined_cycles then
+        Some
+          {
+            header = h.Ir.label;
+            body = b.Ir.label;
+            exit = exit_l;
+            ii;
+            depth;
+            unpipelined_cycles;
+          }
+      else None
+  end
+
+let plan_loops (f : Ir.func) ~resources =
+  List.filter_map
+    (fun (h, b, exit_l) -> plan_loop resources h b exit_l)
+    (find_candidate_loops f)
+
+let to_string p =
+  Printf.sprintf "loop L%d/L%d: II=%d depth=%d (FSM iteration %d cycles)"
+    p.header p.body p.ii p.depth p.unpipelined_cycles

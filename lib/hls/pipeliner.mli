@@ -1,0 +1,43 @@
+(** Loop pipelining by (simplified) iterative modulo scheduling — the
+    flow's optional extension mode.
+
+    For every innermost loop of the canonical two-block shape
+
+    {v  header: <condition instrs>; br cond ? body : exit
+        body:   <instrs>;           jmp header              v}
+
+    the pipeliner computes an initiation interval [II] and a pipeline
+    depth such that one iteration can be *initiated* every [II] cycles:
+
+    - resource constraints: per modulo slot, class usage stays within
+      the FU budget;
+    - register recurrences: a value produced in one iteration and
+      consumed in the next constrains [II] by the producer's latency;
+    - memory recurrences: stores conservatively recur against every
+      load/store of the next iteration *unless* both addresses are
+      provably streaming — [invariant_base + (induction << 3)] with
+      distinct base registers — in which case iterations are assumed
+      disjoint (the `restrict` discipline real HLS demands, documented
+      in LANGUAGE.md).
+
+    Execution stays functionally sequential (so results are exact
+    regardless of the plan); the accelerator charges [max(II, actual
+    memory time)] per iteration plus a one-time fill of [depth - II],
+    which is the standard throughput model of a modulo-scheduled
+    loop. *)
+
+type plan = {
+  header : Vmht_ir.Ir.label;
+  body : Vmht_ir.Ir.label;
+  exit : Vmht_ir.Ir.label;
+  ii : int;
+  depth : int;
+  unpipelined_cycles : int; (** header + body makespans, for reports *)
+}
+
+val plan_loops :
+  Vmht_ir.Ir.func -> resources:Schedule.resources -> plan list
+(** Plans for every pipelinable loop where pipelining helps
+    ([ii < unpipelined_cycles]). *)
+
+val to_string : plan -> string

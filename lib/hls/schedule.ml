@@ -1,0 +1,239 @@
+module Ir = Vmht_ir.Ir
+
+type resources = {
+  alu : int;
+  cmp : int;
+  mul : int;
+  div : int;
+  shift : int;
+  mem_ports : int;
+}
+
+let default_resources =
+  { alu = 2; cmp = 2; mul = 1; div = 1; shift = 1; mem_ports = 1 }
+
+let unlimited_resources =
+  let big = 1 lsl 20 in
+  { alu = big; cmp = big; mul = big; div = big; shift = big; mem_ports = big }
+
+let resource_limit r = function
+  | Optypes.Alu -> r.alu
+  | Optypes.Cmp -> r.cmp
+  | Optypes.Mul -> r.mul
+  | Optypes.Div -> r.div
+  | Optypes.Shift -> r.shift
+  | Optypes.Mem -> r.mem_ports
+  | Optypes.Move -> max_int
+
+type block_schedule = {
+  label : Ir.label;
+  instrs : Ir.instr array;
+  starts : int array;
+  makespan : int;
+}
+
+type t = {
+  func : Ir.func;
+  blocks : block_schedule list;
+  resources : resources;
+}
+
+let lat instr = Optypes.latency (Optypes.classify instr)
+
+let is_mem instr =
+  match instr with
+  | Ir.Load _ | Ir.Store _ -> true
+  | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
+
+let is_store = function
+  | Ir.Store _ -> true
+  | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
+
+(* Dependence edges i -> j (i before j in program order) with minimum
+   start-to-start delays. *)
+let dependence_edges instrs =
+  let n = Array.length instrs in
+  let edges = Array.make n [] in
+  (* edges.(j) = list of (i, delay) constraints: start_j >= start_i + delay *)
+  for j = 0 to n - 1 do
+    let uses_j = Ir.uses_of instrs.(j) in
+    let def_j = Ir.def_of instrs.(j) in
+    for i = 0 to j - 1 do
+      let def_i = Ir.def_of instrs.(i) in
+      let uses_i = Ir.uses_of instrs.(i) in
+      let delays = ref [] in
+      (* RAW *)
+      (match def_i with
+       | Some d when List.mem d uses_j -> delays := lat instrs.(i) :: !delays
+       | Some _ | None -> ());
+      (* WAR: j writes a register i reads *)
+      (match def_j with
+       | Some d when List.mem d uses_i -> delays := 0 :: !delays
+       | Some _ | None -> ());
+      (* WAW: commits in program order *)
+      (match (def_i, def_j) with
+       | Some di, Some dj when di = dj ->
+         delays := max 1 (lat instrs.(i) - lat instrs.(j) + 1) :: !delays
+       | (Some _ | None), _ -> ());
+      (* Memory ordering: loads commute, everything else serializes *)
+      if is_mem instrs.(i) && is_mem instrs.(j)
+         && (is_store instrs.(i) || is_store instrs.(j))
+      then delays := 1 :: !delays;
+      match !delays with
+      | [] -> ()
+      | ds -> edges.(j) <- (i, List.fold_left max 0 ds) :: edges.(j)
+    done
+  done;
+  edges
+
+(* Longest path from each instruction to the end of the block —
+   the list scheduler's priority function. *)
+let priorities instrs edges =
+  let n = Array.length instrs in
+  let succ = Array.make n [] in
+  Array.iteri
+    (fun j preds ->
+      List.iter (fun (i, delay) -> succ.(i) <- (j, delay) :: succ.(i)) preds)
+    edges;
+  let prio = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let tail =
+      List.fold_left (fun acc (j, delay) -> max acc (prio.(j) + delay)) 0
+        succ.(i)
+    in
+    prio.(i) <- tail + lat instrs.(i)
+  done;
+  prio
+
+let schedule_block resources (b : Ir.block) =
+  let instrs = Array.of_list b.instrs in
+  let n = Array.length instrs in
+  if n = 0 then
+    { label = b.label; instrs; starts = [||]; makespan = 1 }
+  else begin
+    let edges = dependence_edges instrs in
+    let prio = priorities instrs edges in
+    let starts = Array.make n (-1) in
+    let scheduled = ref 0 in
+    let cycle = ref 0 in
+    let usage : (Optypes.op_class, int) Hashtbl.t = Hashtbl.create 8 in
+    while !scheduled < n do
+      Hashtbl.reset usage;
+      (* Instructions ready at this cycle, highest priority first. *)
+      let ready = ref [] in
+      for j = 0 to n - 1 do
+        if starts.(j) < 0 then begin
+          let ok =
+            List.for_all
+              (fun (i, delay) -> starts.(i) >= 0 && starts.(i) + delay <= !cycle)
+              edges.(j)
+          in
+          if ok then ready := j :: !ready
+        end
+      done;
+      let ready =
+        List.sort (fun a b -> compare (prio.(b), a) (prio.(a), b)) !ready
+      in
+      List.iter
+        (fun j ->
+          let cls = Optypes.classify instrs.(j) in
+          let used = Option.value ~default:0 (Hashtbl.find_opt usage cls) in
+          if used < resource_limit resources cls then begin
+            starts.(j) <- !cycle;
+            Hashtbl.replace usage cls (used + 1);
+            incr scheduled
+          end)
+        ready;
+      incr cycle
+    done;
+    let makespan =
+      Array.to_list instrs
+      |> List.mapi (fun i instr -> starts.(i) + lat instr)
+      |> List.fold_left max 1
+    in
+    { label = b.label; instrs; starts; makespan }
+  end
+
+let schedule_func ?(resources = default_resources) (f : Ir.func) =
+  { func = f; blocks = List.map (schedule_block resources) f.blocks; resources }
+
+let total_states t =
+  List.fold_left (fun acc b -> acc + b.makespan) 0 t.blocks
+
+let max_concurrency t cls =
+  List.fold_left
+    (fun acc b ->
+      let per_cycle = Hashtbl.create 16 in
+      Array.iteri
+        (fun i start ->
+          if Optypes.classify b.instrs.(i) = cls then begin
+            let cur =
+              Option.value ~default:0 (Hashtbl.find_opt per_cycle start)
+            in
+            Hashtbl.replace per_cycle start (cur + 1)
+          end)
+        b.starts;
+      Hashtbl.fold (fun _ v acc -> max acc v) per_cycle acc)
+    0 t.blocks
+
+let critical_path_of_block b = b.makespan
+
+let validate t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  List.iter
+    (fun b ->
+      let n = Array.length b.instrs in
+      let edges = dependence_edges b.instrs in
+      for j = 0 to n - 1 do
+        if b.starts.(j) < 0 then fail "L%d: instruction %d unscheduled" b.label j;
+        List.iter
+          (fun (i, delay) ->
+            if b.starts.(j) < b.starts.(i) + delay then
+              fail "L%d: dependence %d -> %d violated (%d < %d + %d)" b.label
+                i j b.starts.(j) b.starts.(i) delay)
+          edges.(j)
+      done;
+      (* Resource constraints per cycle *)
+      let per_cycle : (int * Optypes.op_class, int) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      Array.iteri
+        (fun i start ->
+          let cls = Optypes.classify b.instrs.(i) in
+          let key = (start, cls) in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt per_cycle key) in
+          Hashtbl.replace per_cycle key (cur + 1))
+        b.starts;
+      Hashtbl.iter
+        (fun (cycle, cls) count ->
+          if count > resource_limit t.resources cls then
+            fail "L%d cycle %d: %d %s ops exceed limit" b.label cycle count
+              (Optypes.class_name cls))
+        per_cycle;
+      (* Makespan covers all commits *)
+      Array.iteri
+        (fun i start ->
+          if start + lat b.instrs.(i) > b.makespan then
+            fail "L%d: instruction %d commits after makespan" b.label i)
+        b.starts)
+    t.blocks
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule of %s: %d states\n" t.func.Ir.fname
+       (total_states t));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "L%d (makespan %d):\n" b.label b.makespan);
+      let order = Array.init (Array.length b.instrs) Fun.id in
+      Array.sort (fun i j -> compare (b.starts.(i), i) (b.starts.(j), j)) order;
+      Array.iter
+        (fun i ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [%2d] %s\n" b.starts.(i)
+               (Ir.instr_to_string b.instrs.(i))))
+        order)
+    t.blocks;
+  Buffer.contents buf

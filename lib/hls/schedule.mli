@@ -1,0 +1,71 @@
+(** Resource-constrained list scheduling of basic blocks.
+
+    Each block is compiled into a static schedule assigning every
+    instruction a start cycle.  Dependence edges carry minimum delays
+    that encode the datapath's register semantics (reads at cycle
+    start, writes at [start + latency]):
+
+    - RAW: consumer starts no earlier than [def_start + latency];
+    - WAR: the overwriting instruction starts no earlier than the
+      reader (same cycle is fine — the reader sees the old value);
+    - WAW: commits must land in program order;
+    - memory: loads commute with loads, everything else stays in
+      program order (no alias analysis).
+
+    The block's makespan is [max (start + latency)] over its
+    instructions; the terminator fires at the makespan. *)
+
+type resources = {
+  alu : int;
+  cmp : int;
+  mul : int;
+  div : int;
+  shift : int;
+  mem_ports : int;
+}
+
+val default_resources : resources
+(** 2 ALUs, 2 comparators, 1 multiplier, 1 divider, 1 shifter, 1 memory
+    port. *)
+
+val unlimited_resources : resources
+
+val resource_limit : resources -> Optypes.op_class -> int
+(** Limit for a class; [Move] is unconstrained (wires). *)
+
+type block_schedule = {
+  label : Vmht_ir.Ir.label;
+  instrs : Vmht_ir.Ir.instr array;
+  starts : int array; (** start cycle of [instrs.(i)] *)
+  makespan : int; (** cycles the block occupies (>= 1) *)
+}
+
+type t = {
+  func : Vmht_ir.Ir.func;
+  blocks : block_schedule list; (** one per CFG block, in CFG order *)
+  resources : resources;
+}
+
+val schedule_func : ?resources:resources -> Vmht_ir.Ir.func -> t
+
+val total_states : t -> int
+(** Sum of block makespans — the number of FSM states. *)
+
+val max_concurrency : t -> Optypes.op_class -> int
+(** Peak number of same-class operations in any single cycle — the
+    number of functional units binding must provide. *)
+
+val critical_path_of_block : block_schedule -> int
+
+val dependence_edges :
+  Vmht_ir.Ir.instr array -> (int * int) list array
+(** [edges.(j)] lists [(i, delay)] constraints [start_j >= start_i +
+    delay] between instructions of one straight-line sequence (the
+    scheduler's own dependence model, exposed for the loop
+    pipeliner). *)
+
+val validate : t -> unit
+(** Check every dependence and resource constraint of the schedule;
+    raises [Failure] on violation.  Used by the property tests. *)
+
+val to_string : t -> string

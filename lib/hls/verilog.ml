@@ -1,0 +1,176 @@
+module Ir = Vmht_ir.Ir
+module Ast = Vmht_lang.Ast
+
+let operand = function
+  | Ir.Reg r -> Printf.sprintf "r%d" r
+  | Ir.Imm n ->
+    if n >= 0 then Printf.sprintf "64'd%d" n
+    else Printf.sprintf "-64'sd%d" (-n)
+
+let binop_expr op a b =
+  let infix sym = Printf.sprintf "%s %s %s" a sym b in
+  match op with
+  | Ast.Add -> infix "+"
+  | Ast.Sub -> infix "-"
+  | Ast.Mul -> infix "*"
+  | Ast.Div -> infix "/"
+  | Ast.Rem -> infix "%"
+  | Ast.And -> infix "&"
+  | Ast.Or -> infix "|"
+  | Ast.Xor -> infix "^"
+  | Ast.Shl -> infix "<<"
+  | Ast.Shr -> infix ">>>"
+  | Ast.Lt -> Printf.sprintf "{63'b0, $signed(%s) < $signed(%s)}" a b
+  | Ast.Le -> Printf.sprintf "{63'b0, $signed(%s) <= $signed(%s)}" a b
+  | Ast.Gt -> Printf.sprintf "{63'b0, $signed(%s) > $signed(%s)}" a b
+  | Ast.Ge -> Printf.sprintf "{63'b0, $signed(%s) >= $signed(%s)}" a b
+  | Ast.Eq -> Printf.sprintf "{63'b0, %s == %s}" a b
+  | Ast.Ne -> Printf.sprintf "{63'b0, %s != %s}" a b
+  | Ast.Land -> Printf.sprintf "{63'b0, (%s != 0) && (%s != 0)}" a b
+  | Ast.Lor -> Printf.sprintf "{63'b0, (%s != 0) || (%s != 0)}" a b
+
+let unop_expr op a =
+  match op with
+  | Ast.Neg -> Printf.sprintf "-%s" a
+  | Ast.Not -> Printf.sprintf "{63'b0, %s == 0}" a
+  | Ast.Bnot -> Printf.sprintf "~%s" a
+
+(* Global state numbering: block label L, cycle c -> state id. *)
+let state_table (hw : Fsm.t) =
+  let table = Hashtbl.create 32 in
+  let next = ref 0 in
+  List.iter
+    (fun (b : Schedule.block_schedule) ->
+      for c = 0 to b.Schedule.makespan - 1 do
+        Hashtbl.replace table (b.Schedule.label, c) !next;
+        incr next
+      done)
+    hw.Fsm.schedule.Schedule.blocks;
+  (table, !next)
+
+let emit_body buf (hw : Fsm.t) =
+  let f = hw.Fsm.func in
+  let states, n_states = state_table hw in
+  let state_of label cycle = Hashtbl.find states (label, cycle) in
+  let bp fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let state_bits = max 1 (Vmht_util.Bits.ceil_log2 (max n_states 2)) in
+  bp "  // %d FSM states, %d virtual registers\n" n_states f.Ir.next_reg;
+  bp "  localparam S_IDLE = %d'd%d;\n" state_bits n_states;
+  bp "  localparam S_DONE = %d'd%d;\n" state_bits (n_states + 1);
+  bp "  reg [%d:0] state;\n" (state_bits - 1);
+  for r = 0 to f.Ir.next_reg - 1 do
+    bp "  reg [63:0] r%d;\n" r
+  done;
+  bp "\n  always @(posedge clk) begin\n";
+  bp "    if (rst) begin\n      state <= S_IDLE;\n      done <= 1'b0;\n";
+  bp "    end else begin\n";
+  bp "      case (state)\n";
+  bp "        S_IDLE: if (start) begin\n";
+  List.iteri (fun i r -> bp "          r%d <= arg%d;\n" r i) f.Ir.arg_regs;
+  (match f.Ir.blocks with
+   | [] -> ()
+   | entry :: _ -> bp "          state <= %d'd%d;\n" state_bits
+                     (state_of entry.Ir.label 0));
+  bp "        end\n";
+  List.iter
+    (fun (b : Schedule.block_schedule) ->
+      let ir_block = Ir.find_block f b.Schedule.label in
+      for c = 0 to b.Schedule.makespan - 1 do
+        let sid = state_of b.Schedule.label c in
+        bp "        %d'd%d: begin // L%d cycle %d\n" state_bits sid
+          b.Schedule.label c;
+        let has_mem = ref false in
+        Array.iteri
+          (fun i start ->
+            if start = c then begin
+              match b.Schedule.instrs.(i) with
+              | Ir.Bin (op, d, x, y) ->
+                bp "          r%d <= %s;\n" d
+                  (binop_expr op (operand x) (operand y))
+              | Ir.Un (op, d, x) ->
+                bp "          r%d <= %s;\n" d (unop_expr op (operand x))
+              | Ir.Mov (d, x) -> bp "          r%d <= %s;\n" d (operand x)
+              | Ir.Load (d, addr) ->
+                has_mem := true;
+                bp "          mem_req <= 1'b1; mem_we <= 1'b0;\n";
+                bp "          mem_addr <= %s;\n" (operand addr);
+                bp "          if (mem_ack) r%d <= mem_rdata;\n" d
+              | Ir.Store (addr, v) ->
+                has_mem := true;
+                bp "          mem_req <= 1'b1; mem_we <= 1'b1;\n";
+                bp "          mem_addr <= %s; mem_wdata <= %s;\n"
+                  (operand addr) (operand v)
+            end)
+          b.Schedule.starts;
+        let advance target =
+          if !has_mem then
+            bp "          if (mem_ack) state <= %s;\n" target
+          else bp "          state <= %s;\n" target
+        in
+        if c < b.Schedule.makespan - 1 then
+          advance (Printf.sprintf "%d'd%d" state_bits
+                     (state_of b.Schedule.label (c + 1)))
+        else begin
+          match ir_block.Ir.term with
+          | Ir.Jmp l ->
+            advance (Printf.sprintf "%d'd%d" state_bits (state_of l 0))
+          | Ir.Br (cond, l1, l2) ->
+            if !has_mem then bp "          if (mem_ack)\n";
+            bp "          state <= (%s != 0) ? %d'd%d : %d'd%d;\n"
+              (operand cond) state_bits (state_of l1 0) state_bits
+              (state_of l2 0)
+          | Ir.Ret v ->
+            (match v with
+             | Some op -> bp "          result <= %s;\n" (operand op)
+             | None -> ());
+            bp "          done <= 1'b1;\n";
+            advance "S_DONE"
+        end;
+        bp "        end\n"
+      done)
+    hw.Fsm.schedule.Schedule.blocks;
+  bp "        S_DONE: if (!start) begin state <= S_IDLE; done <= 1'b0; end\n";
+  bp "        default: state <= S_IDLE;\n";
+  bp "      endcase\n    end\n  end\n"
+
+let module_ports (hw : Fsm.t) extra =
+  let f = hw.Fsm.func in
+  let args =
+    List.mapi (fun i _ -> Printf.sprintf "input wire [63:0] arg%d" i)
+      f.Ir.arg_regs
+  in
+  [
+    "input wire clk";
+    "input wire rst";
+    "input wire start";
+    "output reg done";
+    "output reg [63:0] result";
+    "output reg mem_req";
+    "output reg mem_we";
+    "output reg [63:0] mem_addr";
+    "output reg [63:0] mem_wdata";
+    "input wire [63:0] mem_rdata";
+    "input wire mem_ack";
+  ]
+  @ args @ extra
+
+let emit_with_wrapper (hw : Fsm.t) ~wrapper_ports =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "// Generated by vmht HLS — hardware thread '%s'\n"
+       hw.Fsm.name);
+  Buffer.add_string buf
+    (Printf.sprintf "// %s\n" (Fsm.stats_to_string hw.Fsm.stats));
+  List.iter
+    (fun plan ->
+      Buffer.add_string buf
+        (Printf.sprintf "// pipelined %s\n" (Pipeliner.to_string plan)))
+    hw.Fsm.plans;
+  Buffer.add_string buf (Printf.sprintf "module ht_%s (\n" hw.Fsm.name);
+  Buffer.add_string buf
+    ("  " ^ String.concat ",\n  " (module_ports hw wrapper_ports) ^ "\n);\n");
+  emit_body buf hw;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let emit hw = emit_with_wrapper hw ~wrapper_ports:[]

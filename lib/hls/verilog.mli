@@ -1,0 +1,15 @@
+(** Verilog emission for synthesized hardware threads.
+
+    Produces a synthesizable-style RTL module: one state register, a
+    case-based controller, registered datapath writes, and a simple
+    request/acknowledge memory interface (address/wdata/rdata/valid).
+    The emitted text is for inspection and downstream tooling — the
+    repository's "board" is the cycle simulator, so the RTL is not run,
+    but its structure mirrors exactly what {!Accel.run} simulates. *)
+
+val emit : Fsm.t -> string
+(** RTL for the bare datapath + FSM (no memory-interface wrapper). *)
+
+val emit_with_wrapper : Fsm.t -> wrapper_ports:string list -> string
+(** Same, plus extra top-level ports contributed by the interface
+    wrapper (e.g. the TLB/PTW control signals or DMA handshake). *)

@@ -1,0 +1,140 @@
+module Ast = Vmht_lang.Ast
+
+(* Variables assigned (or declared) anywhere in a statement list. *)
+let rec assigned_vars acc = function
+  | [] -> acc
+  | stmt :: rest ->
+    let acc =
+      match stmt with
+      | Ast.Decl (x, _, _) | Ast.Assign (x, _) -> x :: acc
+      | Ast.Store _ | Ast.Return _ -> acc
+      | Ast.If (_, t, f) -> assigned_vars (assigned_vars acc t) f
+      | Ast.While (_, b) -> assigned_vars acc b
+    in
+    assigned_vars acc rest
+
+let is_straight_line stmts =
+  List.for_all
+    (function
+      | Ast.Decl _ | Ast.Assign _ | Ast.Store _ -> true
+      | Ast.If _ | Ast.While _ | Ast.Return _ -> false)
+    stmts
+
+(* Substitute variable [x] with expression [repl] in an expression. *)
+let rec subst_expr x repl expr =
+  match expr with
+  | Ast.Var y when y = x -> repl
+  | Ast.Int _ | Ast.Var _ -> expr
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, subst_expr x repl a, subst_expr x repl b)
+  | Ast.Un (op, e) -> Ast.Un (op, subst_expr x repl e)
+  | Ast.Load (b, i) -> Ast.Load (subst_expr x repl b, subst_expr x repl i)
+  | Ast.Cast (t, e) -> Ast.Cast (t, subst_expr x repl e)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (subst_expr x repl) args)
+
+let subst_stmt x repl = function
+  | Ast.Decl (y, t, init) -> Ast.Decl (y, t, Option.map (subst_expr x repl) init)
+  | Ast.Assign (y, e) -> Ast.Assign (y, subst_expr x repl e)
+  | Ast.Store (b, i, v) ->
+    Ast.Store (subst_expr x repl b, subst_expr x repl i, subst_expr x repl v)
+  | Ast.If (_, _, _) | Ast.While (_, _) | Ast.Return _ ->
+    invalid_arg "subst_stmt: not straight-line"
+
+(* Rename locals declared inside one unrolled copy so the copies do not
+   collide.  The '~' in the suffix cannot appear in parsed identifiers. *)
+let rename_copy k stmts =
+  let renames = Hashtbl.create 4 in
+  let rename y =
+    match Hashtbl.find_opt renames y with Some y' -> y' | None -> y
+  in
+  let rec rn_expr = function
+    | Ast.Int _ as e -> e
+    | Ast.Var y -> Ast.Var (rename y)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, rn_expr a, rn_expr b)
+    | Ast.Un (op, e) -> Ast.Un (op, rn_expr e)
+    | Ast.Load (b, i) -> Ast.Load (rn_expr b, rn_expr i)
+    | Ast.Cast (t, e) -> Ast.Cast (t, rn_expr e)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map rn_expr args)
+  in
+  List.map
+    (fun stmt ->
+      match stmt with
+      | Ast.Decl (y, t, init) ->
+        let init = Option.map rn_expr init in
+        let y' = Printf.sprintf "%s~u%d" y k in
+        Hashtbl.replace renames y y';
+        Ast.Decl (y', t, init)
+      | Ast.Assign (y, e) -> Ast.Assign (rename y, rn_expr e)
+      | Ast.Store (b, i, v) -> Ast.Store (rn_expr b, rn_expr i, rn_expr v)
+      | Ast.If (_, _, _) | Ast.While (_, _) | Ast.Return _ ->
+        invalid_arg "rename_copy: not straight-line")
+    stmts
+
+(* Split [body] into the straight-line part and a final [i = i + 1]. *)
+let split_inductive body =
+  match List.rev body with
+  | Ast.Assign (i, Ast.Bin (Ast.Add, Ast.Var i', Ast.Int 1)) :: rev_straight
+    when i = i' ->
+    Some (i, List.rev rev_straight)
+  | _ -> None
+
+let loop_matches i bound straight =
+  let writes = assigned_vars [] straight in
+  let bound_ok =
+    match bound with
+    | Ast.Int _ -> true
+    | Ast.Var b -> b <> i && not (List.mem b writes)
+    | Ast.Bin _ | Ast.Un _ | Ast.Load _ | Ast.Cast _ | Ast.Call _ -> false
+  in
+  bound_ok && is_straight_line straight && not (List.mem i writes)
+
+let unroll_loop factor cond body =
+  match cond with
+  | Ast.Bin (Ast.Lt, Ast.Var i, bound) -> (
+    match split_inductive body with
+    | Some (iv, straight) when iv = i && loop_matches i bound straight ->
+      let copy k =
+        let substituted =
+          if k = 0 then straight
+          else
+            List.map
+              (subst_stmt i (Ast.Bin (Ast.Add, Ast.Var i, Ast.Int k)))
+              straight
+        in
+        rename_copy k substituted
+      in
+      let copies = List.concat (List.init factor copy) in
+      let main_cond =
+        Ast.Bin (Ast.Le, Ast.Bin (Ast.Add, Ast.Var i, Ast.Int factor), bound)
+      in
+      let main =
+        Ast.While
+          ( main_cond,
+            copies @ [ Ast.Assign (i, Ast.Bin (Ast.Add, Ast.Var i, Ast.Int factor)) ]
+          )
+      in
+      let epilogue = Ast.While (cond, body) in
+      Some [ main; epilogue ]
+    | Some _ | None -> None)
+  | Ast.Int _ | Ast.Var _ | Ast.Bin _ | Ast.Un _ | Ast.Load _ | Ast.Cast _
+  | Ast.Call _ ->
+    None
+
+let unroll_kernel ~factor (k : Ast.kernel) =
+  if factor <= 1 then (k, 0)
+  else begin
+    let count = ref 0 in
+    let rec walk_body stmts = List.concat_map walk_stmt stmts
+    and walk_stmt stmt =
+      match stmt with
+      | Ast.While (cond, body) -> (
+        match unroll_loop factor cond body with
+        | Some replacement ->
+          incr count;
+          replacement
+        | None -> [ Ast.While (cond, walk_body body) ])
+      | Ast.If (c, t, f) -> [ Ast.If (c, walk_body t, walk_body f) ]
+      | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> [ stmt ]
+    in
+    let body = walk_body k.body in
+    ({ k with body }, !count)
+  end

@@ -1,0 +1,21 @@
+(** Source-level loop unrolling.
+
+    The HLS scheduler extracts parallelism only within a basic block, so
+    unrolling replicates counted-loop bodies into one block.  A loop is
+    unrolled when it has the canonical shape the parser produces for
+    [for (i = e0; i < bound; i = i + 1) { straight-line body }]:
+
+    - condition [i < bound] with [bound] an integer literal or a
+      variable the body never assigns;
+    - body = straight-line statements (no control flow) followed by the
+      increment [i = i + 1], none of which assign [i];
+
+    and is rewritten into a main loop advancing by the factor (bodies
+    substituted with [i], [i+1], ...) plus the original loop as an
+    epilogue for leftover iterations.  Declared locals are renamed per
+    copy.  Loops that do not match are left untouched; the semantics of
+    the kernel is preserved exactly (checked by property tests). *)
+
+val unroll_kernel : factor:int -> Vmht_lang.Ast.kernel -> Vmht_lang.Ast.kernel * int
+(** [unroll_kernel ~factor k] returns the rewritten kernel and the
+    number of loops that were unrolled.  [factor <= 1] is the identity. *)

@@ -1,0 +1,77 @@
+module Labelset = Set.Make (Int)
+
+type t = { doms : (Ir.label, Labelset.t) Hashtbl.t }
+
+let compute (f : Ir.func) =
+  let all =
+    List.fold_left
+      (fun acc b -> Labelset.add b.Ir.label acc)
+      Labelset.empty f.blocks
+  in
+  let entry_label = (Ir.entry f).Ir.label in
+  let doms = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace doms b.label
+        (if b.label = entry_label then Labelset.singleton entry_label
+         else all))
+    f.blocks;
+  let preds = Ir.predecessors f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        if b.label <> entry_label then begin
+          let pred_labels =
+            Option.value ~default:[] (Hashtbl.find_opt preds b.label)
+          in
+          let meet =
+            match pred_labels with
+            | [] -> Labelset.singleton b.label (* unreachable *)
+            | p :: rest ->
+              List.fold_left
+                (fun acc q -> Labelset.inter acc (Hashtbl.find doms q))
+                (Hashtbl.find doms p) rest
+          in
+          let updated = Labelset.add b.label meet in
+          if not (Labelset.equal updated (Hashtbl.find doms b.label)) then begin
+            Hashtbl.replace doms b.label updated;
+            changed := true
+          end
+        end)
+      f.blocks
+  done;
+  { doms }
+
+let dominates t a b =
+  match Hashtbl.find_opt t.doms b with
+  | Some set -> Labelset.mem a set
+  | None -> false
+
+let dominators_of t label =
+  match Hashtbl.find_opt t.doms label with
+  | Some set -> Labelset.elements set
+  | None -> []
+
+let back_edges (f : Ir.func) t =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.filter_map
+        (fun succ ->
+          if dominates t succ b.label then Some (b.label, succ) else None)
+        (Ir.successors b.term))
+    f.blocks
+
+let natural_loop (f : Ir.func) ~header ~latch =
+  let preds = Ir.predecessors f in
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop header ();
+  let rec visit l =
+    if not (Hashtbl.mem in_loop l) then begin
+      Hashtbl.replace in_loop l ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt preds l))
+    end
+  in
+  visit latch;
+  Hashtbl.fold (fun l () acc -> l :: acc) in_loop []

@@ -1,0 +1,36 @@
+(** IR-level interpreter.
+
+    Serves two roles: (1) semantic oracle for the optimization passes
+    (its results must match the AST interpreter), and (2) execution
+    core of the simulated CPU — the CPU drives it with hooks that
+    charge cycle costs per instruction, and with a memory whose
+    [load]/[store] perform timed bus transactions. *)
+
+type hooks = {
+  on_instr : Ir.instr -> unit;
+      (** called before each executed instruction *)
+  on_branch : taken:bool -> unit;
+      (** called at each conditional branch *)
+  on_block : Ir.label -> unit;  (** called on entry to each block *)
+}
+
+val no_hooks : hooks
+
+exception Runaway of int
+(** Raised when execution exceeds the step bound. *)
+
+val run :
+  ?hooks:hooks ->
+  ?max_steps:int ->
+  Vmht_lang.Ast_interp.memory ->
+  Ir.func ->
+  args:int list ->
+  int option
+(** Execute a function.  [max_steps] (default 100 million) bounds the
+    number of executed instructions to catch non-terminating programs
+    in tests.  Raises [Invalid_argument] on argument-count mismatch. *)
+
+val dynamic_counts : Vmht_lang.Ast_interp.memory -> Ir.func -> args:int list ->
+  int * int * int
+(** [(instructions, loads, stores)] executed by a run — used by the
+    workload-characterization table. *)

@@ -1,0 +1,24 @@
+(** Loop-invariant code motion.
+
+    Hoists pure, non-trapping instructions (everything except loads,
+    stores, divisions and remainders) whose operands do not change
+    inside a natural loop into a freshly created preheader.  In the
+    non-SSA IR an instruction is hoistable only when
+
+    - its destination is defined exactly once in the loop,
+    - the destination is not live into the loop header (no first-
+      iteration use of a pre-loop value), and
+    - the destination is not live out of any loop exit (a zero-trip
+      execution must not observe the hoisted write);
+
+    operands must be constants, registers defined outside the loop, or
+    results of instructions already hoisted from the same loop.
+
+    The address arithmetic of row-major indexing ([i*n] inside a [k]
+    loop) is the classic beneficiary: it saves a multiplier activation
+    per iteration in the generated datapath. *)
+
+val run : Ir.func -> int
+(** Perform one LICM sweep over every natural loop; returns the number
+    of hoisted instructions.  The function is modified in place and
+    remains valid ([Ir.validate]). *)

@@ -1,0 +1,97 @@
+module Regset = Set.Make (Int)
+
+type t = {
+  live_in_map : (Ir.label, Regset.t) Hashtbl.t;
+  live_out_map : (Ir.label, Regset.t) Hashtbl.t;
+}
+
+let block_use_def (b : Ir.block) =
+  (* [use] = registers read before any write in the block. *)
+  let use, def =
+    List.fold_left
+      (fun (use, def) instr ->
+        let use =
+          List.fold_left
+            (fun use r -> if Regset.mem r def then use else Regset.add r use)
+            use (Ir.uses_of instr)
+        in
+        let def =
+          match Ir.def_of instr with
+          | Some d -> Regset.add d def
+          | None -> def
+        in
+        (use, def))
+      (Regset.empty, Regset.empty)
+      b.instrs
+  in
+  let use =
+    List.fold_left
+      (fun use r -> if Regset.mem r def then use else Regset.add r use)
+      use (Ir.term_uses b.term)
+  in
+  (use, def)
+
+let compute (f : Ir.func) =
+  let live_in_map = Hashtbl.create 16 in
+  let live_out_map = Hashtbl.create 16 in
+  let use_def = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace live_in_map b.Ir.label Regset.empty;
+      Hashtbl.replace live_out_map b.Ir.label Regset.empty;
+      Hashtbl.replace use_def b.Ir.label (block_use_def b))
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Iterate in reverse block order: converges fast for reducible
+       CFGs produced by the lowerer. *)
+    List.iter
+      (fun (b : Ir.block) ->
+        let out =
+          List.fold_left
+            (fun acc succ ->
+              Regset.union acc (Hashtbl.find live_in_map succ))
+            Regset.empty
+            (Ir.successors b.term)
+        in
+        let use, def = Hashtbl.find use_def b.label in
+        let inn = Regset.union use (Regset.diff out def) in
+        if not (Regset.equal out (Hashtbl.find live_out_map b.label)) then begin
+          Hashtbl.replace live_out_map b.label out;
+          changed := true
+        end;
+        if not (Regset.equal inn (Hashtbl.find live_in_map b.label)) then begin
+          Hashtbl.replace live_in_map b.label inn;
+          changed := true
+        end)
+      (List.rev f.blocks)
+  done;
+  { live_in_map; live_out_map }
+
+let live_in t label = Hashtbl.find t.live_in_map label
+
+let live_out t label = Hashtbl.find t.live_out_map label
+
+let live_after_each t (b : Ir.block) =
+  let n = List.length b.instrs in
+  let result = Array.make (max n 1) Regset.empty in
+  let live = ref (live_out t b.label) in
+  (* Terminator reads happen "after" the last instruction. *)
+  List.iter (fun r -> live := Regset.add r !live) (Ir.term_uses b.term);
+  let instrs = Array.of_list b.instrs in
+  for i = n - 1 downto 0 do
+    result.(i) <- !live;
+    (match Ir.def_of instrs.(i) with
+     | Some d -> live := Regset.remove d !live
+     | None -> ());
+    List.iter (fun r -> live := Regset.add r !live) (Ir.uses_of instrs.(i))
+  done;
+  result
+
+let max_live (f : Ir.func) t =
+  List.fold_left
+    (fun acc b ->
+      let after = live_after_each t b in
+      Array.fold_left (fun acc s -> max acc (Regset.cardinal s)) acc after)
+    0 f.blocks

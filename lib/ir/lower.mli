@@ -1,0 +1,9 @@
+(** Lowering from the HTL AST to the three-address IR.
+
+    The kernel must already have passed the typechecker.  Index
+    expressions become explicit shift-and-add address arithmetic so
+    later passes can fold and share it; the strict logical operators
+    [&&]/[||] become compare-and-mask sequences (no control flow). *)
+
+val lower_kernel : Vmht_lang.Ast.kernel -> Ir.func
+(** Arguments occupy registers [0 .. n-1] in declaration order. *)

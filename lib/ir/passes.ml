@@ -1,0 +1,402 @@
+module Ast = Vmht_lang.Ast
+module Ast_interp = Vmht_lang.Ast_interp
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_instr instr =
+  match instr with
+  | Ir.Bin (op, d, Ir.Imm a, Ir.Imm b) -> (
+    match Ast_interp.eval_binop op a b with
+    | v -> Some (Ir.Mov (d, Ir.Imm v))
+    | exception Ast_interp.Eval_error _ -> None)
+  | Ir.Un (op, d, Ir.Imm a) -> Some (Ir.Mov (d, Ir.Imm (Ast_interp.eval_unop op a)))
+  (* Algebraic identities.  Only rewrites that are valid for all word
+     values are applied. *)
+  | Ir.Bin (Ast.Add, d, x, Ir.Imm 0) | Ir.Bin (Ast.Add, d, Ir.Imm 0, x) ->
+    Some (Ir.Mov (d, x))
+  | Ir.Bin (Ast.Sub, d, x, Ir.Imm 0) -> Some (Ir.Mov (d, x))
+  | Ir.Bin (Ast.Mul, d, x, Ir.Imm 1) | Ir.Bin (Ast.Mul, d, Ir.Imm 1, x) ->
+    Some (Ir.Mov (d, x))
+  | Ir.Bin (Ast.Mul, d, _, Ir.Imm 0) | Ir.Bin (Ast.Mul, d, Ir.Imm 0, _) ->
+    Some (Ir.Mov (d, Ir.Imm 0))
+  | Ir.Bin (Ast.Mul, d, x, Ir.Imm n) when Vmht_util.Bits.is_pow2 n ->
+    Some (Ir.Bin (Ast.Shl, d, x, Ir.Imm (Vmht_util.Bits.log2 n)))
+  | Ir.Bin (Ast.Mul, d, Ir.Imm n, x) when Vmht_util.Bits.is_pow2 n ->
+    Some (Ir.Bin (Ast.Shl, d, x, Ir.Imm (Vmht_util.Bits.log2 n)))
+  | Ir.Bin (Ast.Div, d, x, Ir.Imm 1) -> Some (Ir.Mov (d, x))
+  | Ir.Bin (Ast.And, d, _, Ir.Imm 0) | Ir.Bin (Ast.And, d, Ir.Imm 0, _) ->
+    Some (Ir.Mov (d, Ir.Imm 0))
+  | Ir.Bin (Ast.Or, d, x, Ir.Imm 0) | Ir.Bin (Ast.Or, d, Ir.Imm 0, x) ->
+    Some (Ir.Mov (d, x))
+  | Ir.Bin (Ast.Xor, d, x, Ir.Imm 0) | Ir.Bin (Ast.Xor, d, Ir.Imm 0, x) ->
+    Some (Ir.Mov (d, x))
+  | Ir.Bin ((Ast.Shl | Ast.Shr), d, x, Ir.Imm 0) -> Some (Ir.Mov (d, x))
+  | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Load _ | Ir.Store _ -> None
+
+let const_fold (f : Ir.func) =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.instrs <-
+        List.map
+          (fun i ->
+            match fold_instr i with
+            | Some i' when i' <> i ->
+              incr changed;
+              i'
+            | Some _ | None -> i)
+          b.instrs;
+      match b.term with
+      | Ir.Br (Ir.Imm c, l1, l2) ->
+        incr changed;
+        b.term <- Ir.Jmp (if c <> 0 then l1 else l2)
+      | Ir.Br (_, l1, l2) when l1 = l2 ->
+        incr changed;
+        b.term <- Ir.Jmp l1
+      | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> ())
+    f.blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Block-local copy/constant propagation                               *)
+(* ------------------------------------------------------------------ *)
+
+let copy_prop (f : Ir.func) =
+  let changed = ref 0 in
+  let subst map op =
+    match op with
+    | Ir.Reg r -> (
+      match Hashtbl.find_opt map r with
+      | Some replacement ->
+        incr changed;
+        replacement
+      | None -> op)
+    | Ir.Imm _ -> op
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      let map : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+      (* Drop any mapping that mentions a redefined register. *)
+      let invalidate d =
+        Hashtbl.remove map d;
+        let stale =
+          Hashtbl.fold
+            (fun r v acc -> if v = Ir.Reg d then r :: acc else acc)
+            map []
+        in
+        List.iter (Hashtbl.remove map) stale
+      in
+      b.instrs <-
+        List.map
+          (fun instr ->
+            let instr' =
+              match instr with
+              | Ir.Bin (op, d, a, c) -> Ir.Bin (op, d, subst map a, subst map c)
+              | Ir.Un (op, d, a) -> Ir.Un (op, d, subst map a)
+              | Ir.Mov (d, a) -> Ir.Mov (d, subst map a)
+              | Ir.Load (d, a) -> Ir.Load (d, subst map a)
+              | Ir.Store (a, v) -> Ir.Store (subst map a, subst map v)
+            in
+            (match Ir.def_of instr' with
+             | Some d -> invalidate d
+             | None -> ());
+            (match instr' with
+             | Ir.Mov (d, src) when src <> Ir.Reg d -> Hashtbl.replace map d src
+             | Ir.Mov _ | Ir.Bin _ | Ir.Un _ | Ir.Load _ | Ir.Store _ -> ());
+            instr')
+          b.instrs;
+      b.term <-
+        (match b.term with
+         | Ir.Br (c, l1, l2) -> Ir.Br (subst map c, l1, l2)
+         | Ir.Ret (Some v) -> Ir.Ret (Some (subst map v))
+         | (Ir.Ret None | Ir.Jmp _) as t -> t))
+    f.blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Block-local common subexpression elimination                        *)
+(* ------------------------------------------------------------------ *)
+
+type cse_key =
+  | Kbin of Ast.binop * Ir.operand * Ir.operand
+  | Kun of Ast.unop * Ir.operand
+  | Kload of Ir.operand
+
+let commutative = function
+  | Ast.Add | Ast.Mul | Ast.And | Ast.Or | Ast.Xor | Ast.Eq | Ast.Ne
+  | Ast.Land | Ast.Lor ->
+    true
+  | Ast.Sub | Ast.Div | Ast.Rem | Ast.Shl | Ast.Shr | Ast.Lt | Ast.Le
+  | Ast.Gt | Ast.Ge ->
+    false
+
+let canonical_key op a b =
+  if commutative op && compare b a < 0 then Kbin (op, b, a) else Kbin (op, a, b)
+
+let key_mentions r = function
+  | Kbin (_, a, b) -> a = Ir.Reg r || b = Ir.Reg r
+  | Kun (_, a) | Kload a -> a = Ir.Reg r
+
+let cse (f : Ir.func) =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let table : (cse_key, Ir.reg) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate_reg d =
+        let stale =
+          Hashtbl.fold
+            (fun k v acc ->
+              if v = d || key_mentions d k then k :: acc else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      let invalidate_loads () =
+        let stale =
+          Hashtbl.fold
+            (fun k _ acc ->
+              match k with
+              | Kload _ -> k :: acc
+              | Kbin _ | Kun _ -> acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      b.instrs <-
+        List.map
+          (fun instr ->
+            let key =
+              match instr with
+              | Ir.Bin (op, _, a, c) -> Some (canonical_key op a c)
+              | Ir.Un (op, _, a) -> Some (Kun (op, a))
+              | Ir.Load (_, a) -> Some (Kload a)
+              | Ir.Mov _ | Ir.Store _ -> None
+            in
+            let instr' =
+              match (key, Ir.def_of instr) with
+              | Some k, Some d -> (
+                match Hashtbl.find_opt table k with
+                | Some prior ->
+                  incr changed;
+                  Ir.Mov (d, Ir.Reg prior)
+                | None -> instr)
+              | (Some _ | None), _ -> instr
+            in
+            (match Ir.def_of instr' with
+             | Some d -> invalidate_reg d
+             | None -> ());
+            (match (instr', key) with
+             | Ir.Mov _, _ -> ()
+             | _, Some k -> (
+               match Ir.def_of instr' with
+               (* An instruction like [r = r + 1] must not be recorded:
+                  its key refers to the pre-redefinition value of [r]. *)
+               | Some d when not (key_mentions d k) ->
+                 Hashtbl.replace table k d
+               | Some _ | None -> ())
+             | _, None -> ());
+            (match instr' with
+             | Ir.Store _ -> invalidate_loads ()
+             | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Load _ -> ());
+            instr')
+          b.instrs)
+    f.blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dce_once (f : Ir.func) =
+  let info = Liveness.compute f in
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let after = Liveness.live_after_each info b in
+      let keep = ref [] in
+      List.iteri
+        (fun i instr ->
+          let dead =
+            Ir.is_pure instr
+            &&
+            match Ir.def_of instr with
+            | Some d -> not (Liveness.Regset.mem d after.(i))
+            | None -> false
+          in
+          if dead then incr removed else keep := instr :: !keep)
+        b.instrs;
+      b.instrs <- List.rev !keep)
+    f.blocks;
+  !removed
+
+let dce (f : Ir.func) =
+  let total = ref 0 in
+  let rec go () =
+    let n = dce_once f in
+    total := !total + n;
+    if n > 0 then go ()
+  in
+  go ();
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* CFG simplification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reachable (f : Ir.func) =
+  let seen = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      List.iter visit (Ir.successors (Ir.find_block f l).term)
+    end
+  in
+  visit (Ir.entry f).label;
+  seen
+
+let remove_unreachable (f : Ir.func) =
+  let seen = reachable f in
+  let before = List.length f.blocks in
+  f.blocks <- List.filter (fun b -> Hashtbl.mem seen b.Ir.label) f.blocks;
+  before - List.length f.blocks
+
+(* Redirect edges through empty forwarding blocks (no instructions,
+   unconditional jump). *)
+let thread_jumps (f : Ir.func) =
+  let forward = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.block) ->
+      match (b.instrs, b.term) with
+      | [], Ir.Jmp target when target <> b.label ->
+        Hashtbl.replace forward b.label target
+      | _, (Ir.Jmp _ | Ir.Br _ | Ir.Ret _) -> ())
+    f.blocks;
+  (* Resolve chains, guarding against forwarding cycles. *)
+  let rec resolve seen l =
+    match Hashtbl.find_opt forward l with
+    | Some next when not (List.mem next seen) -> resolve (l :: seen) next
+    | Some _ | None -> l
+  in
+  let changed = ref 0 in
+  let redirect l =
+    let l' = resolve [] l in
+    if l' <> l then incr changed;
+    l'
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.term <-
+        (match b.term with
+         | Ir.Jmp l -> Ir.Jmp (redirect l)
+         | Ir.Br (c, l1, l2) -> Ir.Br (c, redirect l1, redirect l2)
+         | Ir.Ret _ as t -> t))
+    f.blocks;
+  !changed
+
+(* Merge [a -> b] when a ends in [Jmp b] and b's only predecessor is a. *)
+let merge_chains (f : Ir.func) =
+  let changed = ref 0 in
+  let continue_merging = ref true in
+  while !continue_merging do
+    continue_merging := false;
+    let preds = Ir.predecessors f in
+    let entry_label = (Ir.entry f).Ir.label in
+    let candidate =
+      List.find_opt
+        (fun (a : Ir.block) ->
+          match a.term with
+          | Ir.Jmp target ->
+            target <> entry_label && target <> a.label
+            && (match Hashtbl.find_opt preds target with
+                | Some [ single ] -> single = a.label
+                | Some _ | None -> false)
+          | Ir.Br _ | Ir.Ret _ -> false)
+        f.blocks
+    in
+    match candidate with
+    | Some a ->
+      let target =
+        match a.term with Ir.Jmp t -> t | Ir.Br _ | Ir.Ret _ -> assert false
+      in
+      let b = Ir.find_block f target in
+      a.instrs <- a.instrs @ b.instrs;
+      a.term <- b.term;
+      f.blocks <- List.filter (fun blk -> blk.Ir.label <> target) f.blocks;
+      incr changed;
+      continue_merging := true
+    | None -> ()
+  done;
+  !changed
+
+let simplify_cfg (f : Ir.func) =
+  let c1 = thread_jumps f in
+  let c2 = remove_unreachable f in
+  let c3 = merge_chains f in
+  c1 + c2 + c3
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let licm = Licm.run
+
+type pipeline_report = {
+  iterations : int;
+  folds : int;
+  copies : int;
+  cses : int;
+  licms : int;
+  dces : int;
+  cfg_simplifications : int;
+  instrs_before : int;
+  instrs_after : int;
+}
+
+let optimize (f : Ir.func) =
+  let instrs_before = Ir.instr_count f in
+  let folds = ref 0 in
+  let copies = ref 0 in
+  let cses = ref 0 in
+  let licms = ref 0 in
+  let dces = ref 0 in
+  let cfgs = ref 0 in
+  let iterations = ref 0 in
+  let max_iterations = 20 in
+  let rec go () =
+    incr iterations;
+    let c1 = const_fold f in
+    let c2 = copy_prop f in
+    let c3 = cse f in
+    let c6 = licm f in
+    let c4 = dce f in
+    let c5 = simplify_cfg f in
+    Ir.validate f;
+    folds := !folds + c1;
+    copies := !copies + c2;
+    cses := !cses + c3;
+    licms := !licms + c6;
+    dces := !dces + c4;
+    cfgs := !cfgs + c5;
+    if c1 + c2 + c3 + c4 + c5 + c6 > 0 && !iterations < max_iterations then go ()
+  in
+  go ();
+  {
+    iterations = !iterations;
+    folds = !folds;
+    copies = !copies;
+    cses = !cses;
+    licms = !licms;
+    dces = !dces;
+    cfg_simplifications = !cfgs;
+    instrs_before;
+    instrs_after = Ir.instr_count f;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "opt: %d iter(s), fold=%d copy=%d cse=%d licm=%d dce=%d cfg=%d, instrs %d \
+     -> %d"
+    r.iterations r.folds r.copies r.cses r.licms r.dces r.cfg_simplifications
+    r.instrs_before r.instrs_after

@@ -1,0 +1,49 @@
+(** The optimization passes of the HLS flow.
+
+    Every pass preserves observable semantics (the property test suite
+    checks each one against the IR interpreter on random programs) and
+    returns how many rewrites it performed, so the pipeline can iterate
+    to a fixpoint and report per-pass statistics. *)
+
+val const_fold : Ir.func -> int
+(** Fold constant operations and algebraic identities:
+    [c1 op c2], [x+0], [x-0], [x*1], [x*0], [x*2^k -> x<<k], [x/1],
+    [x&0], [x|0], [x^0], shifts by 0, [br const -> jmp].  Operations
+    that would trap at runtime (division by zero) are left in place. *)
+
+val copy_prop : Ir.func -> int
+(** Block-local forward propagation of [Mov] sources (registers and
+    immediates) into later uses. *)
+
+val cse : Ir.func -> int
+(** Block-local value numbering over pure operations; identical loads
+    from the same address are shared until a store intervenes. *)
+
+val licm : Ir.func -> int
+(** Loop-invariant code motion (see {!Licm}); returns hoisted count. *)
+
+val dce : Ir.func -> int
+(** Global liveness-based dead-code elimination of pure instructions
+    (iterated internally to a fixpoint). *)
+
+val simplify_cfg : Ir.func -> int
+(** Delete unreachable blocks, thread trivial jumps, and merge blocks
+    joined by an unconditional edge with a unique predecessor. *)
+
+type pipeline_report = {
+  iterations : int;
+  folds : int;
+  copies : int;
+  cses : int;
+  licms : int;
+  dces : int;
+  cfg_simplifications : int;
+  instrs_before : int;
+  instrs_after : int;
+}
+
+val optimize : Ir.func -> pipeline_report
+(** Run all passes to a joint fixpoint (bounded), validating the IR
+    after each iteration. *)
+
+val report_to_string : pipeline_report -> string

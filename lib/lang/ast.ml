@@ -1,0 +1,128 @@
+(* Abstract syntax of HTL, the C-like input language of the synthesis
+   flow.  One [kernel] is one thread function; a [program] is the set of
+   thread functions the partitioner can map to hardware or software.
+
+   All values are 64-bit words ([word_bytes] = 8).  Pointers are word
+   values holding byte addresses; [e1\[e2\]] addresses the word at
+   [e1 + e2 * word_bytes].  There is no pointer arithmetic: converting
+   between pointer and integer views requires an explicit cast, and the
+   logical operators [&&]/[||] are strict (kernels are expression-
+   side-effect free, so short-circuiting is unobservable except through
+   faults, which kernels must guard with [if]). *)
+
+let word_bytes = 8
+
+type typ = Tint | Tptr of typ
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+
+type unop = Neg | Not | Bnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Load of expr * expr (* base[index] *)
+  | Cast of typ * expr
+  | Call of string * expr list
+      (* kernel call; only valid as the whole right-hand side of an
+         assignment or initializer, and always inlined before any
+         further processing (see Inline) *)
+
+type stmt =
+  | Decl of string * typ * expr option
+  | Assign of string * expr
+  | Store of expr * expr * expr (* base[index] = value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+
+type param = { pname : string; ptyp : typ }
+
+type kernel = {
+  kname : string;
+  params : param list;
+  ret : typ option;
+  body : stmt list;
+}
+
+type program = kernel list
+
+let null_expr = Cast (Tptr Tint, Int 0)
+
+let rec typ_equal a b =
+  match (a, b) with
+  | Tint, Tint -> true
+  | Tptr a, Tptr b -> typ_equal a b
+  | (Tint | Tptr _), _ -> false
+
+let rec typ_to_string = function
+  | Tint -> "int"
+  | Tptr t -> typ_to_string t ^ "*"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let unop_to_string = function Neg -> "-" | Not -> "!" | Bnot -> "~"
+
+let find_kernel program name =
+  List.find_opt (fun k -> k.kname = name) program
+
+(* Structural size measures, used by reports and Table 5. *)
+
+let rec expr_size = function
+  | Int _ | Var _ -> 1
+  | Un (_, e) | Cast (_, e) -> 1 + expr_size e
+  | Bin (_, a, b) | Load (a, b) -> 1 + expr_size a + expr_size b
+  | Call (_, args) ->
+    List.fold_left (fun acc a -> acc + expr_size a) 1 args
+
+let rec stmt_size = function
+  | Decl (_, _, None) -> 1
+  | Decl (_, _, Some e) -> 1 + expr_size e
+  | Assign (_, e) -> 1 + expr_size e
+  | Store (b, i, v) -> 1 + expr_size b + expr_size i + expr_size v
+  | If (c, t, f) -> 1 + expr_size c + body_size t + body_size f
+  | While (c, b) -> 1 + expr_size c + body_size b
+  | Return None -> 1
+  | Return (Some e) -> 1 + expr_size e
+
+and body_size stmts = List.fold_left (fun acc s -> acc + stmt_size s) 0 stmts
+
+let kernel_size k = body_size k.body

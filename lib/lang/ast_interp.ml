@@ -1,0 +1,118 @@
+type memory = { load : int -> int; store : int -> int -> unit }
+
+exception Eval_error of string
+
+let array_memory data =
+  let bound = Array.length data * Ast.word_bytes in
+  let index addr =
+    if addr < 0 || addr >= bound || addr mod Ast.word_bytes <> 0 then
+      raise
+        (Eval_error (Printf.sprintf "bad memory access at address %d" addr));
+    addr / Ast.word_bytes
+  in
+  {
+    load = (fun addr -> data.(index addr));
+    store = (fun addr value -> data.(index addr) <- value);
+  }
+
+let bool_int b = if b then 1 else 0
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div ->
+    if b = 0 then raise (Eval_error "division by zero");
+    a / b
+  | Ast.Rem ->
+    if b = 0 then raise (Eval_error "remainder by zero");
+    a mod b
+  | Ast.And -> a land b
+  | Ast.Or -> a lor b
+  | Ast.Xor -> a lxor b
+  | Ast.Shl -> a lsl (b land 63)
+  | Ast.Shr -> a asr (b land 63)
+  | Ast.Lt -> bool_int (a < b)
+  | Ast.Le -> bool_int (a <= b)
+  | Ast.Gt -> bool_int (a > b)
+  | Ast.Ge -> bool_int (a >= b)
+  | Ast.Eq -> bool_int (a = b)
+  | Ast.Ne -> bool_int (a <> b)
+  | Ast.Land -> bool_int (a <> 0 && b <> 0)
+  | Ast.Lor -> bool_int (a <> 0 || b <> 0)
+
+let eval_unop op a =
+  match op with
+  | Ast.Neg -> -a
+  | Ast.Not -> bool_int (a = 0)
+  | Ast.Bnot -> lnot a
+
+(* The variable environment is a mutable name -> value table; HTL
+   forbids shadowing, so a flat table matches the typechecker's scoping. *)
+
+exception Returned of int option
+
+let rec eval_expr mem env expr =
+  match expr with
+  | Ast.Int n -> n
+  | Ast.Var name -> (
+    match Hashtbl.find_opt env name with
+    | Some v -> v
+    | None -> raise (Eval_error ("unbound variable " ^ name)))
+  | Ast.Bin (op, a, b) ->
+    let va = eval_expr mem env a in
+    let vb = eval_expr mem env b in
+    eval_binop op va vb
+  | Ast.Un (op, e) -> eval_unop op (eval_expr mem env e)
+  | Ast.Load (base, index) ->
+    let vb = eval_expr mem env base in
+    let vi = eval_expr mem env index in
+    mem.load (vb + (vi * Ast.word_bytes))
+  | Ast.Cast (_, e) -> eval_expr mem env e
+  | Ast.Call (name, _) ->
+    raise (Eval_error ("call to '" ^ name ^ "' was not inlined"))
+
+let rec exec_stmt mem env stmt =
+  match stmt with
+  | Ast.Decl (name, _, init) ->
+    let v = match init with None -> 0 | Some e -> eval_expr mem env e in
+    Hashtbl.replace env name v
+  | Ast.Assign (name, e) -> Hashtbl.replace env name (eval_expr mem env e)
+  | Ast.Store (base, index, value) ->
+    let vb = eval_expr mem env base in
+    let vi = eval_expr mem env index in
+    let v = eval_expr mem env value in
+    mem.store (vb + (vi * Ast.word_bytes)) v
+  | Ast.If (cond, then_b, else_b) ->
+    if eval_expr mem env cond <> 0 then exec_body mem env then_b
+    else exec_body mem env else_b
+  | Ast.While (cond, body) ->
+    let rec loop () =
+      if eval_expr mem env cond <> 0 then begin
+        exec_body mem env body;
+        loop ()
+      end
+    in
+    loop ()
+  | Ast.Return value ->
+    raise (Returned (Option.map (eval_expr mem env) value))
+
+and exec_body mem env stmts = List.iter (exec_stmt mem env) stmts
+
+let run_kernel mem (k : Ast.kernel) ~args =
+  if List.length args <> List.length k.params then
+    invalid_arg
+      (Printf.sprintf "kernel %s expects %d arguments, got %d" k.kname
+         (List.length k.params) (List.length args));
+  let env = Hashtbl.create 16 in
+  List.iter2
+    (fun { Ast.pname; _ } v -> Hashtbl.replace env pname v)
+    k.params args;
+  match exec_body mem env k.body with
+  | () -> (
+    match k.ret with
+    | None -> None
+    | Some _ ->
+      raise (Eval_error ("kernel " ^ k.kname ^ " finished without return")))
+  | exception Returned v -> v

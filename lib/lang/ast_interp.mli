@@ -1,0 +1,33 @@
+(** Reference interpreter for HTL kernels.
+
+    This is the semantic oracle of the whole flow: the compiled IR, the
+    simulated CPU and the synthesized accelerators must all agree with
+    it.  It is parameterized over the memory so tests can run it against
+    a plain array while the system runs it against a simulated address
+    space. *)
+
+type memory = {
+  load : int -> int;        (** word at byte address *)
+  store : int -> int -> unit; (** [store addr value] *)
+}
+
+exception Eval_error of string
+(** Division/remainder by zero, or falling off the end of a
+    value-returning kernel. *)
+
+val array_memory : int array -> memory
+(** Memory backed by an int array; byte address [8*i] maps to index
+    [i].  Out-of-range accesses raise {!Eval_error}. *)
+
+val run_kernel : memory -> Ast.kernel -> args:int list -> int option
+(** Execute a kernel with the given argument words.  Returns the value
+    of the executed [return], or [None] for void kernels.  Raises
+    [Invalid_argument] if the argument count mismatches. *)
+
+val eval_binop : Ast.binop -> int -> int -> int
+(** Scalar semantics of each binary operator (shared with the IR
+    interpreter and constant folding).  Comparisons and the strict
+    logical operators yield 0/1.  Shifts mask their count to 0..63.
+    Raises {!Eval_error} on division by zero. *)
+
+val eval_unop : Ast.unop -> int -> int

@@ -1,0 +1,143 @@
+exception Inline_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Inline_error m)) fmt
+
+(* Callee shape: straight body + exactly one trailing [return e]. *)
+let split_callee (k : Ast.kernel) =
+  let rec no_returns stmts =
+    List.for_all
+      (function
+        | Ast.Return _ -> false
+        | Ast.If (_, t, f) -> no_returns t && no_returns f
+        | Ast.While (_, b) -> no_returns b
+        | Ast.Decl _ | Ast.Assign _ | Ast.Store _ -> true)
+      stmts
+  in
+  match List.rev k.Ast.body with
+  | Ast.Return (Some e) :: rev_prefix when no_returns (List.rev rev_prefix) ->
+    (List.rev rev_prefix, e)
+  | _ ->
+    fail
+      "kernel '%s' cannot be inlined: callees need a single trailing \
+       'return <expr>'"
+      k.Ast.kname
+
+(* Rename every binding of the callee (params and locals) with a fresh
+   suffix; the callee is closed (typechecked against its params only),
+   so renaming every identifier it binds is a complete alpha-
+   conversion. *)
+let rename_callee suffix (k : Ast.kernel) body result =
+  let renames = Hashtbl.create 8 in
+  List.iter
+    (fun { Ast.pname; _ } ->
+      Hashtbl.replace renames pname (pname ^ suffix))
+    k.Ast.params;
+  let rename y =
+    match Hashtbl.find_opt renames y with Some y' -> y' | None -> y
+  in
+  let rec rn_expr = function
+    | Ast.Int _ as e -> e
+    | Ast.Var y -> Ast.Var (rename y)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, rn_expr a, rn_expr b)
+    | Ast.Un (op, e) -> Ast.Un (op, rn_expr e)
+    | Ast.Load (b, i) -> Ast.Load (rn_expr b, rn_expr i)
+    | Ast.Cast (t, e) -> Ast.Cast (t, rn_expr e)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map rn_expr args)
+  in
+  let rec rn_stmt = function
+    | Ast.Decl (y, t, init) ->
+      let init = Option.map rn_expr init in
+      let y' = y ^ suffix in
+      Hashtbl.replace renames y y';
+      Ast.Decl (y', t, init)
+    | Ast.Assign (y, e) -> Ast.Assign (rename y, rn_expr e)
+    | Ast.Store (b, i, v) -> Ast.Store (rn_expr b, rn_expr i, rn_expr v)
+    | Ast.If (c, t, f) -> Ast.If (rn_expr c, rn_body t, rn_body f)
+    | Ast.While (c, b) -> Ast.While (rn_expr c, rn_body b)
+    | Ast.Return v -> Ast.Return (Option.map rn_expr v)
+  and rn_body stmts = List.map rn_stmt stmts in
+  let body' = rn_body body in
+  (* The result expression is renamed after the body so locals resolve
+     to their renamed versions. *)
+  (body', rn_expr result)
+
+let rec has_calls stmts =
+  let rec expr = function
+    | Ast.Call _ -> true
+    | Ast.Bin (_, a, b) | Ast.Load (a, b) -> expr a || expr b
+    | Ast.Un (_, e) | Ast.Cast (_, e) -> expr e
+    | Ast.Int _ | Ast.Var _ -> false
+  in
+  List.exists
+    (function
+      | Ast.Decl (_, _, Some e) | Ast.Assign (_, e) | Ast.Return (Some e) ->
+        expr e
+      | Ast.Decl (_, _, None) | Ast.Return None -> false
+      | Ast.Store (b, i, v) -> expr b || expr i || expr v
+      | Ast.If (c, t, f) -> expr c || has_calls t || has_calls f
+      | Ast.While (c, b) -> expr c || has_calls b)
+    stmts
+
+let kernel ~program (k : Ast.kernel) =
+  let counter = ref 0 in
+  let expand target f args =
+    let callee =
+      match Ast.find_kernel program f with
+      | Some c -> c
+      | None -> fail "call to unknown kernel '%s'" f
+    in
+    incr counter;
+    let suffix = Printf.sprintf "~c%d" !counter in
+    let body, result = split_callee callee in
+    let body, result = rename_callee suffix callee body result in
+    let param_binds =
+      List.map2
+        (fun { Ast.pname; ptyp } arg ->
+          Ast.Decl (pname ^ suffix, ptyp, Some arg))
+        callee.Ast.params args
+    in
+    param_binds @ body @ [ Ast.Assign (target, result) ]
+  in
+  let rec walk stmts = List.concat_map walk_stmt stmts
+  and walk_stmt stmt =
+    match stmt with
+    | Ast.Decl (x, t, Some (Ast.Call (f, args))) ->
+      Ast.Decl (x, t, None) :: expand x f args
+    | Ast.Assign (x, Ast.Call (f, args)) -> expand x f args
+    | Ast.If (c, t, f) -> [ Ast.If (c, walk t, walk f) ]
+    | Ast.While (c, b) -> [ Ast.While (c, walk b) ]
+    | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> [ stmt ]
+  in
+  { k with Ast.body = walk k.Ast.body }
+
+(* Bottom-up over the (acyclic) call graph: each round inlines every
+   kernel whose callees are already call-free; the deepest chain is at
+   most the kernel count, which bounds the rounds. *)
+let program kernels =
+  let rec step current round =
+    if List.for_all (fun k -> not (has_calls k.Ast.body)) current then
+      current
+    else if round > List.length kernels then
+      fail "call graph failed to flatten (recursion should be rejected \
+            by the typechecker)"
+    else begin
+      let callee_ready f =
+        match Ast.find_kernel current f with
+        | Some c -> not (has_calls c.Ast.body)
+        | None -> fail "call to unknown kernel '%s'" f
+      in
+      let next =
+        List.map
+          (fun (k : Ast.kernel) ->
+            if
+              has_calls k.Ast.body
+              && List.for_all callee_ready
+                   (List.sort_uniq compare (Typecheck.called_names [] k.Ast.body))
+            then kernel ~program:current k
+            else k)
+          current
+      in
+      step next (round + 1)
+    end
+  in
+  step kernels 0

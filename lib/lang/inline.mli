@@ -1,0 +1,24 @@
+(** Kernel-call inlining — the only call implementation an HLS flow
+    has, since the generated datapaths have no call stack.
+
+    A call [x = f(a, b)] is replaced by fresh declarations binding
+    [f]'s parameters to the argument expressions, a renamed copy of
+    [f]'s body, and a final assignment of the returned expression to
+    [x].  For that rewrite to be a simple splice, a *callee* must end
+    in a single trailing [return e] with no other returns — checked
+    here with a clear error.  Recursion is rejected by the
+    typechecker.
+
+    Callees may themselves call: inlining processes kernels in call-
+    graph order, so every spliced body is already call-free. *)
+
+exception Inline_error of string
+
+val program : Ast.program -> Ast.program
+(** Inline every call in every kernel; kernel order and names are
+    preserved (callees remain available as standalone kernels).  The
+    program must have passed {!Typecheck.check_program}. *)
+
+val kernel : program:Ast.program -> Ast.kernel -> Ast.kernel
+(** Inline the calls of one kernel against the (already inlined, or
+    call-free) [program]. *)

@@ -1,0 +1,171 @@
+let keywords =
+  [
+    ("kernel", Token.KW_KERNEL);
+    ("var", Token.KW_VAR);
+    ("if", Token.KW_IF);
+    ("else", Token.KW_ELSE);
+    ("while", Token.KW_WHILE);
+    ("for", Token.KW_FOR);
+    ("return", Token.KW_RETURN);
+    ("int", Token.KW_INT);
+    ("null", Token.KW_NULL);
+  ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = { Loc.line = st.line; col = st.col }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_space_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_space_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_space_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> Loc.error start "unterminated block comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_space_and_comments st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let start_loc = loc st in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let digits_start = st.pos in
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do
+      advance st
+    done;
+    if st.pos = digits_start then Loc.error start_loc "malformed hex literal";
+    let text = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> n
+    | None -> Loc.error start_loc "hex literal out of range: %s" text
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> n
+    | None -> Loc.error start_loc "integer literal out of range: %s" text
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let next_token st : Token.t =
+  skip_space_and_comments st;
+  let tok_loc = loc st in
+  let mk kind = { Token.kind; loc = tok_loc } in
+  let two kind =
+    advance st;
+    advance st;
+    mk kind
+  in
+  let one kind =
+    advance st;
+    mk kind
+  in
+  match peek st with
+  | None -> mk Token.EOF
+  | Some c when is_digit c -> mk (Token.INT (lex_number st))
+  | Some c when is_ident_start c ->
+    let id = lex_ident st in
+    (match List.assoc_opt id keywords with
+     | Some kw -> mk kw
+     | None -> mk (Token.IDENT id))
+  | Some '(' -> one Token.LPAREN
+  | Some ')' -> one Token.RPAREN
+  | Some '{' -> one Token.LBRACE
+  | Some '}' -> one Token.RBRACE
+  | Some '[' -> one Token.LBRACKET
+  | Some ']' -> one Token.RBRACKET
+  | Some ',' -> one Token.COMMA
+  | Some ';' -> one Token.SEMI
+  | Some ':' -> one Token.COLON
+  | Some '*' -> one Token.STAR
+  | Some '+' -> one Token.PLUS
+  | Some '-' -> one Token.MINUS
+  | Some '/' -> one Token.SLASH
+  | Some '%' -> one Token.PERCENT
+  | Some '^' -> one Token.CARET
+  | Some '~' -> one Token.TILDE
+  | Some '&' -> if peek2 st = Some '&' then two Token.ANDAND else one Token.AMP
+  | Some '|' -> if peek2 st = Some '|' then two Token.OROR else one Token.PIPE
+  | Some '!' -> if peek2 st = Some '=' then two Token.NEQ else one Token.BANG
+  | Some '=' -> if peek2 st = Some '=' then two Token.EQEQ else one Token.ASSIGN
+  | Some '<' ->
+    if peek2 st = Some '<' then two Token.SHL
+    else if peek2 st = Some '=' then two Token.LE
+    else one Token.LT
+  | Some '>' ->
+    if peek2 st = Some '>' then two Token.SHR
+    else if peek2 st = Some '=' then two Token.GE
+    else one Token.GT
+  | Some c -> Loc.error tok_loc "unexpected character %C" c
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok = next_token st in
+    match tok.Token.kind with
+    | Token.EOF -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,7 @@
+(** Hand-written lexer for HTL sources. *)
+
+val tokenize : string -> Token.t list
+(** Lex a whole source string; the result always ends with an [EOF]
+    token.  Raises {!Loc.Error} on malformed input.  Supports decimal
+    and [0x] hexadecimal literals, [//] line comments and [/* */] block
+    comments. *)

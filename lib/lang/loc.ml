@@ -1,0 +1,9 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let to_string { line; col } = Printf.sprintf "%d:%d" line col
+
+exception Error of t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Error (loc, msg))) fmt

@@ -1,0 +1,14 @@
+(** Source positions and front-end error reporting. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+
+val to_string : t -> string
+(** ["line:col"]. *)
+
+exception Error of t * string
+(** Raised by the lexer, parser and typechecker. *)
+
+val error : t -> ('a, unit, string, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)

@@ -1,0 +1,328 @@
+type state = { toks : Token.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+
+let peek_kind st = (peek st).Token.kind
+
+let peek_kind2 st =
+  if st.pos + 1 < Array.length st.toks then
+    (st.toks.(st.pos + 1)).Token.kind
+  else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let here st = (peek st).Token.loc
+
+let expect st kind =
+  if peek_kind st = kind then advance st
+  else
+    Loc.error (here st) "expected '%s' but found '%s'"
+      (Token.kind_to_string kind)
+      (Token.kind_to_string (peek_kind st))
+
+let expect_ident st =
+  match peek_kind st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | k ->
+    Loc.error (here st) "expected identifier but found '%s'"
+      (Token.kind_to_string k)
+
+(* type := "int" "*"* *)
+let parse_typ st =
+  expect st Token.KW_INT;
+  let rec stars t =
+    if peek_kind st = Token.STAR then begin
+      advance st;
+      stars (Ast.Tptr t)
+    end
+    else t
+  in
+  stars Ast.Tint
+
+(* Binary operator precedence: higher binds tighter. *)
+let binop_of_kind = function
+  | Token.OROR -> Some (Ast.Lor, 1)
+  | Token.ANDAND -> Some (Ast.Land, 2)
+  | Token.PIPE -> Some (Ast.Or, 3)
+  | Token.CARET -> Some (Ast.Xor, 4)
+  | Token.AMP -> Some (Ast.And, 5)
+  | Token.EQEQ -> Some (Ast.Eq, 6)
+  | Token.NEQ -> Some (Ast.Ne, 6)
+  | Token.LT -> Some (Ast.Lt, 7)
+  | Token.LE -> Some (Ast.Le, 7)
+  | Token.GT -> Some (Ast.Gt, 7)
+  | Token.GE -> Some (Ast.Ge, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Rem, 10)
+  | Token.INT _ | Token.IDENT _ | Token.KW_KERNEL | Token.KW_VAR
+  | Token.KW_IF | Token.KW_ELSE | Token.KW_WHILE | Token.KW_FOR
+  | Token.KW_RETURN | Token.KW_INT | Token.KW_NULL | Token.LPAREN
+  | Token.RPAREN | Token.LBRACE | Token.RBRACE | Token.LBRACKET
+  | Token.RBRACKET | Token.COMMA | Token.SEMI | Token.COLON | Token.TILDE
+  | Token.BANG | Token.ASSIGN | Token.EOF ->
+    None
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_kind (peek_kind st) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      (* All binary operators are left-associative. *)
+      let rhs = parse_expr_prec st (prec + 1) in
+      loop (Ast.Bin (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek_kind st with
+  | Token.MINUS ->
+    advance st;
+    (* Fold a negated literal into the literal itself, so printed
+       negative constants round-trip structurally. *)
+    (match parse_unary st with
+     | Ast.Int n -> Ast.Int (-n)
+     | e -> Ast.Un (Ast.Neg, e))
+  | Token.BANG ->
+    advance st;
+    Ast.Un (Ast.Not, parse_unary st)
+  | Token.TILDE ->
+    advance st;
+    Ast.Un (Ast.Bnot, parse_unary st)
+  | Token.STAR ->
+    advance st;
+    Ast.Load (parse_unary st, Ast.Int 0)
+  | Token.LPAREN when peek_kind2 st = Token.KW_INT ->
+    (* cast: "(" type ")" unary *)
+    advance st;
+    let t = parse_typ st in
+    expect st Token.RPAREN;
+    Ast.Cast (t, parse_unary st)
+  | Token.INT _ | Token.IDENT _ | Token.KW_KERNEL | Token.KW_VAR
+  | Token.KW_IF | Token.KW_ELSE | Token.KW_WHILE | Token.KW_FOR
+  | Token.KW_RETURN | Token.KW_INT | Token.KW_NULL | Token.LPAREN
+  | Token.RPAREN | Token.LBRACE | Token.RBRACE | Token.LBRACKET
+  | Token.RBRACKET | Token.COMMA | Token.SEMI | Token.COLON | Token.PLUS
+  | Token.SLASH | Token.PERCENT | Token.AMP | Token.PIPE | Token.CARET
+  | Token.SHL | Token.SHR | Token.LT | Token.LE | Token.GT | Token.GE
+  | Token.EQEQ | Token.NEQ | Token.ASSIGN | Token.ANDAND | Token.OROR
+  | Token.EOF ->
+    parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec loop base =
+    if peek_kind st = Token.LBRACKET then begin
+      advance st;
+      let index = parse_expr_prec st 1 in
+      expect st Token.RBRACKET;
+      loop (Ast.Load (base, index))
+    end
+    else base
+  in
+  loop base
+
+and parse_primary st =
+  match peek_kind st with
+  | Token.INT n ->
+    advance st;
+    Ast.Int n
+  | Token.KW_NULL ->
+    advance st;
+    Ast.null_expr
+  | Token.IDENT name ->
+    advance st;
+    if peek_kind st = Token.LPAREN then begin
+      advance st;
+      let rec args acc =
+        if peek_kind st = Token.RPAREN then List.rev acc
+        else begin
+          let e = parse_expr_prec st 1 in
+          if peek_kind st = Token.COMMA then begin
+            advance st;
+            args (e :: acc)
+          end
+          else List.rev (e :: acc)
+        end
+      in
+      let arguments = args [] in
+      expect st Token.RPAREN;
+      Ast.Call (name, arguments)
+    end
+    else Ast.Var name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st 1 in
+    expect st Token.RPAREN;
+    e
+  | k ->
+    Loc.error (here st) "expected expression but found '%s'"
+      (Token.kind_to_string k)
+
+let parse_expression st = parse_expr_prec st 1
+
+(* An assignment's left-hand side is parsed as an expression and then
+   reinterpreted: a variable becomes [Assign], an index form becomes
+   [Store].  Anything else is not assignable. *)
+let assignment_of st lhs_loc lhs rhs =
+  match lhs with
+  | Ast.Var name -> Ast.Assign (name, rhs)
+  | Ast.Load (base, index) -> Ast.Store (base, index, rhs)
+  | Ast.Int _ | Ast.Bin _ | Ast.Un _ | Ast.Cast _ | Ast.Call _ ->
+    ignore st;
+    Loc.error lhs_loc "left-hand side of '=' is not assignable"
+
+let parse_simple_assign st =
+  let lhs_loc = here st in
+  let lhs = parse_expression st in
+  expect st Token.ASSIGN;
+  let rhs = parse_expression st in
+  assignment_of st lhs_loc lhs rhs
+
+let rec parse_stmt st : Ast.stmt list =
+  match peek_kind st with
+  | Token.KW_VAR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.COLON;
+    let t = parse_typ st in
+    let init =
+      if peek_kind st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expression st)
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    [ Ast.Decl (name, t, init) ]
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let then_branch = parse_block st in
+    let else_branch =
+      if peek_kind st = Token.KW_ELSE then begin
+        advance st;
+        if peek_kind st = Token.KW_IF then parse_stmt st else parse_block st
+      end
+      else []
+    in
+    [ Ast.If (cond, then_branch, else_branch) ]
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expression st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    [ Ast.While (cond, body) ]
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if peek_kind st = Token.SEMI then [] else [ parse_simple_assign st ]
+    in
+    expect st Token.SEMI;
+    let cond =
+      if peek_kind st = Token.SEMI then Ast.Int 1 else parse_expression st
+    in
+    expect st Token.SEMI;
+    let step =
+      if peek_kind st = Token.RPAREN then [] else [ parse_simple_assign st ]
+    in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    init @ [ Ast.While (cond, body @ step) ]
+  | Token.KW_RETURN ->
+    advance st;
+    let value =
+      if peek_kind st = Token.SEMI then None else Some (parse_expression st)
+    in
+    expect st Token.SEMI;
+    [ Ast.Return value ]
+  | Token.INT _ | Token.IDENT _ | Token.KW_KERNEL | Token.KW_ELSE
+  | Token.KW_INT | Token.KW_NULL | Token.LPAREN | Token.RPAREN
+  | Token.LBRACE | Token.RBRACE | Token.LBRACKET | Token.RBRACKET
+  | Token.COMMA | Token.SEMI | Token.COLON | Token.STAR | Token.PLUS
+  | Token.MINUS | Token.SLASH | Token.PERCENT | Token.AMP | Token.PIPE
+  | Token.CARET | Token.TILDE | Token.BANG | Token.SHL | Token.SHR
+  | Token.LT | Token.LE | Token.GT | Token.GE | Token.EQEQ | Token.NEQ
+  | Token.ASSIGN | Token.ANDAND | Token.OROR | Token.EOF ->
+    let stmt = parse_simple_assign st in
+    expect st Token.SEMI;
+    [ stmt ]
+
+and parse_block st : Ast.stmt list =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if peek_kind st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let stmts = parse_stmt st in
+      go (List.rev_append stmts acc)
+    end
+  in
+  go []
+
+let parse_kernel_decl st : Ast.kernel =
+  expect st Token.KW_KERNEL;
+  let kname = expect_ident st in
+  expect st Token.LPAREN;
+  let rec params acc =
+    if peek_kind st = Token.RPAREN then List.rev acc
+    else begin
+      let pname = expect_ident st in
+      expect st Token.COLON;
+      let ptyp = parse_typ st in
+      let acc = { Ast.pname; ptyp } :: acc in
+      if peek_kind st = Token.COMMA then begin
+        advance st;
+        params acc
+      end
+      else List.rev acc
+    end
+  in
+  let params = params [] in
+  expect st Token.RPAREN;
+  let ret =
+    if peek_kind st = Token.COLON then begin
+      advance st;
+      Some (parse_typ st)
+    end
+    else None
+  in
+  let body = parse_block st in
+  { Ast.kname; params; ret; body }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  let rec go acc =
+    if peek_kind st = Token.EOF then List.rev acc
+    else go (parse_kernel_decl st :: acc)
+  in
+  go []
+
+let parse_kernel src =
+  match parse_program src with
+  | [ k ] -> k
+  | ks ->
+    Loc.error Loc.dummy "expected exactly one kernel, found %d"
+      (List.length ks)
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expression st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for HTL.
+
+    Syntactic sugar handled here rather than in the AST:
+    - [for (init; cond; step) { body }] desugars to
+      [init; while (cond) { body; step }];
+    - unary [*e] desugars to [e\[0\]];
+    - [null] desugars to [(int* ) 0];
+    - a missing for-loop condition means [1] (always true). *)
+
+val parse_program : string -> Ast.program
+(** Parse a whole source file.  Raises {!Loc.Error} on syntax errors. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parse a source expected to contain exactly one kernel. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the CLI). *)

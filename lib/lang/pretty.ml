@@ -1,0 +1,84 @@
+(* Everything is printed fully parenthesized below the top level, which
+   makes the round-trip property trivial to maintain as operators are
+   added. *)
+
+let rec expr_to_string = function
+  | Ast.Int n -> string_of_int n
+  | Ast.Var name -> name
+  | Ast.Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.binop_to_string op)
+      (expr_to_string b)
+  | Ast.Un (op, e) ->
+    Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (expr_to_string e)
+  | Ast.Load (base, index) ->
+    Printf.sprintf "%s[%s]" (atom_to_string base) (expr_to_string index)
+  | Ast.Cast (t, e) ->
+    Printf.sprintf "((%s) %s)" (Ast.typ_to_string t) (atom_to_string e)
+  | Ast.Call (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map expr_to_string args))
+
+(* An expression in a postfix/cast position must be an atom; wrap
+   non-atoms in parentheses. *)
+and atom_to_string e =
+  match e with
+  | Ast.Int n when n < 0 ->
+    (* A bare negative literal in postfix position would reparse as a
+       negated postfix expression. *)
+    "(" ^ expr_to_string e ^ ")"
+  | Ast.Int _ | Ast.Var _ | Ast.Load _ | Ast.Call _ -> expr_to_string e
+  | Ast.Bin _ | Ast.Un _ | Ast.Cast _ -> "(" ^ expr_to_string e ^ ")"
+
+let pad indent = String.make indent ' '
+
+let rec stmt_to_string ?(indent = 0) stmt =
+  let p = pad indent in
+  match stmt with
+  | Ast.Decl (name, t, None) ->
+    Printf.sprintf "%svar %s: %s;" p name (Ast.typ_to_string t)
+  | Ast.Decl (name, t, Some e) ->
+    Printf.sprintf "%svar %s: %s = %s;" p name (Ast.typ_to_string t)
+      (expr_to_string e)
+  | Ast.Assign (name, e) -> Printf.sprintf "%s%s = %s;" p name (expr_to_string e)
+  | Ast.Store (base, index, value) ->
+    Printf.sprintf "%s%s[%s] = %s;" p (atom_to_string base)
+      (expr_to_string index) (expr_to_string value)
+  | Ast.If (cond, then_b, []) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s}" p (expr_to_string cond)
+      (body_to_string ~indent:(indent + 2) then_b)
+      p
+  | Ast.If (cond, then_b, else_b) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" p
+      (expr_to_string cond)
+      (body_to_string ~indent:(indent + 2) then_b)
+      p
+      (body_to_string ~indent:(indent + 2) else_b)
+      p
+  | Ast.While (cond, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s\n%s}" p (expr_to_string cond)
+      (body_to_string ~indent:(indent + 2) body)
+      p
+  | Ast.Return None -> Printf.sprintf "%sreturn;" p
+  | Ast.Return (Some e) -> Printf.sprintf "%sreturn %s;" p (expr_to_string e)
+
+and body_to_string ~indent stmts =
+  String.concat "\n" (List.map (stmt_to_string ~indent) stmts)
+
+let kernel_to_string (k : Ast.kernel) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun { Ast.pname; ptyp } ->
+           Printf.sprintf "%s: %s" pname (Ast.typ_to_string ptyp))
+         k.params)
+  in
+  let ret =
+    match k.ret with
+    | None -> ""
+    | Some t -> Printf.sprintf " : %s" (Ast.typ_to_string t)
+  in
+  Printf.sprintf "kernel %s(%s)%s {\n%s\n}" k.kname params ret
+    (body_to_string ~indent:2 k.body)
+
+let program_to_string kernels =
+  String.concat "\n\n" (List.map kernel_to_string kernels) ^ "\n"

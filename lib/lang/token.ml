@@ -1,0 +1,92 @@
+(* Lexical tokens of HTL.  Each carries the location of its first
+   character for error reporting. *)
+
+type kind =
+  | INT of int
+  | IDENT of string
+  | KW_KERNEL
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_INT
+  | KW_NULL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ASSIGN
+  | ANDAND
+  | OROR
+  | EOF
+
+type t = { kind : kind; loc : Loc.t }
+
+let kind_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_KERNEL -> "kernel"
+  | KW_VAR -> "var"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_INT -> "int"
+  | KW_NULL -> "null"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ASSIGN -> "="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"

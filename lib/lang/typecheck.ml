@@ -1,0 +1,214 @@
+let err fmt = Loc.error Loc.dummy fmt
+
+(* The kernels callable from the body being checked ([] outside
+   [check_program]).  Calls are only legal as the entire right-hand
+   side of an assignment or initializer — [expr_type] therefore rejects
+   them, and the statement checker handles that shape itself. *)
+
+let rec expr_type env expr =
+  match expr with
+  | Ast.Int _ -> Ast.Tint
+  | Ast.Var name -> (
+    match List.assoc_opt name env with
+    | Some t -> t
+    | None -> err "use of undeclared variable '%s'" name)
+  | Ast.Cast (t, e) ->
+    ignore (expr_type env e);
+    t
+  | Ast.Un (op, e) -> (
+    match expr_type env e with
+    | Ast.Tint -> Ast.Tint
+    | Ast.Tptr _ ->
+      err "unary '%s' applied to a pointer" (Ast.unop_to_string op))
+  | Ast.Load (base, index) -> (
+    let bt = expr_type env base in
+    let it = expr_type env index in
+    match (bt, it) with
+    | Ast.Tptr elem, Ast.Tint -> elem
+    | Ast.Tint, _ -> err "indexing a non-pointer value"
+    | Ast.Tptr _, Ast.Tptr _ -> err "index must be an integer")
+  | Ast.Call (name, _) ->
+    err "call to '%s' must be the whole right-hand side of an assignment"
+      name
+  | Ast.Bin (op, a, b) -> (
+    let ta = expr_type env a in
+    let tb = expr_type env b in
+    match op with
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if Ast.typ_equal ta tb then Ast.Tint
+      else
+        err "comparison '%s' between %s and %s" (Ast.binop_to_string op)
+          (Ast.typ_to_string ta) (Ast.typ_to_string tb)
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.And | Ast.Or
+    | Ast.Xor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor -> (
+      match (ta, tb) with
+      | Ast.Tint, Ast.Tint -> Ast.Tint
+      | (Ast.Tptr _ | Ast.Tint), _ ->
+        err "arithmetic '%s' between %s and %s (cast pointers explicitly)"
+          (Ast.binop_to_string op) (Ast.typ_to_string ta)
+          (Ast.typ_to_string tb)))
+
+let check_int env e what =
+  match expr_type env e with
+  | Ast.Tint -> ()
+  | Ast.Tptr _ -> err "%s must be an integer, found a pointer" what
+
+(* Type of a right-hand side, allowing a top-level call when the
+   callee table has it. *)
+let rhs_type kernels env e =
+  match e with
+  | Ast.Call (name, args) -> (
+    match List.find_opt (fun (k : Ast.kernel) -> k.Ast.kname = name) kernels with
+    | None -> err "call to unknown kernel '%s'" name
+    | Some callee ->
+      if List.length args <> List.length callee.Ast.params then
+        err "kernel '%s' expects %d argument(s), got %d" name
+          (List.length callee.Ast.params)
+          (List.length args);
+      List.iter2
+        (fun arg { Ast.pname; ptyp } ->
+          let ta = expr_type env arg in
+          if not (Ast.typ_equal ta ptyp) then
+            err "argument '%s' of '%s' has type %s, expected %s" pname name
+              (Ast.typ_to_string ta) (Ast.typ_to_string ptyp))
+        args callee.Ast.params;
+      (match callee.Ast.ret with
+       | Some rt -> rt
+       | None -> err "called kernel '%s' returns no value" name))
+  | _ -> expr_type env e
+
+(* Returns the environment extended with declarations made at this
+   statement level, and whether the statement definitely returns. *)
+let rec check_stmt ?(kernels = []) ret env stmt =
+  match stmt with
+  | Ast.Decl (name, t, init) ->
+    if List.mem_assoc name env then err "variable '%s' redeclared" name;
+    (match init with
+     | None -> ()
+     | Some e ->
+       let te = rhs_type kernels env e in
+       if not (Ast.typ_equal te t) then
+         err "initializer of '%s' has type %s, expected %s" name
+           (Ast.typ_to_string te) (Ast.typ_to_string t));
+    ((name, t) :: env, false)
+  | Ast.Assign (name, e) -> (
+    match List.assoc_opt name env with
+    | None -> err "assignment to undeclared variable '%s'" name
+    | Some t ->
+      let te = rhs_type kernels env e in
+      if not (Ast.typ_equal te t) then
+        err "assignment to '%s' has type %s, expected %s" name
+          (Ast.typ_to_string te) (Ast.typ_to_string t);
+      (env, false))
+  | Ast.Store (base, index, value) -> (
+    check_int env index "store index";
+    match expr_type env base with
+    | Ast.Tint -> err "store through a non-pointer value"
+    | Ast.Tptr elem ->
+      let tv = expr_type env value in
+      if not (Ast.typ_equal tv elem) then
+        err "stored value has type %s, expected %s" (Ast.typ_to_string tv)
+          (Ast.typ_to_string elem);
+      (env, false))
+  | Ast.If (cond, then_b, else_b) ->
+    check_int env cond "if condition";
+    let rt = check_body ~kernels ret env then_b in
+    let re = check_body ~kernels ret env else_b in
+    (env, rt && re && else_b <> [])
+  | Ast.While (cond, body) ->
+    check_int env cond "while condition";
+    ignore (check_body ~kernels ret env body);
+    (env, false)
+  | Ast.Return value -> (
+    match (ret, value) with
+    | None, None -> (env, true)
+    | None, Some _ -> err "kernel has no result type but returns a value"
+    | Some _, None -> err "kernel must return a value"
+    | Some rt, Some e ->
+      let te = expr_type env e in
+      if not (Ast.typ_equal te rt) then
+        err "returned value has type %s, expected %s" (Ast.typ_to_string te)
+          (Ast.typ_to_string rt);
+      (env, true))
+
+and check_body ?(kernels = []) ret env stmts =
+  let _, returns =
+    List.fold_left
+      (fun (env, returns) stmt ->
+        let env, r = check_stmt ~kernels ret env stmt in
+        (env, returns || r))
+      (env, false) stmts
+  in
+  returns
+
+let check_kernel_in ~kernels (k : Ast.kernel) =
+  let rec dup_param = function
+    | [] -> ()
+    | { Ast.pname; _ } :: rest ->
+      if List.exists (fun p -> p.Ast.pname = pname) rest then
+        err "duplicate parameter '%s' in kernel '%s'" pname k.kname;
+      dup_param rest
+  in
+  dup_param k.params;
+  let env = List.map (fun { Ast.pname; ptyp } -> (pname, ptyp)) k.params in
+  let returns = check_body ~kernels k.ret env k.body in
+  match k.ret with
+  | Some _ when not returns ->
+    err "kernel '%s' does not return a value on every path" k.kname
+  | Some _ | None -> ()
+
+let check_kernel k = check_kernel_in ~kernels:[] k
+
+(* Kernel names called anywhere in a body. *)
+let rec called_names acc stmts =
+  let rec expr acc = function
+    | Ast.Call (f, args) -> List.fold_left expr (f :: acc) args
+    | Ast.Bin (_, a, b) | Ast.Load (a, b) -> expr (expr acc a) b
+    | Ast.Un (_, e) | Ast.Cast (_, e) -> expr acc e
+    | Ast.Int _ | Ast.Var _ -> acc
+  in
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ast.Decl (_, _, Some e) | Ast.Assign (_, e) -> expr acc e
+      | Ast.Decl (_, _, None) -> acc
+      | Ast.Store (b, i, v) -> expr (expr (expr acc b) i) v
+      | Ast.If (c, t, f) -> called_names (called_names (expr acc c) t) f
+      | Ast.While (c, b) -> called_names (expr acc c) b
+      | Ast.Return (Some e) -> expr acc e
+      | Ast.Return None -> acc)
+    acc stmts
+
+let check_no_recursion kernels =
+  (* DFS over the call graph; a back edge is (mutual) recursion, which
+     an inlining flow cannot synthesize. *)
+  let visiting = Hashtbl.create 8 in
+  let finished = Hashtbl.create 8 in
+  let rec visit (k : Ast.kernel) =
+    if Hashtbl.mem visiting k.Ast.kname then
+      err "recursive kernel call involving '%s'" k.Ast.kname;
+    if not (Hashtbl.mem finished k.Ast.kname) then begin
+      Hashtbl.replace visiting k.Ast.kname ();
+      List.iter
+        (fun callee_name ->
+          match Ast.find_kernel kernels callee_name with
+          | Some callee -> visit callee
+          | None -> ())
+        (called_names [] k.Ast.body);
+      Hashtbl.remove visiting k.Ast.kname;
+      Hashtbl.replace finished k.Ast.kname ()
+    end
+  in
+  List.iter visit kernels
+
+let check_program kernels =
+  let rec dup = function
+    | [] -> ()
+    | (k : Ast.kernel) :: rest ->
+      if List.exists (fun (k' : Ast.kernel) -> k'.kname = k.kname) rest then
+        err "duplicate kernel name '%s'" k.kname;
+      dup rest
+  in
+  dup kernels;
+  check_no_recursion kernels;
+  List.iter (check_kernel_in ~kernels) kernels

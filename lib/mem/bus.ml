@@ -1,0 +1,103 @@
+module Resource = Vmht_sim.Resource
+
+type stats = {
+  reads : int;
+  writes : int;
+  words_moved : int;
+  bus : Resource.stats;
+}
+
+type t = {
+  arbitration_cycles : int;
+  mem : Phys_mem.t;
+  dram : Dram.t;
+  resource : Resource.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable words_moved : int;
+  mutable tracer : (string -> unit) option;
+}
+
+let create ?(arbitration_cycles = 2) mem dram =
+  {
+    arbitration_cycles;
+    mem;
+    dram;
+    resource = Resource.create ~name:"bus";
+    reads = 0;
+    writes = 0;
+    words_moved = 0;
+    tracer = None;
+  }
+
+let phys t = t.mem
+
+let set_tracer t f = t.tracer <- Some f
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s -> match t.tracer with Some f -> f s | None -> ())
+    fmt
+
+let read_word t addr =
+  Resource.acquire t.resource;
+  let latency = t.arbitration_cycles + Dram.access_latency t.dram ~addr in
+  Vmht_sim.Engine.wait latency;
+  let v = Phys_mem.read t.mem addr in
+  Resource.release t.resource;
+  t.reads <- t.reads + 1;
+  t.words_moved <- t.words_moved + 1;
+  trace t "rd  0x%06x (%d cycles)" addr latency;
+  v
+
+let write_word t addr value =
+  Resource.acquire t.resource;
+  let latency = t.arbitration_cycles + Dram.access_latency t.dram ~addr in
+  Vmht_sim.Engine.wait latency;
+  Phys_mem.write t.mem addr value;
+  Resource.release t.resource;
+  t.writes <- t.writes + 1;
+  t.words_moved <- t.words_moved + 1;
+  trace t "wr  0x%06x (%d cycles)" addr latency
+
+let read_burst t ~addr ~words =
+  Resource.acquire t.resource;
+  let latency =
+    t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words
+  in
+  Vmht_sim.Engine.wait latency;
+  let data =
+    Array.init words (fun i ->
+        Phys_mem.read t.mem (addr + (i * Phys_mem.word_bytes)))
+  in
+  Resource.release t.resource;
+  t.reads <- t.reads + 1;
+  t.words_moved <- t.words_moved + words;
+  trace t "rdB 0x%06x x%d (%d cycles)" addr words latency;
+  data
+
+let write_burst t ~addr data =
+  let words = Array.length data in
+  Resource.acquire t.resource;
+  let latency =
+    t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words
+  in
+  Vmht_sim.Engine.wait latency;
+  Array.iteri
+    (fun i v -> Phys_mem.write t.mem (addr + (i * Phys_mem.word_bytes)) v)
+    data;
+  Resource.release t.resource;
+  t.writes <- t.writes + 1;
+  t.words_moved <- t.words_moved + words;
+  trace t "wrB 0x%06x x%d (%d cycles)" addr words latency
+
+let stats (t : t) : stats =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    words_moved = t.words_moved;
+    bus = Resource.stats t.resource;
+  }
+
+let utilization t ~total_cycles =
+  Resource.utilization t.resource ~total_cycles

@@ -1,0 +1,42 @@
+(** Shared AXI-like interconnect in front of DRAM.
+
+    One transaction holds the bus for arbitration + DRAM latency (+ one
+    cycle per extra burst beat); concurrent masters serialize in FIFO
+    order, which is how multi-accelerator contention arises in the
+    scaling experiment.  All calls must run in simulation-process
+    context. *)
+
+type t
+
+type stats = {
+  reads : int;
+  writes : int;
+  words_moved : int;
+  bus : Vmht_sim.Resource.stats;
+}
+
+val create : ?arbitration_cycles:int -> Phys_mem.t -> Dram.t -> t
+(** Default arbitration latency: 2 cycles per transaction. *)
+
+val phys : t -> Phys_mem.t
+
+val read_word : t -> int -> int
+(** Timed single-word read. *)
+
+val write_word : t -> int -> int -> unit
+(** Timed single-word write. *)
+
+val read_burst : t -> addr:int -> words:int -> int array
+(** Timed sequential burst read (one bus transaction). *)
+
+val write_burst : t -> addr:int -> int array -> unit
+(** Timed sequential burst write (one bus transaction). *)
+
+val set_tracer : t -> (string -> unit) -> unit
+(** Install an observer invoked (in process context) once per
+    transaction with a rendered description — the hook the SoC's trace
+    facility uses. *)
+
+val stats : t -> stats
+
+val utilization : t -> total_cycles:int -> float

@@ -1,0 +1,186 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+  hit_latency : int;
+}
+
+let default_config =
+  { size_bytes = 16384; line_bytes = 32; ways = 4; hit_latency = 1 }
+
+type stats = {
+  read_hits : int;
+  read_misses : int;
+  write_hits : int;
+  write_misses : int;
+  writebacks : int;
+  invalidations : int;
+}
+
+type line = {
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable tag : int;
+  mutable phys_base : int; (* physical address of the line's first byte *)
+  mutable last_use : int;
+  mutable data : int array;
+}
+
+type t = {
+  config : config;
+  bus : Bus.t;
+  sets : line array array;
+  mutable clock : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+  mutable writebacks : int;
+  mutable invalidations : int;
+}
+
+let create ?(config = default_config) bus =
+  let lines = config.size_bytes / config.line_bytes in
+  let n_sets = max 1 (lines / config.ways) in
+  assert (Vmht_util.Bits.is_pow2 config.line_bytes);
+  let words_per_line = config.line_bytes / Phys_mem.word_bytes in
+  {
+    config;
+    bus;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init config.ways (fun _ ->
+              {
+                valid = false;
+                dirty = false;
+                tag = -1;
+                phys_base = 0;
+                last_use = 0;
+                data = Array.make words_per_line 0;
+              }));
+    clock = 0;
+    read_hits = 0;
+    read_misses = 0;
+    write_hits = 0;
+    write_misses = 0;
+    writebacks = 0;
+    invalidations = 0;
+  }
+
+let set_and_tag t addr =
+  let line_addr = addr / t.config.line_bytes in
+  let n_sets = Array.length t.sets in
+  (line_addr mod n_sets, line_addr / n_sets)
+
+let word_in_line t addr = addr mod t.config.line_bytes / Phys_mem.word_bytes
+
+let find_line t set tag =
+  let lines = t.sets.(set) in
+  let rec go i =
+    if i >= Array.length lines then None
+    else if lines.(i).valid && lines.(i).tag = tag then Some lines.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let victim t set =
+  let lines = t.sets.(set) in
+  let best = ref lines.(0) in
+  Array.iter
+    (fun l ->
+      if not l.valid then best := l
+      else if !best.valid && l.last_use < !best.last_use then best := l)
+    lines;
+  !best
+
+let write_back t line =
+  if line.valid && line.dirty then begin
+    t.writebacks <- t.writebacks + 1;
+    Bus.write_burst t.bus ~addr:line.phys_base (Array.copy line.data);
+    line.dirty <- false
+  end
+
+(* Bring the line containing [addr]/[phys] into the cache, evicting
+   (and writing back) the victim.  Returns the filled line. *)
+let fill t addr phys =
+  let set, tag = set_and_tag t addr in
+  let line_base_phys = Vmht_util.Bits.align_down phys t.config.line_bytes in
+  let words = t.config.line_bytes / Phys_mem.word_bytes in
+  let line = victim t set in
+  write_back t line;
+  let data = Bus.read_burst t.bus ~addr:line_base_phys ~words in
+  line.valid <- true;
+  line.dirty <- false;
+  line.tag <- tag;
+  line.phys_base <- line_base_phys;
+  line.last_use <- t.clock;
+  line.data <- data;
+  line
+
+let read t ~addr ~phys =
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t addr in
+  match find_line t set tag with
+  | Some line ->
+    t.read_hits <- t.read_hits + 1;
+    line.last_use <- t.clock;
+    Vmht_sim.Engine.wait t.config.hit_latency;
+    line.data.(word_in_line t addr)
+  | None ->
+    t.read_misses <- t.read_misses + 1;
+    let line = fill t addr phys in
+    line.data.(word_in_line t addr)
+
+let write t ~addr ~phys value =
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t addr in
+  let line =
+    match find_line t set tag with
+    | Some line ->
+      t.write_hits <- t.write_hits + 1;
+      Vmht_sim.Engine.wait t.config.hit_latency;
+      line
+    | None ->
+      t.write_misses <- t.write_misses + 1;
+      fill t addr phys
+  in
+  line.last_use <- t.clock;
+  line.data.(word_in_line t addr) <- value;
+  line.dirty <- true
+
+let flush t =
+  Array.iter (fun set -> Array.iter (write_back t) set) t.sets
+
+let invalidate_all t =
+  t.invalidations <- t.invalidations + 1;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l ->
+          l.valid <- false;
+          l.dirty <- false)
+        set)
+    t.sets
+
+let dirty_lines t =
+  Array.fold_left
+    (fun acc set ->
+      acc
+      + Array.fold_left
+          (fun a l -> if l.valid && l.dirty then a + 1 else a)
+          0 set)
+    0 t.sets
+
+let stats (t : t) : stats =
+  {
+    read_hits = t.read_hits;
+    read_misses = t.read_misses;
+    write_hits = t.write_hits;
+    write_misses = t.write_misses;
+    writebacks = t.writebacks;
+    invalidations = t.invalidations;
+  }
+
+let hit_rate t =
+  let total = t.read_hits + t.read_misses in
+  if total = 0 then 0. else float_of_int t.read_hits /. float_of_int total

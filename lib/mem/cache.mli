@@ -1,0 +1,58 @@
+(** Set-associative, write-back, write-allocate cache.
+
+    Used both as the simulated CPU's L1 data cache and as the
+    accelerator wrappers' stream buffer.  Dirty lines ride back to DRAM
+    on eviction; {!flush} writes all dirty lines back (timed) and is
+    what the runtime calls at thread boundaries to make results visible
+    to other masters, followed by {!invalidate_all} so subsequently
+    read data is fetched fresh (mirroring the cache-maintenance calls a
+    real driver performs).
+
+    The cache is indexed by the addresses it is given — the simulated
+    CPU hands it virtual addresses and resolves the physical address
+    itself — so [read]/[write] take both the (indexing) address and the
+    physical address used for fills and write-backs. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+  hit_latency : int;
+}
+
+val default_config : config
+(** 16 KiB, 32-byte lines, 4 ways, 1-cycle hits. *)
+
+type t
+
+type stats = {
+  read_hits : int;
+  read_misses : int;
+  write_hits : int;
+  write_misses : int;
+  writebacks : int;
+  invalidations : int;
+}
+
+val create : ?config:config -> Bus.t -> t
+
+val read : t -> addr:int -> phys:int -> int
+(** Timed.  On a miss the containing line is fetched over the bus
+    (evicting — and writing back, if dirty — the victim). *)
+
+val write : t -> addr:int -> phys:int -> int -> unit
+(** Timed write-allocate: the line is fetched on a miss, updated in
+    place and marked dirty. *)
+
+val flush : t -> unit
+(** Timed: write every dirty line back over the bus. *)
+
+val invalidate_all : t -> unit
+(** Untimed bookkeeping; discards (clean and dirty) contents — callers
+    flush first when the dirty data must survive. *)
+
+val dirty_lines : t -> int
+
+val stats : t -> stats
+
+val hit_rate : t -> float

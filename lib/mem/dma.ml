@@ -1,0 +1,89 @@
+type stats = { transfers : int; words_in : int; words_out : int }
+
+type t = {
+  bus : Bus.t;
+  setup_cycles : int;
+  burst_words : int;
+  mutable transfers : int;
+  mutable words_in : int;
+  mutable words_out : int;
+}
+
+let create ?(setup_cycles = 120) ?(burst_words = 64) bus =
+  { bus; setup_cycles; burst_words; transfers = 0; words_in = 0; words_out = 0 }
+
+(* Move [words] from DRAM at [src_phys] into the scratchpad, in bus
+   bursts of at most [burst_words].  No setup cost: callers charge it. *)
+let burst_in_raw t pad ~src_phys ~dst_word ~words =
+  let rec go offset =
+    if offset < words then begin
+      let chunk = min t.burst_words (words - offset) in
+      let data =
+        Bus.read_burst t.bus
+          ~addr:(src_phys + (offset * Phys_mem.word_bytes))
+          ~words:chunk
+      in
+      Array.iteri
+        (fun i v -> Scratchpad.write_local pad (dst_word + offset + i) v)
+        data;
+      go (offset + chunk)
+    end
+  in
+  go 0
+
+let burst_out_raw t pad ~src_word ~dst_phys ~words =
+  let rec go offset =
+    if offset < words then begin
+      let chunk = min t.burst_words (words - offset) in
+      let data =
+        Array.init chunk (fun i ->
+            Scratchpad.read_local pad (src_word + offset + i))
+      in
+      Bus.write_burst t.bus
+        ~addr:(dst_phys + (offset * Phys_mem.word_bytes))
+        data;
+      go (offset + chunk)
+    end
+  in
+  go 0
+
+let copy_in t pad ~src_phys ~dst_word ~words =
+  t.transfers <- t.transfers + 1;
+  t.words_in <- t.words_in + words;
+  Vmht_sim.Engine.wait t.setup_cycles;
+  burst_in_raw t pad ~src_phys ~dst_word ~words
+
+let copy_out t pad ~src_word ~dst_phys ~words =
+  t.transfers <- t.transfers + 1;
+  t.words_out <- t.words_out + words;
+  Vmht_sim.Engine.wait t.setup_cycles;
+  burst_out_raw t pad ~src_word ~dst_phys ~words
+
+let copy_in_scattered t pad ~chunks ~dst_word =
+  t.transfers <- t.transfers + 1;
+  Vmht_sim.Engine.wait t.setup_cycles;
+  let _ =
+    List.fold_left
+      (fun dst (src_phys, words) ->
+        t.words_in <- t.words_in + words;
+        burst_in_raw t pad ~src_phys ~dst_word:dst ~words;
+        dst + words)
+      dst_word chunks
+  in
+  ()
+
+let copy_out_scattered t pad ~src_word ~chunks =
+  t.transfers <- t.transfers + 1;
+  Vmht_sim.Engine.wait t.setup_cycles;
+  let _ =
+    List.fold_left
+      (fun src (dst_phys, words) ->
+        t.words_out <- t.words_out + words;
+        burst_out_raw t pad ~src_word:src ~dst_phys ~words;
+        src + words)
+      src_word chunks
+  in
+  ()
+
+let stats (t : t) : stats =
+  { transfers = t.transfers; words_in = t.words_in; words_out = t.words_out }

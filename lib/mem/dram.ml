@@ -1,0 +1,82 @@
+type config = {
+  t_cas : int;
+  t_rcd : int;
+  t_rp : int;
+  row_bytes : int;
+  banks : int;
+}
+
+let default_config =
+  { t_cas = 14; t_rcd = 14; t_rp = 14; row_bytes = 2048; banks = 8 }
+
+type stats = { accesses : int; row_hits : int; row_misses : int }
+
+type t = {
+  config : config;
+  open_rows : int array; (* per bank; -1 = closed *)
+  mutable accesses : int;
+  mutable row_hits : int;
+  mutable row_misses : int;
+}
+
+
+let create ?(config = default_config) () =
+  assert (Vmht_util.Bits.is_pow2 config.row_bytes);
+  assert (Vmht_util.Bits.is_pow2 config.banks);
+  {
+    config;
+    open_rows = Array.make config.banks (-1);
+    accesses = 0;
+    row_hits = 0;
+    row_misses = 0;
+  }
+
+let row_of t addr = addr / t.config.row_bytes
+
+let bank_of t addr = row_of t addr land (t.config.banks - 1)
+
+let access_latency t ~addr =
+  t.accesses <- t.accesses + 1;
+  let row = row_of t addr in
+  let bank = bank_of t addr in
+  if t.open_rows.(bank) = row then begin
+    t.row_hits <- t.row_hits + 1;
+    t.config.t_cas
+  end
+  else begin
+    t.row_misses <- t.row_misses + 1;
+    let penalty =
+      if t.open_rows.(bank) = -1 then t.config.t_rcd + t.config.t_cas
+      else t.config.t_rp + t.config.t_rcd + t.config.t_cas
+    in
+    t.open_rows.(bank) <- row;
+    penalty
+  end
+
+let burst_latency t ~addr ~words =
+  if words <= 0 then 0
+  else begin
+    let word = Phys_mem.word_bytes in
+    let first = access_latency t ~addr in
+    let rec beats i acc =
+      if i >= words then acc
+      else begin
+        let a = addr + (i * word) in
+        if row_of t a <> row_of t (a - word) then
+          beats (i + 1) (acc + access_latency t ~addr:a)
+        else begin
+          t.accesses <- t.accesses + 1;
+          t.row_hits <- t.row_hits + 1;
+          beats (i + 1) (acc + 1)
+        end
+      end
+    in
+    beats 1 first
+  end
+
+let stats (t : t) : stats =
+  { accesses = t.accesses; row_hits = t.row_hits; row_misses = t.row_misses }
+
+let row_hit_rate t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.row_hits /. float_of_int t.accesses

@@ -1,0 +1,21 @@
+let word_bytes = 8
+
+type t = { data : int array; bytes : int }
+
+exception Bad_address of int
+
+let create ~bytes =
+  if bytes <= 0 || bytes mod word_bytes <> 0 then
+    invalid_arg "Phys_mem.create: size must be a positive multiple of 8";
+  { data = Array.make (bytes / word_bytes) 0; bytes }
+
+let size_bytes t = t.bytes
+
+let index t addr =
+  if addr < 0 || addr >= t.bytes || addr mod word_bytes <> 0 then
+    raise (Bad_address addr);
+  addr / word_bytes
+
+let read t addr = t.data.(index t addr)
+
+let write t addr value = t.data.(index t addr) <- value

@@ -1,0 +1,22 @@
+(** Physical memory: a flat, word-addressable store.
+
+    Addresses are byte addresses and must be word-aligned (the
+    simulated datapath is 64-bit).  This module is purely functional
+    state — all timing lives in {!Dram} and {!Bus}. *)
+
+type t
+
+exception Bad_address of int
+
+val create : bytes:int -> t
+(** [bytes] must be a positive multiple of the word size. *)
+
+val size_bytes : t -> int
+
+val read : t -> int -> int
+(** Raises {!Bad_address} on unaligned or out-of-range addresses. *)
+
+val write : t -> int -> int -> unit
+
+val word_bytes : int
+(** 8. *)

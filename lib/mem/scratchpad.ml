@@ -1,0 +1,69 @@
+type window = { base : int; words : int; local_word : int }
+
+type t = {
+  data : int array;
+  latency : int;
+  mutable windows : window list;
+  mutable next_free : int;
+}
+
+exception Out_of_window of int
+
+let create ~words ~access_latency =
+  {
+    data = Array.make words 0;
+    latency = access_latency;
+    windows = [];
+    next_free = 0;
+  }
+
+let capacity_words t = Array.length t.data
+
+let access_latency t = t.latency
+
+let overlaps a_base a_words b_base b_words =
+  let a_end = a_base + (a_words * Phys_mem.word_bytes) in
+  let b_end = b_base + (b_words * Phys_mem.word_bytes) in
+  a_base < b_end && b_base < a_end
+
+let map_window t ~base ~words =
+  if t.next_free + words > Array.length t.data then
+    invalid_arg "Scratchpad.map_window: capacity exceeded";
+  List.iter
+    (fun w ->
+      if overlaps base words w.base w.words then
+        invalid_arg "Scratchpad.map_window: window overlap")
+    t.windows;
+  t.windows <- { base; words; local_word = t.next_free } :: t.windows;
+  t.next_free <- t.next_free + words
+
+let clear_windows t =
+  t.windows <- [];
+  t.next_free <- 0
+
+let local_of_vaddr t vaddr =
+  let rec go = function
+    | [] -> raise (Out_of_window vaddr)
+    | w :: rest ->
+      let offset = vaddr - w.base in
+      if offset >= 0 && offset < w.words * Phys_mem.word_bytes then
+        w.local_word + (offset / Phys_mem.word_bytes)
+      else go rest
+  in
+  go t.windows
+
+let load t vaddr =
+  let i = local_of_vaddr t vaddr in
+  Vmht_sim.Engine.wait t.latency;
+  t.data.(i)
+
+let store t vaddr value =
+  let i = local_of_vaddr t vaddr in
+  Vmht_sim.Engine.wait t.latency;
+  t.data.(i) <- value
+
+let read_local t i = t.data.(i)
+
+let write_local t i v = t.data.(i) <- v
+
+let used_words t = t.next_free

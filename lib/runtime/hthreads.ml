@@ -1,0 +1,33 @@
+module Engine = Vmht_sim.Engine
+
+type 'a outcome = Value of 'a | Raised of exn
+
+type 'a t = { tname : string; completion : 'a outcome Sync.Completion.t }
+
+let body completion f () =
+  let outcome = match f () with v -> Value v | exception e -> Raised e in
+  Sync.Completion.complete completion outcome
+
+let spawn ~name f =
+  let completion = Sync.Completion.create () in
+  Engine.fork ~name (body completion f);
+  { tname = name; completion }
+
+let spawn_root engine ~name f =
+  let completion = Sync.Completion.create () in
+  Engine.spawn engine ~name (body completion f);
+  { tname = name; completion }
+
+let join t =
+  match Sync.Completion.await t.completion with
+  | Value v -> v
+  | Raised e -> raise e
+
+let try_join t =
+  if Sync.Completion.is_completed t.completion then
+    match Sync.Completion.await t.completion with
+    | Value v -> Some v
+    | Raised e -> raise e
+  else None
+
+let name t = t.tname

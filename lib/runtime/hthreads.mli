@@ -1,0 +1,26 @@
+(** pthreads-style thread management over the simulation engine.
+
+    A thread is any simulated activity with a joinable result — a
+    software thread interpreting IR on the CPU, or a hardware thread
+    (an accelerator FSM).  The system-level runtime in [Vmht.Launch]
+    spawns both kinds through this interface, which is the paper's
+    programming model: moving a thread between software and hardware
+    changes how its body executes, not how it is created or joined. *)
+
+type 'a t
+
+val spawn : name:string -> (unit -> 'a) -> 'a t
+(** Start a thread at the current simulated time (process context). *)
+
+val spawn_root : Vmht_sim.Engine.t -> name:string -> (unit -> 'a) -> 'a t
+(** Start a thread from outside process context (e.g. before
+    [Engine.run]). *)
+
+val join : 'a t -> 'a
+(** Park until the thread finishes and return its result.  If the
+    thread raised, the exception is re-raised here. *)
+
+val try_join : 'a t -> 'a option
+(** Non-blocking: [Some result] if finished. *)
+
+val name : 'a t -> string

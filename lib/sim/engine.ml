@@ -1,0 +1,116 @@
+type time = int
+
+exception Not_in_process
+exception Stuck of string
+
+type t = {
+  mutable now : time;
+  queue : (unit -> unit) Event_queue.t;
+  mutable suspended : int;
+  mutable executed : int;
+}
+
+type _ Effect.t +=
+  | Wait : t * int -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+  | Fork : t * string * (unit -> unit) -> unit Effect.t
+  | Now_eff : t -> time Effect.t
+
+(* The engine a running process belongs to.  Set for the dynamic extent
+   of each event dispatch; processes always run one at a time. *)
+let current : t option ref = ref None
+
+let create () =
+  { now = 0; queue = Event_queue.create (); suspended = 0; executed = 0 }
+
+let now t = t.now
+
+let schedule t ~at action =
+  assert (at >= t.now);
+  Event_queue.push t.queue ~at action
+
+let rec exec_process t fn =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait (_, n) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                schedule t ~at:(t.now + n) (fun () -> continue k ()))
+          | Suspend (_, register) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                t.suspended <- t.suspended + 1;
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then
+                    invalid_arg "Engine.suspend: process resumed twice";
+                  resumed := true;
+                  t.suspended <- t.suspended - 1;
+                  schedule t ~at:t.now (fun () -> continue k ())
+                in
+                register resume)
+          | Fork (_, name, f) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                spawn t ~name f;
+                continue k ())
+          | Now_eff _ ->
+            Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | _ -> None);
+    }
+
+and spawn t ~name:_ fn = schedule t ~at:t.now (fun () -> exec_process t fn)
+
+let run ?until ?(check_quiescent = false) t =
+  let horizon = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some at when at > horizon -> ()
+    | Some _ ->
+      (match Event_queue.pop t.queue with
+       | None -> ()
+       | Some (at, action) ->
+         t.now <- at;
+         t.executed <- t.executed + 1;
+         let saved = !current in
+         current := Some t;
+         Fun.protect ~finally:(fun () -> current := saved) action;
+         loop ())
+  in
+  loop ();
+  if check_quiescent && t.suspended > 0 then
+    raise
+      (Stuck
+         (Printf.sprintf "%d process(es) still suspended at t=%d" t.suspended
+            t.now))
+
+let suspended_count t = t.suspended
+
+let events_executed t = t.executed
+
+let engine_of_context () =
+  match !current with None -> raise Not_in_process | Some t -> t
+
+let wait n =
+  assert (n >= 0);
+  let t = engine_of_context () in
+  if n = 0 then () else Effect.perform (Wait (t, n))
+
+let now_p () =
+  let t = engine_of_context () in
+  Effect.perform (Now_eff t)
+
+let suspend register =
+  let t = engine_of_context () in
+  Effect.perform (Suspend (t, register))
+
+let fork ~name fn =
+  let t = engine_of_context () in
+  Effect.perform (Fork (t, name, fn))

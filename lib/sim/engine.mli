@@ -1,0 +1,63 @@
+(** Discrete-event simulation engine.
+
+    Simulated components are ordinary OCaml functions run as lightweight
+    processes on top of OCaml 5 effect handlers.  A process advances
+    simulated time with {!wait}, blocks on external conditions with
+    {!suspend} and starts children with {!fork}.  The engine executes
+    events in (time, insertion-order) order, so runs are deterministic.
+
+    The process-context operations ({!wait}, {!suspend}, {!fork},
+    {!now_p}) may only be called from inside a process started by
+    {!spawn} or {!fork}; calling them elsewhere raises
+    [Not_in_process]. *)
+
+type t
+
+type time = int
+(** Simulated time in clock cycles of the (single) fabric clock. *)
+
+exception Not_in_process
+(** Raised when a process-context operation is used outside [run]. *)
+
+exception Stuck of string
+(** Raised by {!run} when [check_quiescent] is set and processes remain
+    suspended after the event queue drains (usually a lost wakeup). *)
+
+val create : unit -> t
+
+val now : t -> time
+(** Current simulated time (usable from any context). *)
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Register a new process to start at the current time. *)
+
+val schedule : t -> at:time -> (unit -> unit) -> unit
+(** Low-level: run a plain callback at absolute time [at] (>= now). *)
+
+val run : ?until:time -> ?check_quiescent:bool -> t -> unit
+(** Execute events until the queue is empty or simulated time would
+    exceed [until].  With [check_quiescent] (default false), raise
+    {!Stuck} if suspended processes remain once the queue drains. *)
+
+val suspended_count : t -> int
+(** Number of processes currently blocked in {!suspend}. *)
+
+val events_executed : t -> int
+(** Total events the engine has dispatched (a work measure). *)
+
+(** {2 Process-context operations} *)
+
+val wait : int -> unit
+(** Advance this process's view of time by [n >= 0] cycles. *)
+
+val now_p : unit -> time
+(** Current simulated time, from inside a process. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the process and calls [register resume].
+    Calling [resume] (exactly once, from any context) reschedules the
+    process at the resumer's current time.  Resuming twice raises
+    [Invalid_argument]. *)
+
+val fork : name:string -> (unit -> unit) -> unit
+(** Start a child process at the current time and continue immediately. *)

@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events.
+
+    Events with equal timestamps pop in insertion order (a sequence
+    number breaks ties), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:int -> 'a -> unit
+(** Insert an event at absolute time [at]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event, [None] if empty. *)
+
+val peek_time : 'a t -> int option
+(** Timestamp of the earliest event without removing it. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,37 @@
+type event = { at : int; component : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  queue : event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  { capacity; enabled = false; queue = Queue.create (); dropped = 0 }
+
+let enable t flag = t.enabled <- flag
+
+let record t ~at ~component detail =
+  if t.enabled then begin
+    if Queue.length t.queue >= t.capacity then begin
+      ignore (Queue.pop t.queue);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.add { at; component; detail } t.queue
+  end
+
+let events t = List.of_seq (Queue.to_seq t.queue)
+
+let count t = Queue.length t.queue
+
+let dropped t = t.dropped
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Queue.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%8d] %-12s %s\n" e.at e.component e.detail))
+    t.queue;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Lightweight event trace, used by tests and by the CLI's [--trace]
+    mode to inspect what a simulated system did and when. *)
+
+type event = { at : int; component : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A bounded trace; once [capacity] events are recorded the oldest are
+    dropped (default capacity 65536). *)
+
+val enable : t -> bool -> unit
+(** Recording is off until enabled; disabled traces cost one branch. *)
+
+val record : t -> at:int -> component:string -> string -> unit
+
+val events : t -> event list
+(** Recorded events, oldest first. *)
+
+val count : t -> int
+(** Number of events currently retained. *)
+
+val dropped : t -> int
+(** Number of events discarded due to the capacity bound. *)
+
+val to_string : t -> string

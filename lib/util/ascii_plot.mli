@@ -1,0 +1,30 @@
+(** Terminal "figures": render one or more (x, y) series as an ASCII
+    scatter/line chart, plus a data listing.  This is how the benchmark
+    harness regenerates the paper's figures without graphics tooling. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?logy:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string
+(** Render the chart area with one glyph per series and axis ranges in
+    the margins.  Series glyphs cycle through [*], [o], [+], [x], [#].
+    [logx]/[logy] plot on a log10 scale (points <= 0 are dropped). *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?logy:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  unit

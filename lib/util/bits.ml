@@ -1,0 +1,23 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  assert (n > 0);
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  assert (n > 0);
+  let l = log2 n in
+  if 1 lsl l = n then l else l + 1
+
+let align_up v a =
+  assert (is_pow2 a);
+  (v + a - 1) land lnot (a - 1)
+
+let align_down v a =
+  assert (is_pow2 a);
+  v land lnot (a - 1)
+
+let extract v ~lo ~width = (v lsr lo) land ((1 lsl width) - 1)
+
+let ceil_div a b = (a + b - 1) / b

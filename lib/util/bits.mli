@@ -1,0 +1,22 @@
+(** Bit-manipulation helpers shared by the memory system and the MMU. *)
+
+val is_pow2 : int -> bool
+(** True for positive powers of two. *)
+
+val log2 : int -> int
+(** [log2 n] for positive [n] is the floor of log base 2. *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= n]; [n] must be positive. *)
+
+val align_up : int -> int -> int
+(** [align_up v a] rounds [v] up to a multiple of [a] (a power of two). *)
+
+val align_down : int -> int -> int
+(** [align_down v a] rounds [v] down to a multiple of [a] (a power of two). *)
+
+val extract : int -> lo:int -> width:int -> int
+(** [extract v ~lo ~width] is bits [lo .. lo+width-1] of [v]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded up. *)

@@ -1,0 +1,50 @@
+type t = { mutable state : int }
+
+(* SplitMix64-style generator on OCaml's native 63-bit int.  The
+   increment and avalanche constants are the reference SplitMix64 ones
+   truncated to fit a native-int literal; arithmetic is modulo 2^63,
+   which preserves the mixing quality needed for simulation workloads. *)
+
+let golden_gamma = 0x1E3779B97F4A7C15
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let create seed = { state = mix (seed * 0x2545F4914F6CDD1D + 1) }
+
+let next_raw t =
+  t.state <- t.state + golden_gamma;
+  mix t.state
+
+let next t = next_raw t land max_int
+
+let split t =
+  let s = next_raw t in
+  { state = mix s }
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let int_range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = next t land 1 = 1
+
+let float t bound = float_of_int (next t) /. float_of_int max_int *. bound
+
+let shuffle t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers used by the evaluation harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val median : float list -> float
+(** Median; 0. on the empty list. *)
+
+val min_max : float list -> float * float
+(** [(min, max)]; [(0., 0.)] on the empty list. *)
+
+val percent_delta : float -> float -> float
+(** [percent_delta base v] is [(v - base) / base * 100.]. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], 0. if [b = 0.]. *)

@@ -1,0 +1,92 @@
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+'
+                 || c = ',' || c = '%' || c = 'x' || c = 'e')
+       s
+  && String.exists (fun c -> c >= '0' && c <= '9') s
+
+let pad width align s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with `Left -> s ^ fill | `Right -> fill ^ s
+
+let render t =
+  let ncols = List.length t.headers in
+  let normalize cells =
+    let n = List.length cells in
+    if n >= ncols then cells
+    else cells @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers
+    :: List.filter_map
+         (function Cells c -> Some (normalize c) | Separator -> None)
+         rows
+  in
+  let widths = Array.make ncols 0 in
+  let note_widths cells =
+    List.iteri
+      (fun i c ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter note_widths all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iter
+      (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    let cells = normalize cells in
+    List.iteri
+      (fun i c ->
+        if i < ncols then begin
+          let align = if is_numeric c then `Right else `Left in
+          Buffer.add_string buf ("| " ^ pad widths.(i) align c ^ " ")
+        end)
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f

@@ -1,0 +1,26 @@
+(** ASCII table rendering for the experiment harness.
+
+    Columns are sized to their widest cell; numeric-looking cells are
+    right-aligned, everything else is left-aligned. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Render the whole table, title included, as a multi-line string. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12_345] -> ["12,345"]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float, default 2 decimals. *)

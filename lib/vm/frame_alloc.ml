@@ -1,0 +1,40 @@
+type t = {
+  base : int;
+  bytes : int;
+  page_bytes : int;
+  mutable next : int;
+  mutable free_list : int list;
+  mutable allocated : int;
+}
+
+exception Out_of_frames
+
+let create ~base ~bytes ~page_bytes =
+  if base mod page_bytes <> 0 || bytes mod page_bytes <> 0 then
+    invalid_arg "Frame_alloc.create: unaligned region";
+  { base; bytes; page_bytes; next = base; free_list = []; allocated = 0 }
+
+let alloc t =
+  match t.free_list with
+  | frame :: rest ->
+    t.free_list <- rest;
+    t.allocated <- t.allocated + 1;
+    frame
+  | [] ->
+    if t.next + t.page_bytes > t.base + t.bytes then raise Out_of_frames;
+    let frame = t.next in
+    t.next <- t.next + t.page_bytes;
+    t.allocated <- t.allocated + 1;
+    frame
+
+let free t frame =
+  if
+    frame < t.base || frame >= t.base + t.bytes
+    || frame mod t.page_bytes <> 0
+  then invalid_arg "Frame_alloc.free: bad frame";
+  t.free_list <- frame :: t.free_list;
+  t.allocated <- t.allocated - 1
+
+let allocated_count t = t.allocated
+
+let capacity t = t.bytes / t.page_bytes

@@ -1,0 +1,141 @@
+module Engine = Vmht_sim.Engine
+
+type config = {
+  tlb : Tlb.config;
+  hw_walk : bool;
+  tlb_hit_cycles : int;
+  sw_refill_penalty : int;
+  fault_penalty : int;
+}
+
+let default_config =
+  {
+    tlb = Tlb.default_config;
+    hw_walk = true;
+    (* TLB lookup overlaps the downstream access (virtually-indexed
+       buffering), so a hit adds no dedicated cycle. *)
+    tlb_hit_cycles = 0;
+    sw_refill_penalty = 600;
+    fault_penalty = 3000;
+  }
+
+exception Mmu_fault of int
+
+type stats = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  page_faults : int;
+  walk_cycles : int;
+}
+
+type t = {
+  config : config;
+  asid : int;
+  bus : Vmht_mem.Bus.t;
+  aspace : Addr_space.t;
+  tlb : Tlb.t;
+  ptw : Ptw.t;
+  mutable accesses : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable page_faults : int;
+  mutable walk_cycles : int;
+  mutable tracer : (string -> unit) option;
+}
+
+let create ?(asid = 0) config bus aspace =
+  {
+    config;
+    asid;
+    bus;
+    aspace;
+    tlb = Tlb.create config.tlb;
+    ptw = Ptw.create bus (Addr_space.page_table aspace);
+    accesses = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    page_faults = 0;
+    walk_cycles = 0;
+    tracer = None;
+  }
+
+let asid t = t.asid
+
+let set_tracer t f = t.tracer <- Some f
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s -> match t.tracer with Some f -> f s | None -> ())
+    fmt
+
+let page_shift t = Page_table.page_shift (Addr_space.page_table t.aspace)
+
+(* Walk the page table (timed), servicing a demand-page fault if the
+   address space can repair the miss.  Recursion terminates because a
+   successful [handle_fault] installs the mapping. *)
+let rec refill t ~vaddr =
+  let entry =
+    if t.config.hw_walk then Ptw.walk t.ptw ~vaddr
+    else begin
+      (* Software refill: trap to the CPU, which walks in software —
+         charged as a fixed handler penalty plus the same table reads. *)
+      Engine.wait t.config.sw_refill_penalty;
+      Ptw.walk t.ptw ~vaddr
+    end
+  in
+  match entry with
+  | Some { Page_table.frame; writable } ->
+    Tlb.insert ~asid:t.asid t.tlb ~vpn:(vaddr lsr page_shift t)
+      { Tlb.frame; writable };
+    frame
+  | None ->
+    (* Page not present: software fault path (demand paging). *)
+    t.page_faults <- t.page_faults + 1;
+    trace t "fault 0x%06x (asid %d)" vaddr t.asid;
+    Engine.wait t.config.fault_penalty;
+    if Addr_space.handle_fault t.aspace ~vaddr then refill t ~vaddr
+    else raise (Mmu_fault vaddr)
+
+let translate t ~vaddr =
+  t.accesses <- t.accesses + 1;
+  Engine.wait t.config.tlb_hit_cycles;
+  let vpn = vaddr lsr page_shift t in
+  let offset = vaddr land ((1 lsl page_shift t) - 1) in
+  match Tlb.lookup ~asid:t.asid t.tlb ~vpn with
+  | Some { Tlb.frame; _ } ->
+    t.tlb_hits <- t.tlb_hits + 1;
+    frame lor offset
+  | None ->
+    t.tlb_misses <- t.tlb_misses + 1;
+    trace t "miss  0x%06x (asid %d)" vaddr t.asid;
+    let before = Engine.now_p () in
+    let frame = refill t ~vaddr in
+    t.walk_cycles <- t.walk_cycles + (Engine.now_p () - before);
+    frame lor offset
+
+let load t vaddr =
+  let paddr = translate t ~vaddr in
+  Vmht_mem.Bus.read_word t.bus paddr
+
+let store t vaddr value =
+  let paddr = translate t ~vaddr in
+  Vmht_mem.Bus.write_word t.bus paddr value
+
+let invalidate_tlb t = Tlb.invalidate_all t.tlb
+
+let invalidate_page t ~vaddr =
+  Tlb.invalidate ~asid:t.asid t.tlb ~vpn:(vaddr lsr page_shift t)
+
+let stats (t : t) : stats =
+  {
+    accesses = t.accesses;
+    tlb_hits = t.tlb_hits;
+    tlb_misses = t.tlb_misses;
+    page_faults = t.page_faults;
+    walk_cycles = t.walk_cycles;
+  }
+
+let tlb_hit_rate t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.tlb_hits /. float_of_int t.accesses

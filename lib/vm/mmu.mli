@@ -1,0 +1,66 @@
+(** Memory-management unit attached to a hardware thread's memory port.
+
+    Translation path:
+    - TLB hit: 1 cycle, then the data access goes to the bus;
+    - TLB miss, hardware walker enabled: a timed page-table walk
+      refills the TLB;
+    - TLB miss, software refill ([hw_walk = false]): the CPU services
+      the miss — a fixed interrupt/handler penalty plus the walk;
+    - page not present: a software page-fault penalty, then the demand-
+      paging handler of the owning address space maps the page (or the
+      access is a true fault and {!Mmu_fault} is raised).
+
+    Each VM-enabled hardware thread gets its own MMU instance (its own
+    TLB), all sharing the process page table — exactly the structure
+    the wrapper hardware implements. *)
+
+type config = {
+  tlb : Tlb.config;
+  hw_walk : bool; (** hardware walker vs software TLB refill *)
+  tlb_hit_cycles : int; (** translation pipeline cost on a hit *)
+  sw_refill_penalty : int; (** CPU handler cost for a SW TLB refill *)
+  fault_penalty : int; (** CPU handler cost for a demand-page fault *)
+}
+
+val default_config : config
+(** 16-entry fully-associative LRU TLB, hardware walker, 1-cycle hits,
+    600-cycle software refills, 3000-cycle page faults. *)
+
+exception Mmu_fault of int
+(** Access to an address the owning address space cannot repair. *)
+
+type stats = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  page_faults : int;
+  walk_cycles : int; (** cycles spent walking/refilling/faulting *)
+}
+
+type t
+
+val create : ?asid:int -> config -> Vmht_mem.Bus.t -> Addr_space.t -> t
+(** [asid] tags this thread's TLB entries (default 0); threads serving
+    different address spaces must carry distinct ASIDs. *)
+
+val asid : t -> int
+
+val translate : t -> vaddr:int -> int
+(** Timed translation of a byte address to a physical address. *)
+
+val load : t -> int -> int
+(** Timed: translate + bus word read. *)
+
+val store : t -> int -> int -> unit
+
+val set_tracer : t -> (string -> unit) -> unit
+(** Observer for translation events (misses, walks, faults). *)
+
+val invalidate_tlb : t -> unit
+
+val invalidate_page : t -> vaddr:int -> unit
+(** Drop one translation (the per-page half of a TLB shootdown). *)
+
+val stats : t -> stats
+
+val tlb_hit_rate : t -> float

@@ -1,0 +1,38 @@
+type stats = { walks : int; level_reads : int; failed_walks : int }
+
+type t = {
+  bus : Vmht_mem.Bus.t;
+  pt : Page_table.t;
+  per_level_overhead : int;
+  mutable walks : int;
+  mutable level_reads : int;
+  mutable failed_walks : int;
+}
+
+let create ?(per_level_overhead = 2) bus pt =
+  { bus; pt; per_level_overhead; walks = 0; level_reads = 0; failed_walks = 0 }
+
+let walk t ~vaddr =
+  t.walks <- t.walks + 1;
+  (* Issue the level reads over the bus for timing; the table decode
+     itself is delegated to the functional page-table lookup, which
+     reads the same physical words. *)
+  let addrs = Page_table.walk_addrs t.pt ~vaddr in
+  List.iter
+    (fun addr ->
+      Vmht_sim.Engine.wait t.per_level_overhead;
+      ignore (Vmht_mem.Bus.read_word t.bus addr);
+      t.level_reads <- t.level_reads + 1)
+    addrs;
+  match Page_table.lookup t.pt ~vaddr with
+  | Some entry -> Some entry
+  | None ->
+    t.failed_walks <- t.failed_walks + 1;
+    None
+
+let stats (t : t) : stats =
+  {
+    walks = t.walks;
+    level_reads = t.level_reads;
+    failed_walks = t.failed_walks;
+  }

@@ -1,0 +1,18 @@
+(** Hardware page-table walker.
+
+    On a TLB miss the walker issues real bus reads for each page-table
+    level (so walk latency includes DRAM and bus-contention effects),
+    plus a fixed per-level state-machine overhead. *)
+
+type t
+
+type stats = { walks : int; level_reads : int; failed_walks : int }
+
+val create :
+  ?per_level_overhead:int -> Vmht_mem.Bus.t -> Page_table.t -> t
+(** Default per-level overhead: 2 cycles. *)
+
+val walk : t -> vaddr:int -> Page_table.entry option
+(** Timed walk.  [None] means the translation is absent (page fault). *)
+
+val stats : t -> stats

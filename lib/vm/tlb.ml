@@ -1,0 +1,122 @@
+type policy = Lru | Fifo
+
+type config = { entries : int; assoc : int; policy : policy }
+
+let default_config = { entries = 16; assoc = 0; policy = Lru }
+
+type entry = { frame : int; writable : bool }
+
+type stats = { lookups : int; hits : int; evictions : int }
+
+type slot = {
+  mutable valid : bool;
+  mutable asid : int;
+  mutable vpn : int;
+  mutable data : entry;
+  mutable stamp : int; (* recency for LRU, insertion order for FIFO *)
+}
+
+type t = {
+  config : config;
+  sets : slot array array;
+  mutable clock : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+let create config =
+  if config.entries <= 0 then invalid_arg "Tlb.create: no entries";
+  let ways = if config.assoc = 0 then config.entries else config.assoc in
+  let n_sets = max 1 (config.entries / ways) in
+  {
+    config;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init ways (fun _ ->
+              {
+                valid = false;
+                asid = 0;
+                vpn = -1;
+                data = { frame = 0; writable = false };
+                stamp = 0;
+              }));
+    clock = 0;
+    lookups = 0;
+    hits = 0;
+    evictions = 0;
+  }
+
+let set_of t vpn = t.sets.(vpn mod Array.length t.sets)
+
+let lookup ?(asid = 0) t ~vpn =
+  t.lookups <- t.lookups + 1;
+  t.clock <- t.clock + 1;
+  let slots = set_of t vpn in
+  let rec go i =
+    if i >= Array.length slots then None
+    else if slots.(i).valid && slots.(i).vpn = vpn && slots.(i).asid = asid
+    then begin
+      t.hits <- t.hits + 1;
+      if t.config.policy = Lru then slots.(i).stamp <- t.clock;
+      Some slots.(i).data
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let insert ?(asid = 0) t ~vpn entry =
+  t.clock <- t.clock + 1;
+  let slots = set_of t vpn in
+  (* Reuse the slot if the page is already present; otherwise take an
+     invalid slot, else evict the policy victim. *)
+  let existing =
+    Array.to_list slots
+    |> List.find_opt (fun s -> s.valid && s.vpn = vpn && s.asid = asid)
+  in
+  let slot =
+    match existing with
+    | Some s -> s
+    | None -> (
+      match Array.to_list slots |> List.find_opt (fun s -> not s.valid) with
+      | Some s -> s
+      | None ->
+        let victim =
+          Array.fold_left
+            (fun best s -> if s.stamp < best.stamp then s else best)
+            slots.(0) slots
+        in
+        t.evictions <- t.evictions + 1;
+        victim)
+  in
+  slot.valid <- true;
+  slot.asid <- asid;
+  slot.vpn <- vpn;
+  slot.data <- entry;
+  slot.stamp <- t.clock
+
+let invalidate ?(asid = 0) t ~vpn =
+  Array.iter
+    (fun s -> if s.valid && s.vpn = vpn && s.asid = asid then s.valid <- false)
+    (set_of t vpn)
+
+let invalidate_asid t ~asid =
+  Array.iter
+    (fun set ->
+      Array.iter (fun s -> if s.valid && s.asid = asid then s.valid <- false) set)
+    t.sets
+
+let invalidate_all t =
+  Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.sets
+
+let stats (t : t) : stats =
+  { lookups = t.lookups; hits = t.hits; evictions = t.evictions }
+
+let hit_rate t =
+  if t.lookups = 0 then 0. else float_of_int t.hits /. float_of_int t.lookups
+
+let occupancy t =
+  Array.fold_left
+    (fun acc set ->
+      acc + Array.fold_left (fun a s -> if s.valid then a + 1 else a) 0 set)
+    0 t.sets

@@ -1,0 +1,46 @@
+(** Translation lookaside buffer model.
+
+    Set-associative (or fully associative with [assoc = 0]) with LRU or
+    FIFO replacement.  The TLB is pure bookkeeping — the MMU charges
+    lookup latency and drives refills. *)
+
+type policy = Lru | Fifo
+
+type config = {
+  entries : int; (** total entries; power of two *)
+  assoc : int; (** ways; 0 = fully associative *)
+  policy : policy;
+}
+
+val default_config : config
+(** 16 entries, fully associative, LRU. *)
+
+type entry = { frame : int; writable : bool }
+
+type stats = { lookups : int; hits : int; evictions : int }
+
+type t
+
+val create : config -> t
+
+val lookup : ?asid:int -> t -> vpn:int -> entry option
+(** Updates recency and hit/miss counters.  Entries are tagged with an
+    address-space id (default 0): a hit requires both the page number
+    and the ASID to match, so one TLB can safely serve translations
+    cached across context switches. *)
+
+val insert : ?asid:int -> t -> vpn:int -> entry -> unit
+(** Insert after a refill, evicting per policy if the set is full. *)
+
+val invalidate : ?asid:int -> t -> vpn:int -> unit
+
+val invalidate_asid : t -> asid:int -> unit
+(** Drop every entry of one address space (context teardown). *)
+
+val invalidate_all : t -> unit
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+
+val occupancy : t -> int

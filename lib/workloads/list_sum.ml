@@ -1,0 +1,72 @@
+(* Linked-list traversal: the paper's headline pointer-chasing case.
+
+   The list lives in a fragmented heap: the arena holds [size] node
+   slots (two words each), but only [size/32] of them belong to the
+   traversed list — the rest model other live heap objects, as in any
+   real pointer-linked working set.  A VM-enabled thread chases the
+   virtual next-pointers and touches only the list's pages; the copy-
+   based interface must stage the *entire* arena to chase any of it
+   (embedded pointers make partial staging unsound), and fails outright
+   once the arena outgrows the scratchpad. *)
+
+let source =
+  {|
+kernel list_sum(head: int*) : int {
+  var sum: int = 0;
+  var p: int* = head;
+  while (p != null) {
+    sum = sum + p[0];
+    p = (int*) p[1];
+  }
+  return sum;
+}
+|}
+
+let wb = Vmht_mem.Phys_mem.word_bytes
+
+let nodes_for_size size = max 4 (size / 32)
+
+let setup aspace ~size ~seed =
+  let slots = max 8 size in
+  let n = nodes_for_size size in
+  let rng = Vmht_util.Rng.create seed in
+  let arena_words = 2 * slots in
+  let arena =
+    Workload.alloc_array aspace ~words:arena_words ~init:(fun i ->
+        (* Background heap noise in the unused slots. *)
+        i * 13)
+  in
+  (* Pick n distinct slots, scattered over the whole arena. *)
+  let order = Array.init slots Fun.id in
+  Vmht_util.Rng.shuffle rng order;
+  let chosen = Array.sub order 0 n in
+  let payloads = Array.init n (fun _ -> Vmht_util.Rng.int_range rng 0 1000) in
+  let node_addr slot = arena + (2 * slot * wb) in
+  Array.iteri
+    (fun pos slot ->
+      let next = if pos = n - 1 then 0 else node_addr chosen.(pos + 1) in
+      Vmht_vm.Addr_space.store_word aspace (node_addr slot) payloads.(pos);
+      Vmht_vm.Addr_space.store_word aspace (node_addr slot + wb) next)
+    chosen;
+  let head = node_addr chosen.(0) in
+  let expected = Array.fold_left ( + ) 0 payloads in
+  {
+    Workload.args = [ head ];
+    buffers =
+      [ { Vmht.Launch.base = arena; words = arena_words; dir = Vmht.Launch.In } ];
+    expected_ret = Some expected;
+    check = (fun _ -> true);
+    data_words = arena_words;
+  }
+
+let workload =
+  {
+    Workload.name = "list_sum";
+    description =
+      "sum of a sparse linked list scattered through a fragmented heap";
+    source;
+    pointer_based = true;
+    pattern = "pointer-chase";
+    default_size = 8192;
+    setup;
+  }

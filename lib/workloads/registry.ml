@@ -1,0 +1,17 @@
+let all =
+  [
+    Vecadd.workload;
+    Saxpy.workload;
+    Dotprod.workload;
+    Stencil3.workload;
+    Mmul.workload;
+    Histogram.workload;
+    Spmv.workload;
+    Bfs.workload;
+    List_sum.workload;
+    Tree_search.workload;
+  ]
+
+let find name = List.find (fun w -> w.Workload.name = name) all
+
+let names = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,9 @@
+(** The benchmark suite. *)
+
+val all : Workload.t list
+(** The nine kernels, in the order the tables report them. *)
+
+val find : string -> Workload.t
+(** Raises [Not_found]. *)
+
+val names : string list

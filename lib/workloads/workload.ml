@@ -1,0 +1,36 @@
+module Addr_space = Vmht_vm.Addr_space
+
+type instance = {
+  args : int list;
+  buffers : Vmht.Launch.buffer list;
+  expected_ret : int option;
+  check : (int -> int) -> bool;
+  data_words : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  pointer_based : bool;
+  pattern : string;
+  default_size : int;
+  setup : Addr_space.t -> size:int -> seed:int -> instance;
+}
+
+let kernel t =
+  let k = Vmht_lang.Parser.parse_kernel t.source in
+  Vmht_lang.Typecheck.check_kernel k;
+  k
+
+let word_bytes = Vmht_mem.Phys_mem.word_bytes
+
+let alloc_array aspace ~words ~init =
+  let base = Addr_space.alloc aspace ~bytes:(words * word_bytes) in
+  for i = 0 to words - 1 do
+    Addr_space.store_word aspace (base + (i * word_bytes)) (init i)
+  done;
+  base
+
+let read_array load ~base ~words =
+  List.init words (fun i -> load (base + (i * word_bytes)))

@@ -1,0 +1,40 @@
+(** The benchmark-kernel interface.
+
+    A workload bundles an HTL kernel with everything needed to run it
+    in all three execution styles: a setup routine that materializes
+    its data in a given address space, the launch request (argument
+    words + buffer list with DMA directions), the expected return
+    value, and a result checker that re-derives the expected outputs
+    from the inputs. *)
+
+type instance = {
+  args : int list;
+  buffers : Vmht.Launch.buffer list;
+  expected_ret : int option;
+  check : (int -> int) -> bool;
+      (** [check load_word] validates outputs after a run *)
+  data_words : int; (** total words across buffers *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  pointer_based : bool;
+  pattern : string; (** access-pattern class for Table 1 *)
+  default_size : int;
+  setup : Vmht_vm.Addr_space.t -> size:int -> seed:int -> instance;
+}
+
+val kernel : t -> Vmht_lang.Ast.kernel
+(** Parse + typecheck the workload's kernel (cached per call site). *)
+
+(** {2 Setup helpers} *)
+
+val alloc_array :
+  Vmht_vm.Addr_space.t -> words:int -> init:(int -> int) -> int
+(** Allocate an eager buffer and initialize word [i] to [init i];
+    returns the base virtual address. *)
+
+val read_array : (int -> int) -> base:int -> words:int -> int list
+(** Load a whole buffer through a word reader. *)

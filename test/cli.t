@@ -1,0 +1,126 @@
+The CLI end to end: listing, compiling, synthesizing, and the error
+paths a user hits first.
+
+  $ vmht list
+  workloads:
+    vecadd       element-wise vector addition c[i] = a[i] + b[i]
+    saxpy        scaled vector update y[i] = a*x[i] + y[i]
+    dotprod      dot-product reduction returning a scalar
+    stencil3     3-point 1-D stencil smoothing
+    mmul         dense n x n matrix multiply
+    histogram    256-bin histogram of an input stream
+    spmv         CSR sparse matrix-vector product
+    bfs          breadth-first search over a CSR graph with an in-memory frontier
+    list_sum     sum of a sparse linked list scattered through a fragmented heap
+    tree_search  sparse lookups in a large scattered binary search tree
+  experiments:
+    table1
+    table2
+    table3
+    table4
+    table5
+    table6
+    fig1
+    fig2
+    fig3
+    fig4
+    fig5
+    fig6
+    abl1
+    abl2
+    abl3
+    abl4
+
+Compile a kernel and show the optimized IR:
+
+  $ cat > vecadd.htl <<'EOF'
+  > kernel vecadd(a: int*, b: int*, c: int*, n: int) {
+  >   var i: int;
+  >   for (i = 0; i < n; i = i + 1) {
+  >     c[i] = a[i] + b[i];
+  >   }
+  > }
+  > EOF
+  $ vmht compile vecadd.htl
+  ; opt: 3 iter(s), fold=0 copy=2 cse=2 licm=0 dce=3 cfg=0, instrs 15 -> 12
+  func vecadd(r0, r1, r2, r3)
+  L0:
+    r4 = 0
+    jmp L1
+  L1:
+    r5 = r4 < r3
+    br r5 ? L2 : L3
+  L2:
+    r6 = r4 << 3
+    r7 = r2 + r6
+    r9 = r0 + r6
+    r10 = mem[r9]
+    r12 = r1 + r6
+    r13 = mem[r12]
+    r14 = r10 + r13
+    mem[r7] = r14
+    r15 = r4 + 1
+    r4 = r15
+    jmp L1
+  L3:
+    ret
+  
+
+Syntax errors carry positions:
+
+  $ cat > bad.htl <<'EOF'
+  > kernel broken(x: int) {
+  >   var y: int = ;
+  > }
+  > EOF
+  $ vmht compile bad.htl
+  error at 2:16: expected expression but found ';'
+  [1]
+
+Type errors too:
+
+  $ cat > illtyped.htl <<'EOF'
+  > kernel illtyped(p: int*) {
+  >   var q: int* = p + 1;
+  > }
+  > EOF
+  $ vmht compile illtyped.htl
+  error at 0:0: arithmetic '+' between int* and int (cast pointers explicitly)
+  [1]
+
+Unknown workloads are reported:
+
+  $ vmht run nonsuch
+  unknown workload 'nonsuch' (try: vmht list)
+  [1]
+
+Unknown experiments too:
+
+  $ vmht bench nonsuch
+  unknown experiment 'nonsuch'
+  [1]
+
+System composition against a device budget:
+
+  $ cat > pair.htl <<'KERNELS'
+  > kernel square(x: int) : int { return x * x; }
+  > kernel sumsq(a: int*, n: int) : int {
+  >   var s: int = 0;
+  >   var i: int;
+  >   for (i = 0; i < n; i = i + 1) {
+  >     var q: int = square(a[i]);
+  >     s = s + q;
+  >   }
+  >   return s;
+  > }
+  > KERNELS
+  $ vmht system pair.htl --copies 2
+  system design on zynq-7020: FITS
+    2x square         [vm]  LUT=1691 FF=2332 DSP=16 BRAM=2 each, MMIO from 0x40000000
+    2x sumsq          [vm]  LUT=2289 FF=2740 DSP=16 BRAM=2 each, MMIO from 0x40002000
+    static infrastructure: LUT=2100 FF=2600 DSP=0 BRAM=4
+    total: LUT=10060 FF=12744 DSP=64 BRAM=12
+    LUT    18.9%
+    FF     12.0%
+    DSP    29.1%
+    BRAM    4.3%

@@ -1,0 +1,176 @@
+(* Random well-typed HTL kernel generator for differential testing.
+
+   Generated kernels have the signature
+
+     kernel fuzz(m: int*, a: int, b: int)         (or ": int")
+
+   and only access memory through [m] with indices masked to the first
+   [mem_words] words, so running them against [Ast_interp.array_memory]
+   never faults.  Loops are bounded by construction (a fresh counter
+   counts down), and divisions force a non-zero divisor with [| 1],
+   so every generated kernel terminates without trapping. *)
+
+module Ast = Vmht_lang.Ast
+
+let mem_words = 64
+
+type ctx = {
+  rng : Vmht_util.Rng.t;
+  mutable int_vars : string list;
+  mutable fresh : int;
+}
+
+let safe_binops =
+  [|
+    Ast.Add; Ast.Sub; Ast.Mul; Ast.And; Ast.Or; Ast.Xor; Ast.Lt; Ast.Le;
+    Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne; Ast.Land; Ast.Lor;
+  |]
+
+let rec gen_int_expr ctx depth : Ast.expr =
+  let open Vmht_util in
+  if depth <= 0 || Rng.int ctx.rng 100 < 30 then
+    if ctx.int_vars <> [] && Rng.bool ctx.rng then
+      Ast.Var (Rng.pick ctx.rng (Array.of_list ctx.int_vars))
+    else Ast.Int (Rng.int_range ctx.rng (-100) 100)
+  else
+    match Rng.int ctx.rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      Ast.Bin
+        ( Rng.pick ctx.rng safe_binops,
+          gen_int_expr ctx (depth - 1),
+          gen_int_expr ctx (depth - 1) )
+    | 4 ->
+      (* Division with a divisor forced non-zero. *)
+      let divisor =
+        Ast.Bin (Ast.Or, gen_int_expr ctx (depth - 1), Ast.Int 1)
+      in
+      let op = if Rng.bool ctx.rng then Ast.Div else Ast.Rem in
+      Ast.Bin (op, gen_int_expr ctx (depth - 1), divisor)
+    | 5 ->
+      (* Shift with a masked count. *)
+      let count = Ast.Bin (Ast.And, gen_int_expr ctx (depth - 1), Ast.Int 7) in
+      let op = if Rng.bool ctx.rng then Ast.Shl else Ast.Shr in
+      Ast.Bin (op, gen_int_expr ctx (depth - 1), count)
+    | 6 ->
+      Ast.Un
+        ( Rng.pick ctx.rng [| Ast.Neg; Ast.Not; Ast.Bnot |],
+          gen_int_expr ctx (depth - 1) )
+    | 7 | 8 -> Ast.Load (Ast.Var "m", gen_index ctx depth)
+    | _ -> Ast.Int (Rng.int_range ctx.rng 0 255)
+
+(* An always-in-bounds index into m: (e & (mem_words-1)). *)
+and gen_index ctx depth =
+  Ast.Bin (Ast.And, gen_int_expr ctx (depth - 1), Ast.Int (mem_words - 1))
+
+let fresh_var ctx =
+  let name = Printf.sprintf "v%d" ctx.fresh in
+  ctx.fresh <- ctx.fresh + 1;
+  name
+
+let rec gen_stmts ctx depth budget : Ast.stmt list =
+  if budget <= 0 then []
+  else begin
+    let stmt, cost = gen_stmt ctx depth budget in
+    stmt @ gen_stmts ctx depth (budget - cost)
+  end
+
+and gen_stmt ctx depth budget : Ast.stmt list * int =
+  let open Vmht_util in
+  match Rng.int ctx.rng 12 with
+  | 0 | 1 ->
+    let name = fresh_var ctx in
+    let init =
+      if Rng.bool ctx.rng then Some (gen_int_expr ctx 3) else None
+    in
+    ctx.int_vars <- name :: ctx.int_vars;
+    ([ Ast.Decl (name, Ast.Tint, init) ], 1)
+  | 2 | 3 | 4 ->
+    if ctx.int_vars = [] then ([], 1)
+    else
+      let name = Rng.pick ctx.rng (Array.of_list ctx.int_vars) in
+      ([ Ast.Assign (name, gen_int_expr ctx 3) ], 1)
+  | 5 | 6 | 7 ->
+    ([ Ast.Store (Ast.Var "m", gen_index ctx 3, gen_int_expr ctx 3) ], 1)
+  | 8 | 9 when depth > 0 ->
+    let cond = gen_int_expr ctx 2 in
+    let saved = ctx.int_vars in
+    let then_b = gen_stmts ctx (depth - 1) (budget / 2) in
+    ctx.int_vars <- saved;
+    let else_b =
+      if Rng.bool ctx.rng then gen_stmts ctx (depth - 1) (budget / 2) else []
+    in
+    ctx.int_vars <- saved;
+    ([ Ast.If (cond, then_b, else_b) ], 2)
+  | 10 when depth > 0 ->
+    (* Bounded loop: a fresh counter counts down to zero.  The counter
+       is deliberately NOT visible inside the body — a random
+       assignment to it could make the trip count astronomically
+       large. *)
+    let counter = fresh_var ctx in
+    let trip = Rng.int_range ctx.rng 0 8 in
+    let saved = ctx.int_vars in
+    let body = gen_stmts ctx (depth - 1) (budget / 2) in
+    ctx.int_vars <- saved;
+    ( [
+        Ast.Decl (counter, Ast.Tint, Some (Ast.Int trip));
+        Ast.While
+          ( Ast.Bin (Ast.Gt, Ast.Var counter, Ast.Int 0),
+            body
+            @ [
+                Ast.Assign
+                  (counter, Ast.Bin (Ast.Sub, Ast.Var counter, Ast.Int 1));
+              ] );
+      ],
+      3 )
+  | _ ->
+    (* Counted for-style loop matching the unroller's pattern. *)
+    let i = fresh_var ctx in
+    let trip = Rng.int_range ctx.rng 0 12 in
+    let saved = ctx.int_vars in
+    ctx.int_vars <- i :: ctx.int_vars;
+    let body =
+      [
+        Ast.Store
+          ( Ast.Var "m",
+            Ast.Bin (Ast.And, Ast.Var i, Ast.Int (mem_words - 1)),
+            gen_int_expr ctx 2 );
+      ]
+    in
+    ctx.int_vars <- saved;
+    ( [
+        Ast.Decl (i, Ast.Tint, Some (Ast.Int 0));
+        Ast.While
+          ( Ast.Bin (Ast.Lt, Ast.Var i, Ast.Int trip),
+            body @ [ Ast.Assign (i, Ast.Bin (Ast.Add, Ast.Var i, Ast.Int 1)) ]
+          );
+      ],
+      3 )
+
+let gen_kernel ?(returns = true) seed : Ast.kernel =
+  let ctx =
+    { rng = Vmht_util.Rng.create seed; int_vars = [ "a"; "b" ]; fresh = 0 }
+  in
+  let body = gen_stmts ctx 2 8 in
+  let body =
+    if returns then body @ [ Ast.Return (Some (gen_int_expr ctx 3)) ]
+    else body
+  in
+  {
+    Ast.kname = "fuzz";
+    params =
+      [
+        { Ast.pname = "m"; ptyp = Ast.Tptr Ast.Tint };
+        { Ast.pname = "a"; ptyp = Ast.Tint };
+        { Ast.pname = "b"; ptyp = Ast.Tint };
+      ];
+    ret = (if returns then Some Ast.Tint else None);
+    body;
+  }
+
+(* Run a kernel against the AST reference semantics; returns the final
+   memory and the returned value. *)
+let reference_run kernel ~a ~b =
+  let data = Array.init mem_words (fun i -> (i * 37) mod 101) in
+  let mem = Vmht_lang.Ast_interp.array_memory data in
+  let ret = Vmht_lang.Ast_interp.run_kernel mem kernel ~args:[ 0; a; b ] in
+  (data, ret)

@@ -1,0 +1,331 @@
+open Vmht_lang
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- sources -------------------------------- *)
+
+let vecadd_src =
+  {|
+kernel vecadd(a: int*, b: int*, c: int*, n: int) {
+  var i: int;
+  for (i = 0; i < n; i = i + 1) {
+    c[i] = a[i] + b[i];
+  }
+}
+|}
+
+let list_sum_src =
+  {|
+kernel list_sum(head: int*) : int {
+  var sum: int = 0;
+  var p: int* = head;
+  while (p != null) {
+    sum = sum + p[0];
+    p = (int*) p[1];
+  }
+  return sum;
+}
+|}
+
+let collatz_src =
+  {|
+kernel collatz(n0: int) : int {
+  var n: int = n0;
+  var steps: int = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  return steps;
+}
+|}
+
+(* ------------------------- lexer ---------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "x <= 10 << 2 // comment\n/* block */ 0x1F" in
+  let kinds = List.map (fun t -> t.Token.kind) toks in
+  check_bool "structure" true
+    (kinds
+     = [
+         Token.IDENT "x"; Token.LE; Token.INT 10; Token.SHL; Token.INT 2;
+         Token.INT 31; Token.EOF;
+       ])
+
+let test_lexer_locations () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+    check_int "a line" 1 a.Token.loc.Loc.line;
+    check_int "b line" 2 b.Token.loc.Loc.line;
+    check_int "b col" 3 b.Token.loc.Loc.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_rejects () =
+  check_bool "bad char raises" true
+    (match Lexer.tokenize "a $ b" with
+     | _ -> false
+     | exception Loc.Error _ -> true);
+  check_bool "unterminated comment raises" true
+    (match Lexer.tokenize "/* never closed" with
+     | _ -> false
+     | exception Loc.Error _ -> true)
+
+(* ------------------------- parser --------------------------------- *)
+
+let test_parse_vecadd () =
+  let k = Parser.parse_kernel vecadd_src in
+  check_int "4 params" 4 (List.length k.Ast.params);
+  check_bool "void" true (k.Ast.ret = None);
+  (* decl + for-loop desugared to init + while *)
+  check_int "three statements" 3 (List.length k.Ast.body)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  check_bool "mul binds tighter" true
+    (e = Ast.Bin (Ast.Add, Ast.Int 1, Ast.Bin (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  let e = Parser.parse_expr "1 < 2 && 3 < 4" in
+  (match e with
+   | Ast.Bin (Ast.Land, Ast.Bin (Ast.Lt, _, _), Ast.Bin (Ast.Lt, _, _)) -> ()
+   | _ -> Alcotest.fail "&& should bind loosest");
+  let e = Parser.parse_expr "10 - 3 - 2" in
+  check_bool "left assoc" true
+    (e = Ast.Bin (Ast.Sub, Ast.Bin (Ast.Sub, Ast.Int 10, Ast.Int 3), Ast.Int 2))
+
+let test_parse_cast_vs_paren () =
+  check_bool "cast" true
+    (Parser.parse_expr "(int*) 0" = Ast.Cast (Ast.Tptr Ast.Tint, Ast.Int 0));
+  check_bool "paren" true (Parser.parse_expr "(42)" = Ast.Int 42);
+  check_bool "null sugar" true (Parser.parse_expr "null" = Ast.null_expr)
+
+let test_parse_deref_sugar () =
+  check_bool "*p is p[0]" true
+    (Parser.parse_expr "*p" = Ast.Load (Ast.Var "p", Ast.Int 0))
+
+let test_parse_rejects () =
+  let rejects src =
+    match Parser.parse_program src with
+    | _ -> false
+    | exception Loc.Error _ -> true
+  in
+  check_bool "missing semicolon" true
+    (rejects "kernel k(x: int) { var y: int = 1 }");
+  check_bool "assignment to literal" true (rejects "kernel k() { 1 = 2; }");
+  check_bool "unclosed brace" true (rejects "kernel k() { ")
+
+(* ------------------------- pretty round trip ---------------------- *)
+
+let test_pretty_round_trip_fixed () =
+  List.iter
+    (fun src ->
+      let p1 = Parser.parse_program src in
+      let printed = Pretty.program_to_string p1 in
+      let p2 = Parser.parse_program printed in
+      check_bool "round trip" true (p1 = p2))
+    [ vecadd_src; list_sum_src; collatz_src ]
+
+(* ------------------------- typechecker ---------------------------- *)
+
+let test_typecheck_accepts () =
+  List.iter
+    (fun src -> Typecheck.check_program (Parser.parse_program src))
+    [ vecadd_src; list_sum_src; collatz_src ]
+
+let test_typecheck_rejects () =
+  let rejects src =
+    match Typecheck.check_program (Parser.parse_program src) with
+    | () -> false
+    | exception Loc.Error _ -> true
+  in
+  check_bool "undeclared var" true (rejects "kernel k() { x = 1; }");
+  check_bool "pointer arithmetic" true
+    (rejects "kernel k(p: int*) { var q: int* = p + 1; }");
+  check_bool "indexing an int" true
+    (rejects "kernel k(x: int) { var y: int = x[0]; }");
+  check_bool "pointer condition" true
+    (rejects "kernel k(p: int*) { if (p) { } }");
+  check_bool "missing return" true
+    (rejects "kernel k(x: int) : int { if (x > 0) { return 1; } }");
+  check_bool "return from void" true (rejects "kernel k() { return 3; }");
+  check_bool "type mismatch in assign" true
+    (rejects "kernel k(p: int*) { var x: int = 0; x = p; }");
+  check_bool "duplicate declaration" true
+    (rejects "kernel k() { var x: int; var x: int; }");
+  check_bool "duplicate kernel" true
+    (rejects "kernel k() { } kernel k() { }");
+  check_bool "duplicate param" true (rejects "kernel k(a: int, a: int) { }")
+
+let test_typecheck_branch_returns () =
+  (* Both branches return: accepted. *)
+  Typecheck.check_program
+    (Parser.parse_program
+       "kernel k(x: int) : int { if (x > 0) { return 1; } else { return 0; } }")
+
+(* ------------------------- interpreter ---------------------------- *)
+
+let test_interp_vecadd () =
+  let k = Parser.parse_kernel vecadd_src in
+  let data = Array.make 32 0 in
+  for i = 0 to 7 do
+    data.(i) <- i + 1;
+    data.(8 + i) <- 10 * (i + 1)
+  done;
+  let mem = Ast_interp.array_memory data in
+  let ret =
+    Ast_interp.run_kernel mem k ~args:[ 0; 8 * 8; 16 * 8; 8 ]
+  in
+  check_bool "void return" true (ret = None);
+  for i = 0 to 7 do
+    check_int "sum" (11 * (i + 1)) data.(16 + i)
+  done
+
+let test_interp_list_sum () =
+  let k = Parser.parse_kernel list_sum_src in
+  (* Nodes [payload; next] at words 1, 3, 5 (word 0 stays free so that
+     address 0 can serve as null): 5 -> 7 -> 11 -> null *)
+  let data = [| 999; 5; 24; 7; 40; 11; 0 |] in
+  let mem = Ast_interp.array_memory data in
+  check_bool "sum is 23" true
+    (Ast_interp.run_kernel mem k ~args:[ 8 ] = Some 23)
+
+let test_interp_empty_list () =
+  let k = Parser.parse_kernel list_sum_src in
+  let mem = Ast_interp.array_memory [| 0 |] in
+  (* A null head (address 0): the loop never runs. *)
+  check_bool "empty sum" true (Ast_interp.run_kernel mem k ~args:[ 0 ] = Some 0)
+
+let test_interp_collatz () =
+  let k = Parser.parse_kernel collatz_src in
+  let mem = Ast_interp.array_memory [| 0 |] in
+  check_bool "collatz 6 = 8 steps" true
+    (Ast_interp.run_kernel mem k ~args:[ 6 ] = Some 8);
+  check_bool "collatz 27 = 111 steps" true
+    (Ast_interp.run_kernel mem k ~args:[ 27 ] = Some 111)
+
+let test_interp_division_by_zero () =
+  let k = Parser.parse_kernel "kernel k(x: int) : int { return 1 / x; }" in
+  let mem = Ast_interp.array_memory [| 0 |] in
+  check_bool "raises" true
+    (match Ast_interp.run_kernel mem k ~args:[ 0 ] with
+     | _ -> false
+     | exception Ast_interp.Eval_error _ -> true)
+
+let test_interp_out_of_bounds () =
+  let k = Parser.parse_kernel "kernel k(p: int*) : int { return p[99]; }" in
+  let mem = Ast_interp.array_memory [| 0; 1 |] in
+  check_bool "raises" true
+    (match Ast_interp.run_kernel mem k ~args:[ 0 ] with
+     | _ -> false
+     | exception Ast_interp.Eval_error _ -> true)
+
+let test_strict_logical_ops () =
+  check_int "and" 1 (Ast_interp.eval_binop Ast.Land 2 3);
+  check_int "and zero" 0 (Ast_interp.eval_binop Ast.Land 2 0);
+  check_int "or" 1 (Ast_interp.eval_binop Ast.Lor 0 7);
+  check_int "not" 1 (Ast_interp.eval_unop Ast.Not 0);
+  check_int "shift masks count" 2 (Ast_interp.eval_binop Ast.Shl 1 65)
+
+(* ------------------------- qcheck: expr round trip ---------------- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let int_ops =
+    [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Rem; Ast.And; Ast.Or;
+       Ast.Xor; Ast.Shl; Ast.Shr; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq;
+       Ast.Ne; Ast.Land; Ast.Lor
+    |]
+  in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Int n) (int_bound 1000);
+        oneofl [ Ast.Var "x"; Ast.Var "y"; Ast.Var "p" ];
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 4,
+              map3
+                (fun op a b -> Ast.Bin (op, a, b))
+                (oneofl (Array.to_list int_ops))
+                (self (depth - 1))
+                (self (depth - 1)) );
+            ( 1,
+              map2
+                (fun op e -> Ast.Un (op, e))
+                (oneofl [ Ast.Neg; Ast.Not; Ast.Bnot ])
+                (self (depth - 1)) );
+            (1, map2 (fun b i -> Ast.Load (b, i)) (self (depth - 1)) (self (depth - 1)));
+            ( 1,
+              map
+                (fun e -> Ast.Cast (Ast.Tptr Ast.Tint, e))
+                (self (depth - 1)) );
+          ])
+    4
+
+(* [parse (pretty e)] may canonicalize (e.g. fold [-5] into a literal);
+   the round-trip property is that a second trip is the identity. *)
+let prop_expr_round_trip =
+  QCheck.Test.make ~count:500 ~name:"pretty |> parse round-trips expressions"
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      match Parser.parse_expr (Pretty.expr_to_string e) with
+      | e1 -> (
+        match Parser.parse_expr (Pretty.expr_to_string e1) with
+        | e2 -> e2 = e1
+        | exception Loc.Error _ -> false)
+      | exception Loc.Error _ -> false)
+
+let prop_kernel_round_trip =
+  QCheck.Test.make ~count:200 ~name:"pretty |> parse round-trips whole kernels"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let k = Gen_prog.gen_kernel seed in
+      match Parser.parse_program (Pretty.program_to_string [ k ]) with
+      | [ k1 ] -> (
+        match Parser.parse_program (Pretty.program_to_string [ k1 ]) with
+        | [ k2 ] -> k2 = k1
+        | _ -> false
+        | exception Loc.Error _ -> false)
+      | _ -> false
+      | exception Loc.Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lexer: tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer: locations" `Quick test_lexer_locations;
+    Alcotest.test_case "lexer: rejects" `Quick test_lexer_rejects;
+    Alcotest.test_case "parser: vecadd" `Quick test_parse_vecadd;
+    Alcotest.test_case "parser: precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser: cast vs paren" `Quick test_parse_cast_vs_paren;
+    Alcotest.test_case "parser: deref sugar" `Quick test_parse_deref_sugar;
+    Alcotest.test_case "parser: rejects" `Quick test_parse_rejects;
+    Alcotest.test_case "pretty: round trip (fixed)" `Quick
+      test_pretty_round_trip_fixed;
+    Alcotest.test_case "typecheck: accepts" `Quick test_typecheck_accepts;
+    Alcotest.test_case "typecheck: rejects" `Quick test_typecheck_rejects;
+    Alcotest.test_case "typecheck: branch returns" `Quick
+      test_typecheck_branch_returns;
+    Alcotest.test_case "interp: vecadd" `Quick test_interp_vecadd;
+    Alcotest.test_case "interp: list_sum" `Quick test_interp_list_sum;
+    Alcotest.test_case "interp: empty list" `Quick test_interp_empty_list;
+    Alcotest.test_case "interp: collatz" `Quick test_interp_collatz;
+    Alcotest.test_case "interp: division by zero" `Quick
+      test_interp_division_by_zero;
+    Alcotest.test_case "interp: out of bounds" `Quick test_interp_out_of_bounds;
+    Alcotest.test_case "interp: strict logical ops" `Quick
+      test_strict_logical_ops;
+    QCheck_alcotest.to_alcotest prop_expr_round_trip;
+    QCheck_alcotest.to_alcotest prop_kernel_round_trip;
+  ]

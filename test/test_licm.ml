@@ -1,0 +1,195 @@
+(* Dominator analysis and loop-invariant code motion. *)
+
+open Vmht_ir
+module Parser = Vmht_lang.Parser
+module Typecheck = Vmht_lang.Typecheck
+module Ast_interp = Vmht_lang.Ast_interp
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let compile src =
+  let k = Parser.parse_kernel src in
+  Typecheck.check_kernel k;
+  let f = Lower.lower_kernel k in
+  (* Drop the unreachable blocks lowering leaves after returns; the
+     dominator tests reason about reachable code. *)
+  ignore (Passes.simplify_cfg f);
+  f
+
+let loop_with_invariant_src =
+  {|kernel f(p: int*, n: int, a: int, b: int) : int {
+      var s: int = 0;
+      var i: int;
+      for (i = 0; i < n; i = i + 1) {
+        var t: int = a * b + 7;
+        s = s + p[i] + t;
+      }
+      return s;
+    }|}
+
+(* ------------------------- dominators ----------------------------- *)
+
+let test_entry_dominates_all () =
+  let f = compile loop_with_invariant_src in
+  let doms = Dominators.compute f in
+  let entry = (Ir.entry f).Ir.label in
+  List.iter
+    (fun (b : Ir.block) ->
+      check_bool "entry dominates" true (Dominators.dominates doms entry b.Ir.label))
+    f.Ir.blocks
+
+let test_self_domination () =
+  let f = compile loop_with_invariant_src in
+  let doms = Dominators.compute f in
+  List.iter
+    (fun (b : Ir.block) ->
+      check_bool "reflexive" true (Dominators.dominates doms b.Ir.label b.Ir.label))
+    f.Ir.blocks
+
+let test_back_edge_found () =
+  let f = compile loop_with_invariant_src in
+  let doms = Dominators.compute f in
+  check_bool "one back edge (the while loop)" true
+    (List.length (Dominators.back_edges f doms) = 1)
+
+let test_straight_line_no_back_edges () =
+  let f = compile "kernel f(x: int) : int { return x + 1; }" in
+  let doms = Dominators.compute f in
+  check_int "no loops" 0 (List.length (Dominators.back_edges f doms))
+
+let test_natural_loop_members () =
+  let f = compile loop_with_invariant_src in
+  let doms = Dominators.compute f in
+  match Dominators.back_edges f doms with
+  | [ (latch, header) ] ->
+    let members = Dominators.natural_loop f ~header ~latch in
+    check_bool "header in loop" true (List.mem header members);
+    check_bool "latch in loop" true (List.mem latch members);
+    check_bool "entry not in loop" true
+      (not (List.mem (Ir.entry f).Ir.label members))
+  | _ -> Alcotest.fail "expected exactly one back edge"
+
+(* ------------------------- licm ----------------------------------- *)
+
+let run_f f ~data ~args = Ir_interp.run (Ast_interp.array_memory data) f ~args
+
+let test_licm_hoists () =
+  let f = compile loop_with_invariant_src in
+  (* Fold first so the invariant expression is in canonical shape. *)
+  ignore (Passes.const_fold f);
+  let hoisted = Licm.run f in
+  check_bool "hoisted the a*b+7 computation" true (hoisted >= 2);
+  Ir.validate f
+
+let test_licm_preserves_semantics () =
+  let reference = compile loop_with_invariant_src in
+  let optimized = compile loop_with_invariant_src in
+  ignore (Licm.run optimized);
+  let data = Array.init 16 (fun i -> i * 5) in
+  let data' = Array.copy data in
+  List.iter
+    (fun n ->
+      check_bool "same result" true
+        (run_f reference ~data ~args:[ 0; n; 3; 4 ]
+         = run_f optimized ~data:data' ~args:[ 0; n; 3; 4 ]))
+    [ 0; 1; 7; 16 ]
+
+let test_licm_zero_trip_safe () =
+  (* The hoisted value must not leak when the loop runs zero times:
+     [t] is dead outside the loop, so hoisting is safe — but a variable
+     live after the loop must NOT be hoisted. *)
+  let f =
+    compile
+      {|kernel f(n: int, a: int) : int {
+          var t: int = 1;
+          var i: int;
+          for (i = 0; i < n; i = i + 1) {
+            t = a * 3;
+          }
+          return t;
+        }|}
+  in
+  let hoisted = Licm.run f in
+  ignore hoisted;
+  let data = [| 0 |] in
+  (* Zero-trip: t keeps its initial value. *)
+  check_bool "zero-trip result preserved" true
+    (run_f f ~data ~args:[ 0; 9 ] = Some 1);
+  check_bool "looped result correct" true
+    (run_f f ~data ~args:[ 5; 9 ] = Some 27)
+
+let test_licm_keeps_variant_code () =
+  let f =
+    compile
+      {|kernel f(p: int*, n: int) {
+          var i: int;
+          for (i = 0; i < n; i = i + 1) {
+            p[i] = i * 2;
+          }
+        }|}
+  in
+  ignore (Licm.run f);
+  let data = Array.make 8 0 in
+  ignore (run_f f ~data ~args:[ 0; 8 ]);
+  Alcotest.(check (array int)) "i*2 stays in the loop"
+    [| 0; 2; 4; 6; 8; 10; 12; 14 |] data
+
+let test_licm_improves_mmul_schedule () =
+  (* The i*n multiply in the innermost loop hoists, removing a
+     multiplier activation per iteration: the inner block's schedule
+     gets shorter. *)
+  let src = (Vmht_workloads.Registry.find "mmul").Vmht_workloads.Workload.source in
+  let without = compile src in
+  let with_licm = compile src in
+  ignore (Passes.optimize with_licm);
+  (* optimize includes licm; compare dynamic cycles through the accel. *)
+  ignore without;
+  let report = Passes.optimize (compile src) in
+  check_bool "licm fired on mmul" true (report.Passes.licms > 0)
+
+let prop_licm_preserves_semantics =
+  QCheck.Test.make ~count:150 ~name:"LICM preserves semantics"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let a = seed mod 19 and b = seed mod 23 in
+      let f_plain = Lower.lower_kernel kernel in
+      let f_licm = Lower.lower_kernel kernel in
+      ignore (Licm.run f_licm);
+      let d1 = Array.init Gen_prog.mem_words (fun i -> (i * 37) mod 101) in
+      let d2 = Array.copy d1 in
+      let r1 = run_f f_plain ~data:d1 ~args:[ 0; a; b ] in
+      let r2 = run_f f_licm ~data:d2 ~args:[ 0; a; b ] in
+      r1 = r2 && d1 = d2)
+
+let prop_licm_then_pipeline_valid =
+  QCheck.Test.make ~count:150 ~name:"full pipeline with LICM keeps IR valid"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let f = Lower.lower_kernel kernel in
+      ignore (Passes.optimize f);
+      match Ir.validate f with () -> true | exception Failure _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "dom: entry dominates all" `Quick test_entry_dominates_all;
+    Alcotest.test_case "dom: reflexive" `Quick test_self_domination;
+    Alcotest.test_case "dom: back edge found" `Quick test_back_edge_found;
+    Alcotest.test_case "dom: straight line" `Quick
+      test_straight_line_no_back_edges;
+    Alcotest.test_case "dom: natural loop members" `Quick
+      test_natural_loop_members;
+    Alcotest.test_case "licm: hoists invariants" `Quick test_licm_hoists;
+    Alcotest.test_case "licm: preserves semantics" `Quick
+      test_licm_preserves_semantics;
+    Alcotest.test_case "licm: zero-trip safe" `Quick test_licm_zero_trip_safe;
+    Alcotest.test_case "licm: keeps variant code" `Quick
+      test_licm_keeps_variant_code;
+    Alcotest.test_case "licm: fires on mmul" `Quick
+      test_licm_improves_mmul_schedule;
+    QCheck_alcotest.to_alcotest prop_licm_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_licm_then_pipeline_valid;
+  ]

@@ -1,0 +1,375 @@
+open Vmht_mem
+module Engine = Vmht_sim.Engine
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* Run a simulated process to completion and return its value. *)
+let in_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn eng ~name:"test" (fun () -> result := Some (f ()));
+  Engine.run eng;
+  Option.get !result
+
+let in_sim_timed f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn eng ~name:"test" (fun () ->
+      let v = f () in
+      result := Some (v, Engine.now_p ()));
+  Engine.run eng;
+  Option.get !result
+
+let make_bus () =
+  let phys = Phys_mem.create ~bytes:(1 lsl 20) in
+  let dram = Dram.create () in
+  (phys, Bus.create phys dram)
+
+(* ------------------------- Phys_mem ------------------------------- *)
+
+let test_phys_rw () =
+  let m = Phys_mem.create ~bytes:1024 in
+  Phys_mem.write m 0 42;
+  Phys_mem.write m 1016 7;
+  check_int "read back" 42 (Phys_mem.read m 0);
+  check_int "read back high" 7 (Phys_mem.read m 1016)
+
+let test_phys_bad_address () =
+  let m = Phys_mem.create ~bytes:1024 in
+  let rejects addr =
+    match Phys_mem.read m addr with
+    | _ -> false
+    | exception Phys_mem.Bad_address _ -> true
+  in
+  check_bool "unaligned" true (rejects 4);
+  check_bool "negative" true (rejects (-8));
+  check_bool "out of range" true (rejects 1024)
+
+(* ------------------------- Dram ----------------------------------- *)
+
+let test_dram_row_hit_cheaper () =
+  let d = Dram.create () in
+  let miss = Dram.access_latency d ~addr:0 in
+  let hit = Dram.access_latency d ~addr:8 in
+  check_bool "hit cheaper than miss" true (hit < miss);
+  let conflict = Dram.access_latency d ~addr:(16 * 2048 * 8) in
+  check_bool "row conflict costs precharge" true (conflict > hit)
+
+let test_dram_burst_amortizes () =
+  let d = Dram.create () in
+  let burst = Dram.burst_latency d ~addr:0 ~words:16 in
+  let d2 = Dram.create () in
+  let singles =
+    List.init 16 (fun i -> Dram.access_latency d2 ~addr:(i * 8))
+    |> List.fold_left ( + ) 0
+  in
+  check_bool "burst beats singles" true (burst < singles)
+
+let test_dram_stats () =
+  let d = Dram.create () in
+  ignore (Dram.access_latency d ~addr:0);
+  ignore (Dram.access_latency d ~addr:8);
+  let s = Dram.stats d in
+  check_int "2 accesses" 2 s.Dram.accesses;
+  check_int "1 hit" 1 s.Dram.row_hits
+
+(* ------------------------- Bus ------------------------------------ *)
+
+let test_bus_moves_data () =
+  let phys, bus = make_bus () in
+  Phys_mem.write phys 64 123;
+  let v = in_sim (fun () -> Bus.read_word bus 64) in
+  check_int "read over bus" 123 v;
+  ignore (in_sim (fun () -> Bus.write_word bus 72 9));
+  check_int "write over bus" 9 (Phys_mem.read phys 72)
+
+let test_bus_burst_roundtrip () =
+  let phys, bus = make_bus () in
+  let data = Array.init 32 (fun i -> i * i) in
+  ignore (in_sim (fun () -> Bus.write_burst bus ~addr:256 data));
+  let back = in_sim (fun () -> Bus.read_burst bus ~addr:256 ~words:32) in
+  Alcotest.(check (array int)) "burst roundtrip" data back;
+  ignore phys
+
+let test_bus_serializes_masters () =
+  let _, bus = make_bus () in
+  let eng = Engine.create () in
+  let finish_times = ref [] in
+  for i = 0 to 2 do
+    Engine.spawn eng ~name:(Printf.sprintf "m%d" i) (fun () ->
+        ignore (Bus.read_word bus (i * 8));
+        finish_times := Engine.now_p () :: !finish_times)
+  done;
+  Engine.run eng;
+  let sorted = List.sort_uniq compare !finish_times in
+  check_int "three distinct completion times" 3 (List.length sorted)
+
+let test_bus_takes_time () =
+  let _, bus = make_bus () in
+  let _, elapsed = in_sim_timed (fun () -> Bus.read_word bus 0) in
+  check_bool "nonzero latency" true (elapsed > 0)
+
+(* ------------------------- Cache ---------------------------------- *)
+
+let test_cache_hits_after_miss () =
+  let phys, bus = make_bus () in
+  Phys_mem.write phys 128 5;
+  let cache = Cache.create bus in
+  let v1, v2 =
+    in_sim (fun () ->
+        let v1 = Cache.read cache ~addr:128 ~phys:128 in
+        let v2 = Cache.read cache ~addr:128 ~phys:128 in
+        (v1, v2))
+  in
+  check_int "value" 5 v1;
+  check_int "same" 5 v2;
+  let s = Cache.stats cache in
+  check_int "one miss" 1 s.Cache.read_misses;
+  check_int "one hit" 1 s.Cache.read_hits
+
+let test_cache_line_granularity () =
+  let phys, bus = make_bus () in
+  for i = 0 to 3 do
+    Phys_mem.write phys (i * 8) (100 + i)
+  done;
+  let cache = Cache.create bus in
+  ignore (in_sim (fun () -> Cache.read cache ~addr:0 ~phys:0));
+  let v = in_sim (fun () -> Cache.read cache ~addr:8 ~phys:8) in
+  check_int "neighbor fetched with line" 101 v;
+  check_int "only one miss" 1 (Cache.stats cache).Cache.read_misses
+
+let test_cache_write_back () =
+  let phys, bus = make_bus () in
+  let cache = Cache.create bus in
+  ignore (in_sim (fun () -> Cache.write cache ~addr:64 ~phys:64 77));
+  check_bool "not in DRAM before flush" true (Phys_mem.read phys 64 <> 77);
+  check_int "one dirty line" 1 (Cache.dirty_lines cache);
+  ignore (in_sim (fun () -> Cache.flush cache));
+  check_int "visible after flush" 77 (Phys_mem.read phys 64);
+  check_int "clean after flush" 0 (Cache.dirty_lines cache)
+
+let test_cache_eviction_writes_back () =
+  let phys, bus = make_bus () in
+  let config =
+    { Cache.size_bytes = 64; line_bytes = 32; ways = 1; hit_latency = 1 }
+  in
+  let cache = Cache.create ~config bus in
+  in_sim (fun () ->
+      Cache.write cache ~addr:0 ~phys:0 11;
+      (* Touch conflicting lines until line 0 is evicted. *)
+      for i = 1 to 7 do
+        ignore (Cache.read cache ~addr:(i * 64) ~phys:(i * 64))
+      done);
+  check_int "dirty victim written back" 11 (Phys_mem.read phys 0);
+  check_bool "writeback counted" true ((Cache.stats cache).Cache.writebacks >= 1)
+
+let test_cache_invalidate () =
+  let phys, bus = make_bus () in
+  Phys_mem.write phys 0 1;
+  let cache = Cache.create bus in
+  ignore (in_sim (fun () -> Cache.read cache ~addr:0 ~phys:0));
+  (* An accelerator writes DRAM behind the cache's back. *)
+  Phys_mem.write phys 0 2;
+  let stale = in_sim (fun () -> Cache.read cache ~addr:0 ~phys:0) in
+  check_int "stale before maintenance" 1 stale;
+  Cache.invalidate_all cache;
+  let fresh = in_sim (fun () -> Cache.read cache ~addr:0 ~phys:0) in
+  check_int "fresh after invalidate" 2 fresh
+
+let test_cache_eviction () =
+  let phys, bus = make_bus () in
+  let config =
+    { Cache.size_bytes = 256; line_bytes = 32; ways = 2; hit_latency = 1 }
+  in
+  let cache = Cache.create ~config bus in
+  ignore phys;
+  in_sim (fun () ->
+      (* Touch many distinct lines mapping to few sets. *)
+      for i = 0 to 63 do
+        ignore (Cache.read cache ~addr:(i * 32) ~phys:(i * 32))
+      done);
+  check_int "all misses" 64 (Cache.stats cache).Cache.read_misses
+
+(* ------------------------- Scratchpad ----------------------------- *)
+
+let test_scratchpad_windows () =
+  let pad = Scratchpad.create ~words:64 ~access_latency:1 in
+  Scratchpad.map_window pad ~base:0x10000 ~words:16;
+  Scratchpad.map_window pad ~base:0x40000 ~words:16;
+  check_int "first window at 0" 0 (Scratchpad.local_of_vaddr pad 0x10000);
+  check_int "second window after first" 16
+    (Scratchpad.local_of_vaddr pad 0x40000);
+  check_int "offset inside window" 17
+    (Scratchpad.local_of_vaddr pad (0x40000 + 8));
+  check_bool "outside raises" true
+    (match Scratchpad.local_of_vaddr pad 0x99999 with
+     | _ -> false
+     | exception Scratchpad.Out_of_window _ -> true)
+
+let test_scratchpad_overlap_rejected () =
+  let pad = Scratchpad.create ~words:64 ~access_latency:1 in
+  Scratchpad.map_window pad ~base:0x1000 ~words:16;
+  check_bool "overlap rejected" true
+    (match Scratchpad.map_window pad ~base:0x1000 ~words:4 with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_scratchpad_capacity () =
+  let pad = Scratchpad.create ~words:8 ~access_latency:1 in
+  check_bool "over capacity rejected" true
+    (match Scratchpad.map_window pad ~base:0 ~words:9 with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_scratchpad_rw () =
+  let pad = Scratchpad.create ~words:8 ~access_latency:2 in
+  Scratchpad.map_window pad ~base:0x2000 ~words:8;
+  let v, elapsed =
+    in_sim_timed (fun () ->
+        Scratchpad.store pad 0x2008 55;
+        Scratchpad.load pad 0x2008)
+  in
+  check_int "value" 55 v;
+  check_int "2 accesses x 2 cycles" 4 elapsed
+
+(* ------------------------- Dma ------------------------------------ *)
+
+let test_dma_copy_roundtrip () =
+  let phys, bus = make_bus () in
+  for i = 0 to 99 do
+    Phys_mem.write phys (i * 8) (i + 1)
+  done;
+  let pad = Scratchpad.create ~words:128 ~access_latency:1 in
+  let dma = Dma.create bus in
+  in_sim (fun () ->
+      Dma.copy_in dma pad ~src_phys:0 ~dst_word:0 ~words:100;
+      (* mirror back to a different DRAM region *)
+      Dma.copy_out dma pad ~src_word:0 ~dst_phys:4096 ~words:100);
+  for i = 0 to 99 do
+    check_int "copied" (i + 1) (Phys_mem.read phys (4096 + (i * 8)))
+  done;
+  let s = Dma.stats dma in
+  check_int "words in" 100 s.Dma.words_in;
+  check_int "words out" 100 s.Dma.words_out
+
+let test_dma_scattered () =
+  let phys, bus = make_bus () in
+  for i = 0 to 31 do
+    Phys_mem.write phys (8192 + (i * 8)) (500 + i);
+    Phys_mem.write phys (32768 + (i * 8)) (900 + i)
+  done;
+  let pad = Scratchpad.create ~words:64 ~access_latency:1 in
+  let dma = Dma.create bus in
+  in_sim (fun () ->
+      Dma.copy_in_scattered dma pad
+        ~chunks:[ (8192, 32); (32768, 32) ]
+        ~dst_word:0);
+  check_int "first chunk" 500 (Scratchpad.read_local pad 0);
+  check_int "second chunk" 900 (Scratchpad.read_local pad 32)
+
+let test_dma_burst_cheaper_than_words () =
+  let _, bus = make_bus () in
+  let pad = Scratchpad.create ~words:256 ~access_latency:1 in
+  let dma = Dma.create ~setup_cycles:0 bus in
+  let _, burst_time =
+    in_sim_timed (fun () ->
+        Dma.copy_in dma pad ~src_phys:0 ~dst_word:0 ~words:256)
+  in
+  let _, bus2 = make_bus () in
+  let _, word_time =
+    in_sim_timed (fun () ->
+        for i = 0 to 255 do
+          ignore (Bus.read_word bus2 (i * 8))
+        done)
+  in
+  check_bool "DMA bursts beat word-at-a-time" true (burst_time < word_time / 2)
+
+(* ------------------------- qcheck models -------------------------- *)
+
+(* The cache, driven with random reads/writes, must behave exactly like
+   flat memory once flushed. *)
+let prop_cache_matches_flat_memory =
+  QCheck.Test.make ~count:100 ~name:"cache: random ops match flat memory"
+    QCheck.(list (pair (int_bound 255) (option (int_bound 10_000))))
+    (fun ops ->
+      let phys, bus = make_bus () in
+      let shadow = Array.init 256 (fun i -> Phys_mem.read phys (i * 8)) in
+      let config =
+        { Cache.size_bytes = 256; line_bytes = 32; ways = 2; hit_latency = 1 }
+      in
+      let cache = Cache.create ~config bus in
+      in_sim (fun () ->
+          List.iter
+            (fun (word, write) ->
+              let addr = word * 8 in
+              match write with
+              | Some v ->
+                shadow.(word) <- v;
+                Cache.write cache ~addr ~phys:addr v
+              | None ->
+                let got = Cache.read cache ~addr ~phys:addr in
+                if got <> shadow.(word) then failwith "stale read")
+            ops;
+          Cache.flush cache);
+      Array.for_all Fun.id
+        (Array.init 256 (fun i -> Phys_mem.read phys (i * 8) = shadow.(i))))
+
+let prop_dram_burst_no_worse_than_singles =
+  QCheck.Test.make ~count:100 ~name:"dram: bursts never cost more than singles"
+    QCheck.(pair (int_bound 4000) (int_range 1 64))
+    (fun (start_word, words) ->
+      let addr = start_word * 8 in
+      let d1 = Dram.create () in
+      let burst = Dram.burst_latency d1 ~addr ~words in
+      let d2 = Dram.create () in
+      let singles = ref 0 in
+      for i = 0 to words - 1 do
+        singles := !singles + Dram.access_latency d2 ~addr:(addr + (i * 8))
+      done;
+      burst <= !singles)
+
+let prop_scratchpad_window_translation =
+  QCheck.Test.make ~count:100 ~name:"scratchpad: window translation is affine"
+    QCheck.(pair (int_range 1 64) (int_bound 63))
+    (fun (words, probe) ->
+      let pad = Scratchpad.create ~words:128 ~access_latency:1 in
+      let base = 0x4000 in
+      Scratchpad.map_window pad ~base ~words;
+      let probe = probe mod words in
+      Scratchpad.local_of_vaddr pad (base + (probe * 8)) = probe)
+
+let suite =
+  [
+    Alcotest.test_case "phys: read/write" `Quick test_phys_rw;
+    Alcotest.test_case "phys: bad address" `Quick test_phys_bad_address;
+    Alcotest.test_case "dram: row hit cheaper" `Quick test_dram_row_hit_cheaper;
+    Alcotest.test_case "dram: burst amortizes" `Quick test_dram_burst_amortizes;
+    Alcotest.test_case "dram: stats" `Quick test_dram_stats;
+    Alcotest.test_case "bus: moves data" `Quick test_bus_moves_data;
+    Alcotest.test_case "bus: burst roundtrip" `Quick test_bus_burst_roundtrip;
+    Alcotest.test_case "bus: serializes masters" `Quick
+      test_bus_serializes_masters;
+    Alcotest.test_case "bus: takes time" `Quick test_bus_takes_time;
+    Alcotest.test_case "cache: hit after miss" `Quick test_cache_hits_after_miss;
+    Alcotest.test_case "cache: line granularity" `Quick
+      test_cache_line_granularity;
+    Alcotest.test_case "cache: write-back + flush" `Quick test_cache_write_back;
+    Alcotest.test_case "cache: eviction writes back" `Quick
+      test_cache_eviction_writes_back;
+    Alcotest.test_case "cache: invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "cache: eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "scratchpad: windows" `Quick test_scratchpad_windows;
+    Alcotest.test_case "scratchpad: overlap rejected" `Quick
+      test_scratchpad_overlap_rejected;
+    Alcotest.test_case "scratchpad: capacity" `Quick test_scratchpad_capacity;
+    Alcotest.test_case "scratchpad: timed rw" `Quick test_scratchpad_rw;
+    Alcotest.test_case "dma: copy roundtrip" `Quick test_dma_copy_roundtrip;
+    Alcotest.test_case "dma: scattered" `Quick test_dma_scattered;
+    Alcotest.test_case "dma: bursts amortize" `Quick
+      test_dma_burst_cheaper_than_words;
+    QCheck_alcotest.to_alcotest prop_cache_matches_flat_memory;
+    QCheck_alcotest.to_alcotest prop_dram_burst_no_worse_than_singles;
+    QCheck_alcotest.to_alcotest prop_scratchpad_window_translation;
+  ]

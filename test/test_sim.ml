@@ -1,0 +1,245 @@
+open Vmht_sim
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* --------------------- Event_queue -------------------------------- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~at:5 "c";
+  Event_queue.push q ~at:1 "a";
+  Event_queue.push q ~at:3 "b";
+  let pop () =
+    match Event_queue.pop q with Some (_, v) -> v | None -> "?"
+  in
+  (* Bind each pop explicitly: list literals evaluate right-to-left. *)
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.push q ~at:7 v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Event_queue.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "ties pop FIFO" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_queue_interleaved () =
+  let q = Event_queue.create () in
+  for i = 0 to 99 do
+    Event_queue.push q ~at:(i * 17 mod 31) i
+  done;
+  let last = ref (-1) in
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (at, _) ->
+      check_bool "non-decreasing" true (at >= !last);
+      last := at;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "all popped" 100 !count
+
+(* --------------------- Engine ------------------------------------- *)
+
+let test_wait_advances_time () =
+  let eng = Engine.create () in
+  let finished_at = ref (-1) in
+  Engine.spawn eng ~name:"p" (fun () ->
+      Engine.wait 10;
+      Engine.wait 5;
+      finished_at := Engine.now_p ());
+  Engine.run eng;
+  check_int "time advanced" 15 !finished_at
+
+let test_parallel_processes () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  let proc name delay () =
+    Engine.wait delay;
+    order := name :: !order
+  in
+  Engine.spawn eng ~name:"slow" (proc "slow" 20);
+  Engine.spawn eng ~name:"fast" (proc "fast" 5);
+  Engine.spawn eng ~name:"mid" (proc "mid" 10);
+  Engine.run eng;
+  Alcotest.(check (list string)) "completion order" [ "fast"; "mid"; "slow" ]
+    (List.rev !order)
+
+let test_fork () =
+  let eng = Engine.create () in
+  let results = ref [] in
+  Engine.spawn eng ~name:"parent" (fun () ->
+      Engine.fork ~name:"child" (fun () ->
+          Engine.wait 3;
+          results := ("child", Engine.now_p ()) :: !results);
+      Engine.wait 1;
+      results := ("parent", Engine.now_p ()) :: !results);
+  Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "parent then child" [ ("parent", 1); ("child", 3) ]
+    (List.rev !results)
+
+let test_suspend_resume () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  let woke_at = ref (-1) in
+  Engine.spawn eng ~name:"sleeper" (fun () ->
+      Engine.suspend (fun resume -> resumer := Some resume);
+      woke_at := Engine.now_p ());
+  Engine.spawn eng ~name:"waker" (fun () ->
+      Engine.wait 42;
+      match !resumer with Some r -> r () | None -> Alcotest.fail "no resumer");
+  Engine.run eng;
+  check_int "woke at waker's time" 42 !woke_at
+
+let test_double_resume_rejected () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  Engine.spawn eng ~name:"sleeper" (fun () ->
+      Engine.suspend (fun resume -> resumer := Some resume));
+  Engine.spawn eng ~name:"waker" (fun () ->
+      Engine.wait 1;
+      match !resumer with
+      | Some r ->
+        r ();
+        Alcotest.check_raises "second resume raises"
+          (Invalid_argument "Engine.suspend: process resumed twice") r
+      | None -> Alcotest.fail "no resumer");
+  Engine.run eng
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let progress = ref 0 in
+  Engine.spawn eng ~name:"ticker" (fun () ->
+      let rec loop () =
+        Engine.wait 10;
+        incr progress;
+        if !progress < 100 then loop ()
+      in
+      loop ());
+  Engine.run ~until:35 eng;
+  check_int "three ticks fit in 35 cycles" 3 !progress;
+  Engine.run eng;
+  check_int "finishes when resumed" 100 !progress
+
+let test_stuck_detection () =
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"forever" (fun () ->
+      Engine.suspend (fun _resume -> ()));
+  check_bool "raises Stuck" true
+    (match Engine.run ~check_quiescent:true eng with
+     | () -> false
+     | exception Engine.Stuck _ -> true)
+
+let test_not_in_process () =
+  check_bool "wait outside process raises" true
+    (match Engine.wait 1 with
+     | () -> false
+     | exception Engine.Not_in_process -> true)
+
+let test_determinism () =
+  let run_once () =
+    let eng = Engine.create () in
+    let log = Buffer.create 64 in
+    for i = 0 to 9 do
+      Engine.spawn eng ~name:(string_of_int i) (fun () ->
+          Engine.wait (i * 3 mod 7);
+          Buffer.add_string log (Printf.sprintf "%d@%d;" i (Engine.now_p ())))
+    done;
+    Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (run_once ()) (run_once ())
+
+(* --------------------- Resource ----------------------------------- *)
+
+let test_resource_serializes () =
+  let eng = Engine.create () in
+  let bus = Resource.create ~name:"bus" in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng ~name:(Printf.sprintf "p%d" i) (fun () ->
+        Resource.use bus ~cycles:10;
+        finish := (i, Engine.now_p ()) :: !finish)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "FIFO, 10 cycles apart"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (List.rev !finish)
+
+let test_resource_stats () =
+  let eng = Engine.create () in
+  let r = Resource.create ~name:"r" in
+  for _ = 1 to 4 do
+    Engine.spawn eng ~name:"u" (fun () -> Resource.use r ~cycles:5)
+  done;
+  Engine.run eng;
+  let s = Resource.stats r in
+  check_int "transactions" 4 s.Resource.transactions;
+  check_int "busy cycles" 20 s.Resource.busy_cycles;
+  (* waiters queue for 5, 10, 15 cycles respectively *)
+  check_int "wait cycles" 30 s.Resource.wait_cycles;
+  check_int "max queue" 3 s.Resource.max_queue
+
+let test_resource_utilization () =
+  let eng = Engine.create () in
+  let r = Resource.create ~name:"r" in
+  Engine.spawn eng ~name:"u" (fun () ->
+      Engine.wait 10;
+      Resource.use r ~cycles:10);
+  Engine.run eng;
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Resource.utilization r ~total_cycles:20)
+
+(* --------------------- Trace -------------------------------------- *)
+
+let test_trace_disabled_by_default () =
+  let tr = Trace.create () in
+  Trace.record tr ~at:0 ~component:"x" "y";
+  check_int "nothing recorded" 0 (Trace.count tr)
+
+let test_trace_bounded () =
+  let tr = Trace.create ~capacity:3 () in
+  Trace.enable tr true;
+  for i = 1 to 5 do
+    Trace.record tr ~at:i ~component:"c" (string_of_int i)
+  done;
+  check_int "capacity respected" 3 (Trace.count tr);
+  check_int "dropped counted" 2 (Trace.dropped tr);
+  match Trace.events tr with
+  | { Trace.at = 3; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest retained event should be at=3"
+
+let suite =
+  [
+    Alcotest.test_case "queue: ordering" `Quick test_queue_order;
+    Alcotest.test_case "queue: FIFO ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue: interleaved" `Quick test_queue_interleaved;
+    Alcotest.test_case "engine: wait advances time" `Quick test_wait_advances_time;
+    Alcotest.test_case "engine: parallel processes" `Quick test_parallel_processes;
+    Alcotest.test_case "engine: fork" `Quick test_fork;
+    Alcotest.test_case "engine: suspend/resume" `Quick test_suspend_resume;
+    Alcotest.test_case "engine: double resume rejected" `Quick
+      test_double_resume_rejected;
+    Alcotest.test_case "engine: run until" `Quick test_run_until;
+    Alcotest.test_case "engine: stuck detection" `Quick test_stuck_detection;
+    Alcotest.test_case "engine: not in process" `Quick test_not_in_process;
+    Alcotest.test_case "engine: deterministic" `Quick test_determinism;
+    Alcotest.test_case "resource: serializes FIFO" `Quick test_resource_serializes;
+    Alcotest.test_case "resource: stats" `Quick test_resource_stats;
+    Alcotest.test_case "resource: utilization" `Quick test_resource_utilization;
+    Alcotest.test_case "trace: disabled by default" `Quick
+      test_trace_disabled_by_default;
+    Alcotest.test_case "trace: bounded" `Quick test_trace_bounded;
+  ]

@@ -1,0 +1,346 @@
+open Vmht_vm
+module Phys_mem = Vmht_mem.Phys_mem
+module Bus = Vmht_mem.Bus
+module Dram = Vmht_mem.Dram
+module Engine = Vmht_sim.Engine
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let make_world ?(page_shift = 12) () =
+  let bytes = 1 lsl 22 in
+  let phys = Phys_mem.create ~bytes in
+  let dram = Dram.create () in
+  let bus = Bus.create phys dram in
+  let frames =
+    Frame_alloc.create ~base:0 ~bytes ~page_bytes:(1 lsl page_shift)
+  in
+  let aspace = Addr_space.create phys frames ~page_shift ~va_bits:24 in
+  (phys, bus, frames, aspace)
+
+let in_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn eng ~name:"test" (fun () -> result := Some (f ()));
+  Engine.run eng;
+  Option.get !result
+
+let in_sim_timed f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn eng ~name:"test" (fun () ->
+      let v = f () in
+      result := Some (v, Engine.now_p ()));
+  Engine.run eng;
+  Option.get !result
+
+(* ------------------------- Frame_alloc ---------------------------- *)
+
+let test_frames_distinct () =
+  let fa = Frame_alloc.create ~base:0 ~bytes:65536 ~page_bytes:4096 in
+  let frames = List.init 16 (fun _ -> Frame_alloc.alloc fa) in
+  check_int "all distinct" 16 (List.length (List.sort_uniq compare frames))
+
+let test_frames_exhaustion_and_reuse () =
+  let fa = Frame_alloc.create ~base:0 ~bytes:8192 ~page_bytes:4096 in
+  let f1 = Frame_alloc.alloc fa in
+  let _f2 = Frame_alloc.alloc fa in
+  check_bool "exhausted" true
+    (match Frame_alloc.alloc fa with
+     | _ -> false
+     | exception Frame_alloc.Out_of_frames -> true);
+  Frame_alloc.free fa f1;
+  check_int "recycled" f1 (Frame_alloc.alloc fa)
+
+(* ------------------------- Page_table ----------------------------- *)
+
+let test_pt_map_lookup () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  let frame = Frame_alloc.alloc frames in
+  Page_table.map pt ~vaddr:0x5000 ~frame ~writable:true;
+  (match Page_table.lookup pt ~vaddr:0x5123 with
+   | Some e ->
+     check_int "frame" frame e.Page_table.frame;
+     check_bool "writable" true e.Page_table.writable
+   | None -> Alcotest.fail "expected mapping");
+  check_bool "other page unmapped" true
+    (Page_table.lookup pt ~vaddr:0x9000 = None)
+
+let test_pt_translate_offset () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  let frame = Frame_alloc.alloc frames in
+  Page_table.map pt ~vaddr:0x7000 ~frame ~writable:false;
+  check_bool "offset preserved" true
+    (Page_table.translate pt ~vaddr:0x74F8 = Some (frame + 0x4F8))
+
+let test_pt_double_map_rejected () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  Page_table.map pt ~vaddr:0x3000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  check_bool "remap raises" true
+    (match
+       Page_table.map pt ~vaddr:0x3000 ~frame:(Frame_alloc.alloc frames)
+         ~writable:true
+     with
+     | () -> false
+     | exception Page_table.Already_mapped _ -> true)
+
+let test_pt_unmap () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  Page_table.map pt ~vaddr:0x3000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  Page_table.unmap pt ~vaddr:0x3000;
+  check_bool "gone" true (Page_table.lookup pt ~vaddr:0x3000 = None)
+
+let test_pt_walk_addrs () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  check_int "unmapped walk stops at L1" 1
+    (List.length (Page_table.walk_addrs pt ~vaddr:0xA000));
+  Page_table.map pt ~vaddr:0xA000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  check_int "mapped walk reads two levels" 2
+    (List.length (Page_table.walk_addrs pt ~vaddr:0xA000))
+
+let prop_pt_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"page table: map/lookup round-trips"
+    QCheck.(small_nat)
+    (fun n ->
+      let _, _, frames, aspace = make_world () in
+      let pt = Addr_space.page_table aspace in
+      let pages = List.init (1 + (n mod 30)) (fun i -> (i * 3) + 1) in
+      let mapping =
+        List.map
+          (fun vpn ->
+            let frame = Frame_alloc.alloc frames in
+            Page_table.map pt ~vaddr:(vpn * 4096) ~frame ~writable:(vpn mod 2 = 0);
+            (vpn, frame))
+          pages
+      in
+      List.for_all
+        (fun (vpn, frame) ->
+          match Page_table.lookup pt ~vaddr:(vpn * 4096) with
+          | Some e -> e.Page_table.frame = frame
+          | None -> false)
+        mapping)
+
+(* ------------------------- Addr_space ----------------------------- *)
+
+let test_aspace_alloc_rw () =
+  let _, _, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:65536 in
+  check_bool "non-null base" true (base > 0);
+  Addr_space.store_word aspace base 11;
+  Addr_space.store_word aspace (base + 65528) 22;
+  check_int "low" 11 (Addr_space.load_word aspace base);
+  check_int "high" 22 (Addr_space.load_word aspace (base + 65528))
+
+let test_aspace_null_unmapped () =
+  let _, _, _, aspace = make_world () in
+  check_bool "address 0 unmapped" true (Addr_space.translate aspace 0 = None)
+
+let test_aspace_regions_disjoint () =
+  let _, _, _, aspace = make_world () in
+  let a = Addr_space.alloc aspace ~bytes:5000 in
+  let b = Addr_space.alloc aspace ~bytes:5000 in
+  check_bool "no overlap" true (b >= a + 5000 || a >= b + 5000)
+
+let test_aspace_lazy_faults () =
+  let _, _, _, aspace = make_world () in
+  let base = Addr_space.alloc ~lazy_:true aspace ~bytes:16384 in
+  check_bool "initially unmapped" true
+    (Addr_space.translate aspace base = None);
+  check_bool "fault repairs" true (Addr_space.handle_fault aspace ~vaddr:base);
+  check_bool "mapped after fault" true
+    (Addr_space.translate aspace base <> None);
+  check_int "one lazy page touched" 1 (Addr_space.touched_lazy_pages aspace)
+
+let test_aspace_segfault () =
+  let _, _, _, aspace = make_world () in
+  check_bool "wild access raises" true
+    (match Addr_space.load_word aspace 0x100000 with
+     | _ -> false
+     | exception Addr_space.Segfault _ -> true)
+
+(* ------------------------- Tlb ------------------------------------ *)
+
+let test_tlb_hit_after_insert () =
+  let tlb = Tlb.create Tlb.default_config in
+  check_bool "cold miss" true (Tlb.lookup tlb ~vpn:5 = None);
+  Tlb.insert tlb ~vpn:5 { Tlb.frame = 0x4000; writable = true };
+  (match Tlb.lookup tlb ~vpn:5 with
+   | Some e -> check_int "frame" 0x4000 e.Tlb.frame
+   | None -> Alcotest.fail "expected hit");
+  let s = Tlb.stats tlb in
+  check_int "1 hit" 1 s.Tlb.hits;
+  check_int "2 lookups" 2 s.Tlb.lookups
+
+let test_tlb_lru_eviction () =
+  let tlb = Tlb.create { Tlb.entries = 4; assoc = 0; policy = Tlb.Lru } in
+  for vpn = 0 to 3 do
+    Tlb.insert tlb ~vpn { Tlb.frame = vpn * 4096; writable = true }
+  done;
+  (* Touch 0..2 so 3 is LRU; insert 4 -> 3 evicted. *)
+  for vpn = 0 to 2 do
+    ignore (Tlb.lookup tlb ~vpn)
+  done;
+  Tlb.insert tlb ~vpn:4 { Tlb.frame = 0; writable = true };
+  check_bool "vpn 3 evicted" true (Tlb.lookup tlb ~vpn:3 = None);
+  check_bool "vpn 0 retained" true (Tlb.lookup tlb ~vpn:0 <> None)
+
+let test_tlb_fifo_eviction () =
+  let tlb = Tlb.create { Tlb.entries = 4; assoc = 0; policy = Tlb.Fifo } in
+  for vpn = 0 to 3 do
+    Tlb.insert tlb ~vpn { Tlb.frame = 0; writable = true }
+  done;
+  (* Touching does not matter for FIFO: 0 is still the first in. *)
+  ignore (Tlb.lookup tlb ~vpn:0);
+  Tlb.insert tlb ~vpn:9 { Tlb.frame = 0; writable = true };
+  check_bool "vpn 0 evicted (FIFO)" true (Tlb.lookup tlb ~vpn:0 = None)
+
+let test_tlb_set_associative_conflicts () =
+  (* 4 entries, 2 ways -> 2 sets: vpns 0,2,4 share set 0. *)
+  let tlb = Tlb.create { Tlb.entries = 4; assoc = 2; policy = Tlb.Lru } in
+  List.iter
+    (fun vpn -> Tlb.insert tlb ~vpn { Tlb.frame = 0; writable = true })
+    [ 0; 2; 4 ];
+  check_bool "conflict evicted vpn 0" true (Tlb.lookup tlb ~vpn:0 = None);
+  check_bool "other set unaffected" true (Tlb.occupancy tlb <= 4)
+
+let test_tlb_invalidate () =
+  let tlb = Tlb.create Tlb.default_config in
+  Tlb.insert tlb ~vpn:1 { Tlb.frame = 0; writable = true };
+  Tlb.invalidate tlb ~vpn:1;
+  check_bool "gone" true (Tlb.lookup tlb ~vpn:1 = None);
+  Tlb.insert tlb ~vpn:2 { Tlb.frame = 0; writable = true };
+  Tlb.invalidate_all tlb;
+  check_int "empty" 0 (Tlb.occupancy tlb)
+
+let prop_tlb_never_stale =
+  QCheck.Test.make ~count:200 ~name:"tlb: lookups never return stale frames"
+    QCheck.(list (pair (int_bound 20) (int_bound 1000)))
+    (fun ops ->
+      let tlb = Tlb.create { Tlb.entries = 4; assoc = 0; policy = Tlb.Lru } in
+      let shadow = Hashtbl.create 16 in
+      List.for_all
+        (fun (vpn, frame_raw) ->
+          let frame = frame_raw * 4096 in
+          Tlb.insert tlb ~vpn { Tlb.frame; writable = true };
+          Hashtbl.replace shadow vpn frame;
+          match Tlb.lookup tlb ~vpn with
+          | Some e -> e.Tlb.frame = Hashtbl.find shadow vpn
+          | None -> false)
+        ops)
+
+(* ------------------------- Ptw / Mmu ------------------------------ *)
+
+let test_ptw_walk_times_and_translates () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:4096 in
+  let ptw = Ptw.create bus (Addr_space.page_table aspace) in
+  let entry, elapsed = in_sim_timed (fun () -> Ptw.walk ptw ~vaddr:base) in
+  check_bool "found" true (entry <> None);
+  check_bool "walk takes bus time" true (elapsed > 0);
+  check_int "two level reads" 2 (Ptw.stats ptw).Ptw.level_reads
+
+let test_mmu_translate_hit_vs_miss () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:8192 in
+  let mmu = Mmu.create Mmu.default_config bus aspace in
+  let (p1, p2), _ =
+    in_sim_timed (fun () ->
+        let p1 = Mmu.translate mmu ~vaddr:base in
+        let p2 = Mmu.translate mmu ~vaddr:(base + 8) in
+        (p1, p2))
+  in
+  check_bool "translations agree with page table" true
+    (Some p1 = Addr_space.translate aspace base
+     && Some p2 = Addr_space.translate aspace (base + 8));
+  let s = Mmu.stats mmu in
+  check_int "one miss" 1 s.Mmu.tlb_misses;
+  check_int "one hit" 1 s.Mmu.tlb_hits
+
+let test_mmu_miss_slower_than_hit () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:4096 in
+  let mmu = Mmu.create Mmu.default_config bus aspace in
+  let _, miss_time = in_sim_timed (fun () -> Mmu.translate mmu ~vaddr:base) in
+  let _, hit_time = in_sim_timed (fun () -> Mmu.translate mmu ~vaddr:base) in
+  check_bool "miss slower" true (miss_time > hit_time)
+
+let test_mmu_demand_paging () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc ~lazy_:true aspace ~bytes:4096 in
+  let mmu = Mmu.create Mmu.default_config bus aspace in
+  let v = in_sim (fun () ->
+      Mmu.store mmu base 99;
+      Mmu.load mmu base)
+  in
+  check_int "value through demand-paged memory" 99 v;
+  check_int "one fault" 1 (Mmu.stats mmu).Mmu.page_faults
+
+let test_mmu_fault_on_wild_access () =
+  let _, bus, _, aspace = make_world () in
+  let mmu = Mmu.create Mmu.default_config bus aspace in
+  check_bool "raises Mmu_fault" true
+    (in_sim (fun () ->
+         match Mmu.load mmu 0x200000 with
+         | _ -> false
+         | exception Mmu.Mmu_fault _ -> true))
+
+let test_mmu_sw_refill_slower () =
+  let run hw_walk =
+    let _, bus, _, aspace = make_world () in
+    let base = Addr_space.alloc aspace ~bytes:4096 in
+    let mmu = Mmu.create { Mmu.default_config with Mmu.hw_walk } bus aspace in
+    snd (in_sim_timed (fun () -> Mmu.translate mmu ~vaddr:base))
+  in
+  check_bool "software refill costs more" true (run false > run true)
+
+let test_mmu_loads_data () =
+  let phys, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:4096 in
+  Addr_space.store_word aspace base 1234;
+  let mmu = Mmu.create Mmu.default_config bus aspace in
+  check_int "load via mmu" 1234 (in_sim (fun () -> Mmu.load mmu base));
+  ignore phys
+
+let suite =
+  [
+    Alcotest.test_case "frames: distinct" `Quick test_frames_distinct;
+    Alcotest.test_case "frames: exhaustion + reuse" `Quick
+      test_frames_exhaustion_and_reuse;
+    Alcotest.test_case "pt: map/lookup" `Quick test_pt_map_lookup;
+    Alcotest.test_case "pt: translate offset" `Quick test_pt_translate_offset;
+    Alcotest.test_case "pt: double map rejected" `Quick
+      test_pt_double_map_rejected;
+    Alcotest.test_case "pt: unmap" `Quick test_pt_unmap;
+    Alcotest.test_case "pt: walk addrs" `Quick test_pt_walk_addrs;
+    QCheck_alcotest.to_alcotest prop_pt_roundtrip;
+    Alcotest.test_case "aspace: alloc + rw" `Quick test_aspace_alloc_rw;
+    Alcotest.test_case "aspace: null unmapped" `Quick test_aspace_null_unmapped;
+    Alcotest.test_case "aspace: regions disjoint" `Quick
+      test_aspace_regions_disjoint;
+    Alcotest.test_case "aspace: lazy faults" `Quick test_aspace_lazy_faults;
+    Alcotest.test_case "aspace: segfault" `Quick test_aspace_segfault;
+    Alcotest.test_case "tlb: hit after insert" `Quick test_tlb_hit_after_insert;
+    Alcotest.test_case "tlb: LRU eviction" `Quick test_tlb_lru_eviction;
+    Alcotest.test_case "tlb: FIFO eviction" `Quick test_tlb_fifo_eviction;
+    Alcotest.test_case "tlb: set-assoc conflicts" `Quick
+      test_tlb_set_associative_conflicts;
+    Alcotest.test_case "tlb: invalidate" `Quick test_tlb_invalidate;
+    QCheck_alcotest.to_alcotest prop_tlb_never_stale;
+    Alcotest.test_case "ptw: timed walk" `Quick test_ptw_walk_times_and_translates;
+    Alcotest.test_case "mmu: hit vs miss" `Quick test_mmu_translate_hit_vs_miss;
+    Alcotest.test_case "mmu: miss slower" `Quick test_mmu_miss_slower_than_hit;
+    Alcotest.test_case "mmu: demand paging" `Quick test_mmu_demand_paging;
+    Alcotest.test_case "mmu: wild access faults" `Quick
+      test_mmu_fault_on_wild_access;
+    Alcotest.test_case "mmu: SW refill slower" `Quick test_mmu_sw_refill_slower;
+    Alcotest.test_case "mmu: loads data" `Quick test_mmu_loads_data;
+  ]

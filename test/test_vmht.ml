@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "vmht"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("lang", Test_lang.suite);
+      ("inline", Test_inline.suite);
+      ("ir", Test_ir.suite);
+      ("licm", Test_licm.suite);
+      ("hls", Test_hls.suite);
+      ("pipeliner", Test_pipeliner.suite);
+      ("mem", Test_mem.suite);
+      ("vm", Test_vm.suite);
+      ("runtime", Test_runtime.suite);
+      ("core", Test_core.suite);
+      ("isolation", Test_isolation.suite);
+      ("system", Test_system.suite);
+    ]

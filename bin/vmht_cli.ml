@@ -102,6 +102,13 @@ let synth_cmd =
 
 (* ------------------------- run ------------------------------------ *)
 
+let write_chrome_trace path events =
+  match Vmht_obs.Chrome_trace.write_file path events with
+  | () -> true
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write trace: %s\n" msg;
+    false
+
 let mode_conv =
   Arg.enum
     [
@@ -133,10 +140,28 @@ let run_cmd =
       & info [ "trace" ] ~docv:"N"
           ~doc:"Record the system trace and print its first $(docv) events.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record the system trace and write it as Chrome-trace JSON \
+             (load in Perfetto or chrome://tracing) to $(docv).")
+  in
+  let metrics_json =
+    Arg.(
+      value & flag
+      & info [ "metrics-json" ]
+          ~doc:
+            "Print the machine-readable report (metrics registry, phase \
+             attribution) as JSON on stdout, instead of the usual summary.")
+  in
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
-  let action wname mode size tlb page_shift stats trace_n pipeline =
+  let action wname mode size tlb page_shift stats trace_n trace_out
+      metrics_json pipeline =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
@@ -157,59 +182,179 @@ let run_cmd =
       let size =
         Option.value ~default:w.Vmht_workloads.Workload.default_size size
       in
+      let observe = Option.is_some trace_out || metrics_json in
       let o =
-        Vmht_eval.Common.run ~config ?trace_events:trace_n mode w ~size
+        Vmht_eval.Common.run ~config ?trace_events:trace_n ~observe mode w
+          ~size
       in
       let r = o.Vmht_eval.Common.result in
-      Printf.printf "%s / %s / size %d: %s cycles (%s)\n" wname
-        (Vmht_eval.Common.mode_name mode)
-        size
-        (Vmht_util.Table.fmt_int r.Vmht.Launch.total_cycles)
-        (if o.Vmht_eval.Common.correct then "correct" else "WRONG RESULT");
-      Printf.printf
-        "  phases: stage=%d compute=%d drain=%d\n"
-        r.Vmht.Launch.phases.Vmht.Launch.stage_cycles
-        r.Vmht.Launch.phases.Vmht.Launch.compute_cycles
-        r.Vmht.Launch.phases.Vmht.Launch.drain_cycles;
-      (match r.Vmht.Launch.mmu_stats with
-       | Some s ->
-         Printf.printf
-           "  mmu: %d accesses, %d hits, %d misses, %d faults, hit rate %.3f\n"
-           s.Vmht_vm.Mmu.accesses s.Vmht_vm.Mmu.tlb_hits
-           s.Vmht_vm.Mmu.tlb_misses s.Vmht_vm.Mmu.page_faults
-           (Option.value ~default:0. r.Vmht.Launch.tlb_hit_rate)
-       | None -> ());
-      (match trace_n with
-       | Some n ->
-         let events =
-           Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc)
-         in
-         Printf.printf "  trace (%d of %d events):\n"
-           (min n (List.length events))
-           (List.length events);
-         List.iteri
-           (fun i e ->
-             if i < n then
-               Printf.printf "    [%8d] %-4s %s\n" e.Vmht_sim.Trace.at
-                 e.Vmht_sim.Trace.component e.Vmht_sim.Trace.detail)
-           events
-       | None -> ());
-      if stats then begin
+      let trace_ok =
+        match trace_out with
+        | Some path ->
+          write_chrome_trace path
+            (Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc))
+        | None -> true
+      in
+      if metrics_json then begin
+        (* Machine-readable mode: the report JSON is the only stdout. *)
         let report =
           Vmht.Report.gather o.Vmht_eval.Common.soc ~workload:wname
             ~mode:(Vmht_eval.Common.mode_name mode)
             ~size r
         in
-        print_newline ();
-        print_string (Vmht.Report.to_string report)
+        print_endline
+          (Vmht_obs.Json.to_string_pretty (Vmht.Report.to_json report))
+      end
+      else begin
+        Printf.printf "%s / %s / size %d: %s cycles (%s)\n" wname
+          (Vmht_eval.Common.mode_name mode)
+          size
+          (Vmht_util.Table.fmt_int r.Vmht.Launch.total_cycles)
+          (if o.Vmht_eval.Common.correct then "correct" else "WRONG RESULT");
+        Printf.printf "  phases: stage=%d compute=%d drain=%d\n"
+          r.Vmht.Launch.phases.Vmht.Launch.stage_cycles
+          r.Vmht.Launch.phases.Vmht.Launch.compute_cycles
+          r.Vmht.Launch.phases.Vmht.Launch.drain_cycles;
+        (match r.Vmht.Launch.mmu_stats with
+         | Some s ->
+           Printf.printf
+             "  mmu: %d accesses, %d hits, %d misses, %d faults, hit rate \
+              %.3f\n"
+             s.Vmht_vm.Mmu.accesses s.Vmht_vm.Mmu.tlb_hits
+             s.Vmht_vm.Mmu.tlb_misses s.Vmht_vm.Mmu.page_faults
+             (Option.value ~default:0. r.Vmht.Launch.tlb_hit_rate)
+         | None -> ());
+        (match trace_out with
+         | Some path when trace_ok ->
+           Printf.printf "  trace written to %s\n" path
+         | _ -> ());
+        (match trace_n with
+         | Some n ->
+           let events =
+             Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc)
+           in
+           Printf.printf "  trace (%d of %d events):\n"
+             (min n (List.length events))
+             (List.length events);
+           List.iteri
+             (fun i e ->
+               if i < n then
+                 Printf.printf "    %s\n" (Vmht_obs.Event.to_string e))
+             events
+         | None -> ());
+        if stats then begin
+          let report =
+            Vmht.Report.gather o.Vmht_eval.Common.soc ~workload:wname
+              ~mode:(Vmht_eval.Common.mode_name mode)
+              ~size r
+          in
+          print_newline ();
+          print_string (Vmht.Report.to_string report)
+        end
       end;
-      if o.Vmht_eval.Common.correct then 0 else 1
+      if o.Vmht_eval.Common.correct && trace_ok then 0 else 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ page_shift $ stats
-      $ trace_n $ pipeline)
+      $ trace_n $ trace_out $ metrics_json $ pipeline)
+
+(* ------------------------- trace ---------------------------------- *)
+
+let trace_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Vmht_eval.Common.Vm
+      & info [ "mode" ] ~doc:"Execution style: sw, vm or dma.")
+  in
+  let size = Arg.(value & opt (some int) None & info [ "size" ]) in
+  let component =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "component" ] ~docv:"NAME"
+          ~doc:"Only events from this component (bus, mmu, dram, ...).")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"TAG"
+          ~doc:
+            "Only events of this kind (tlb_miss, bus_txn, page_fault, ...).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 40
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) events.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the (filtered) events as Chrome-trace JSON instead of \
+             text.")
+  in
+  let action wname mode size component kind limit out =
+    match Vmht_workloads.Registry.find wname with
+    | exception Not_found ->
+      Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
+      1
+    | w ->
+      let size =
+        Option.value ~default:w.Vmht_workloads.Workload.default_size size
+      in
+      let o = Vmht_eval.Common.run ~observe:true mode w ~size in
+      let tr = Vmht.Soc.trace o.Vmht_eval.Common.soc in
+      let keep (e : Vmht_obs.Event.t) =
+        (match component with
+         | Some c -> e.Vmht_obs.Event.component = c
+         | None -> true)
+        && (match kind with
+            | Some k -> Vmht_obs.Event.label e.Vmht_obs.Event.kind = k
+            | None -> true)
+      in
+      let events = List.filter keep (Vmht_sim.Trace.events tr) in
+      if events = [] && Vmht_sim.Trace.count tr > 0 then
+        Printf.eprintf
+          "no events matched the filter (check --component/--kind against \
+           the unfiltered dump)\n";
+      let write_ok = ref true in
+      (match out with
+       | Some path ->
+         if write_chrome_trace path events then
+           Printf.printf "%d events written to %s\n" (List.length events)
+             path
+         else write_ok := false
+       | None ->
+         let dropped = Vmht_sim.Trace.dropped tr in
+         if dropped > 0 then
+           Printf.printf "... %d earlier events dropped ...\n" dropped;
+         List.iteri
+           (fun i e ->
+             if i < limit then
+               print_endline (Vmht_obs.Event.to_string e))
+           events;
+         if List.length events > limit then
+           Printf.printf "... %d more events (raise --limit) ...\n"
+             (List.length events - limit));
+      if o.Vmht_eval.Common.correct && !write_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with event observation on and dump or export its \
+          typed trace.")
+    Term.(
+      const action $ workload_arg $ mode $ size $ component $ kind $ limit
+      $ out)
 
 (* ------------------------- system --------------------------------- *)
 
@@ -271,6 +416,7 @@ let bench_cmd =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT")
   in
   let action names =
+    Vmht_eval.Common.reset_mismatches ();
     let run_one = function
       | "all" ->
         print_string (Vmht_eval.All_experiments.run_all ());
@@ -284,7 +430,13 @@ let bench_cmd =
           Printf.eprintf "unknown experiment '%s'\n" name;
           1)
     in
-    List.fold_left (fun acc n -> max acc (run_one n)) 0 names
+    let code = List.fold_left (fun acc n -> max acc (run_one n)) 0 names in
+    match Vmht_eval.Common.mismatch_log () with
+    | [] -> code
+    | bad ->
+      Printf.eprintf "result mismatches in %d run(s):\n" (List.length bad);
+      List.iter (Printf.eprintf "  %s\n") bad;
+      max code 1
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures.")
@@ -311,4 +463,15 @@ let list_cmd =
 let () =
   let doc = "system-level synthesis for virtual-memory-enabled hardware threads" in
   let info = Cmd.info "vmht" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; synth_cmd; run_cmd; system_cmd; bench_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            compile_cmd;
+            synth_cmd;
+            run_cmd;
+            trace_cmd;
+            system_cmd;
+            bench_cmd;
+            list_cmd;
+          ]))

@@ -23,6 +23,7 @@ type result = {
   ret : int option;
   total_cycles : int;
   phases : breakdown;
+  attribution : Vmht_obs.Attribution.t;
   mmu_stats : Mmu.stats option;
   tlb_hit_rate : float option;
   accel_stats : Accel.run_stats option;
@@ -33,22 +34,53 @@ exception Window_overflow of string
 
 let word_bytes = Vmht_mem.Phys_mem.word_bytes
 
+let phase_begin soc phase =
+  Soc.emit soc ~component:"launch" (Vmht_obs.Event.Phase_begin { phase })
+
+let phase_end soc phase =
+  Soc.emit soc ~component:"launch" (Vmht_obs.Event.Phase_end { phase })
+
+let accel_observer soc =
+  if Soc.observing soc then Some (Soc.emitter soc ~component:"accel")
+  else None
+
 let run_sw soc func request =
   let t0 = Engine.now_p () in
   let cpu = Soc.cpu soc in
-  let faults_before = (Cpu.stats cpu).Cpu.faults in
+  let before = Cpu.stats cpu in
+  phase_begin soc "compute";
   let ret = Cpu.run_func cpu func ~args:request.args in
+  phase_end soc "compute";
+  let tm = Engine.now_p () in
   (* Make the thread's results visible to the rest of the system. *)
+  phase_begin soc "drain";
   Cpu.flush_cache cpu;
+  phase_end soc "drain";
   let t1 = Engine.now_p () in
+  let after = Cpu.stats cpu in
+  let faults = after.Cpu.faults - before.Cpu.faults in
+  let mem = after.Cpu.mem_cycles - before.Cpu.mem_cycles in
+  (* The CPU runs as one process, so its load/store spans partition
+     the compute phase exactly: what is not memory time is execution. *)
+  let fault = faults * Cpu.fault_penalty cpu in
+  let attribution =
+    {
+      Vmht_obs.Attribution.zero with
+      Vmht_obs.Attribution.fault;
+      dram = mem - fault;
+      compute = tm - t0 - mem;
+      drain = t1 - tm;
+    }
+  in
   {
     ret;
     total_cycles = t1 - t0;
     phases = { stage_cycles = 0; compute_cycles = t1 - t0; drain_cycles = 0 };
+    attribution;
     mmu_stats = None;
     tlb_hit_rate = None;
     accel_stats = None;
-    page_faults = (Cpu.stats cpu).Cpu.faults - faults_before;
+    page_faults = faults;
   }
 
 (* Cache maintenance the host performs after any hardware thread
@@ -57,21 +89,54 @@ let host_cache_maintenance soc =
   Engine.wait (Soc.config soc).Config.cache_maintenance_cycles;
   Vmht_mem.Cache.invalidate_all (Cpu.cache (Soc.cpu soc))
 
+let bus_wait_cycles soc =
+  (Soc.bus_stats soc).Vmht_mem.Bus.bus.Vmht_sim.Resource.wait_cycles
+
 let run_hw_vm soc (hw : Flow.hw_thread) request =
   let t0 = Engine.now_p () in
+  let bw0 = bus_wait_cycles soc in
   let mmu = Soc.make_mmu soc in
-  let port, flush_buffer = Soc.vm_port soc mmu in
+  let port, flush_buffer, meter = Soc.vm_port_metered soc mmu in
   let stats = Accel.fresh_stats () in
+  phase_begin soc "compute";
   let ret =
-    Accel.run ~stats
+    Accel.run ?observer:(accel_observer soc) ~stats
       ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
       ~args:request.args
   in
+  phase_end soc "compute";
   let t1 = Engine.now_p () in
+  let bw1 = bus_wait_cycles soc in
+  phase_begin soc "drain";
   flush_buffer ();
   host_cache_maintenance soc;
+  phase_end soc "drain";
   let t2 = Engine.now_p () in
   let mstats = Mmu.stats mmu in
+  (* The port meter's two spans are measured inside the vm-port arbiter
+     (never overlapping), and the MMU is private to this run, so the
+     split below partitions [t1 - t0] exactly: translate covers TLB
+     pipeline time outside walks, walks cover refills net of fault
+     handling, and what the meter never saw is FSM compute.  Bus
+     queueing below the port is split out of the memory span — clamped,
+     because other masters' waits land in the same shared counter. *)
+  let fault =
+    mstats.Mmu.page_faults * (Soc.config soc).Config.mmu.Mmu.fault_penalty
+  in
+  let walk_all = mstats.Mmu.walk_cycles in
+  let bus_wait = min (bw1 - bw0) meter.Soc.mem_cycles in
+  let attribution =
+    {
+      Vmht_obs.Attribution.translate = meter.Soc.translate_cycles - walk_all;
+      walk = walk_all - fault;
+      fault;
+      bus_wait;
+      dram = meter.Soc.mem_cycles - bus_wait;
+      compute = t1 - t0 - meter.Soc.translate_cycles - meter.Soc.mem_cycles;
+      dma_stage = 0;
+      drain = t2 - t1;
+    }
+  in
   {
     ret;
     total_cycles = t2 - t0;
@@ -81,6 +146,7 @@ let run_hw_vm soc (hw : Flow.hw_thread) request =
         compute_cycles = t1 - t0;
         drain_cycles = t2 - t1;
       };
+    attribution;
     mmu_stats = Some mstats;
     tlb_hit_rate = Some (Mmu.tlb_hit_rate mmu);
     accel_stats = Some stats;
@@ -130,41 +196,69 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
          (Printf.sprintf
             "buffers need %d words but the scratchpad holds %d" total_words
             (Scratchpad.capacity_words pad)));
+  (* Page pinning is the DMA style's analogue of translation; spans
+     are measured so the staging/draining segments can report pure copy
+     time.  All of this runs in the launching process, serially. *)
+  let pin_cycles = ref 0 in
+  let timed_pin b =
+    let p0 = Engine.now_p () in
+    let chunks = pin_and_chunk soc b in
+    pin_cycles := !pin_cycles + (Engine.now_p () - p0);
+    chunks
+  in
   (* Stage: pin pages, program windows, DMA the inputs in. *)
+  phase_begin soc "stage";
   List.iter
     (fun b -> Scratchpad.map_window pad ~base:b.base ~words:b.words)
     request.buffers;
   List.iter
     (fun b ->
-      let chunks = pin_and_chunk soc b in
+      let chunks = timed_pin b in
       match b.dir with
       | In | InOut ->
         Dma.copy_in_scattered dma pad ~chunks
           ~dst_word:(Scratchpad.local_of_vaddr pad b.base)
       | Out -> ())
     request.buffers;
+  phase_end soc "stage";
   let t1 = Engine.now_p () in
+  let pin_stage = !pin_cycles in
   (* Compute on the scratchpad. *)
   let port = Soc.scratchpad_port pad in
   let stats = Accel.fresh_stats () in
+  phase_begin soc "compute";
   let ret =
-    Accel.run ~stats ~ports:(Soc.config soc).Config.accel_mem_ports
-      hw.Flow.fsm ~port ~args:request.args
+    Accel.run ?observer:(accel_observer soc) ~stats
+      ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+      ~args:request.args
   in
+  phase_end soc "compute";
   let t2 = Engine.now_p () in
   (* Drain: DMA the outputs back, then cache maintenance. *)
+  phase_begin soc "drain";
   List.iter
     (fun b ->
       match b.dir with
       | Out | InOut ->
-        let chunks = pin_and_chunk soc b in
+        let chunks = timed_pin b in
         Dma.copy_out_scattered dma pad
           ~src_word:(Scratchpad.local_of_vaddr pad b.base)
           ~chunks
       | In -> ())
     request.buffers;
   host_cache_maintenance soc;
+  phase_end soc "drain";
   let t3 = Engine.now_p () in
+  let pin_drain = !pin_cycles - pin_stage in
+  let attribution =
+    {
+      Vmht_obs.Attribution.zero with
+      Vmht_obs.Attribution.translate = !pin_cycles;
+      compute = t2 - t1;
+      dma_stage = t1 - t0 - pin_stage;
+      drain = t3 - t2 - pin_drain;
+    }
+  in
   {
     ret;
     total_cycles = t3 - t0;
@@ -174,6 +268,7 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
         compute_cycles = t2 - t1;
         drain_cycles = t3 - t2;
       };
+    attribution;
     mmu_stats = None;
     tlb_hit_rate = None;
     accel_stats = Some stats;

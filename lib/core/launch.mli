@@ -25,6 +25,8 @@ type result = {
   ret : int option;
   total_cycles : int;
   phases : breakdown;
+  attribution : Vmht_obs.Attribution.t;
+      (** disjoint per-phase cycle split; sums to [total_cycles] *)
   mmu_stats : Vmht_vm.Mmu.stats option; (** VM style only *)
   tlb_hit_rate : float option;
   accel_stats : Vmht_hls.Accel.run_stats option; (** hardware styles *)

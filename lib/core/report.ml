@@ -14,9 +14,11 @@ type t = {
   cpu : Cpu.stats;
   cpu_cache : Cache.stats;
   mapped_pages : int;
+  metrics : Vmht_obs.Metrics.snapshot;
 }
 
 let gather soc ~workload ~mode ~size result =
+  Soc.sync_metrics soc;
   {
     workload;
     mode;
@@ -27,6 +29,7 @@ let gather soc ~workload ~mode ~size result =
     cpu = Cpu.stats (Soc.cpu soc);
     cpu_cache = Cache.stats (Cpu.cache (Soc.cpu soc));
     mapped_pages = Vmht_vm.Addr_space.mapped_pages (Soc.aspace soc);
+    metrics = Vmht_obs.Metrics.snapshot (Soc.metrics soc);
   }
 
 let to_string t =
@@ -76,4 +79,33 @@ let to_string t =
     t.cpu_cache.Cache.read_hits t.cpu_cache.Cache.read_misses
     t.cpu_cache.Cache.writebacks;
   line "memory: %s pages mapped" (Table.fmt_int t.mapped_pages);
+  line "";
+  line "cycle attribution:";
+  Buffer.add_string buf
+    (Vmht_obs.Attribution.waterfall t.result.Launch.attribution);
   Buffer.contents buf
+
+let to_json t =
+  let module J = Vmht_obs.Json in
+  let r = t.result in
+  let opt f = function Some v -> f v | None -> J.Null in
+  J.Obj
+    [
+      ("workload", J.String t.workload);
+      ("mode", J.String t.mode);
+      ("size", J.Int t.size);
+      ("ret", opt (fun v -> J.Int v) r.Launch.ret);
+      ("total_cycles", J.Int r.Launch.total_cycles);
+      ( "phases",
+        J.Obj
+          [
+            ("stage_cycles", J.Int r.Launch.phases.Launch.stage_cycles);
+            ("compute_cycles", J.Int r.Launch.phases.Launch.compute_cycles);
+            ("drain_cycles", J.Int r.Launch.phases.Launch.drain_cycles);
+          ] );
+      ("attribution", Vmht_obs.Attribution.to_json r.Launch.attribution);
+      ("page_faults", J.Int r.Launch.page_faults);
+      ( "tlb_hit_rate",
+        opt (fun v -> J.Float v) r.Launch.tlb_hit_rate );
+      ("metrics", Vmht_obs.Metrics.snapshot_to_json t.metrics);
+    ]

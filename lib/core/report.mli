@@ -13,11 +13,19 @@ type t = {
   cpu : Vmht_cpu.Cpu.stats;
   cpu_cache : Vmht_mem.Cache.stats;
   mapped_pages : int;
+  metrics : Vmht_obs.Metrics.snapshot;
+      (** uniform ["component.metric"] view; counters synced at gather *)
 }
 
 val gather :
   Soc.t -> workload:string -> mode:string -> size:int -> Launch.result -> t
-(** Snapshot all component statistics after a run on [soc]. *)
+(** Snapshot all component statistics after a run on [soc] (calls
+    {!Soc.sync_metrics} first, so the metrics snapshot is coherent). *)
 
 val to_string : t -> string
-(** Multi-section human-readable rendering. *)
+(** Multi-section human-readable rendering, ending with the run's
+    cycle-attribution waterfall. *)
+
+val to_json : t -> Vmht_obs.Json.t
+(** Machine-readable report: run identity, phases, attribution and the
+    full metrics snapshot (the CLI's [--metrics-json] payload). *)

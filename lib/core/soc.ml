@@ -7,8 +7,18 @@ module Dma = Vmht_mem.Dma
 module Frame_alloc = Vmht_vm.Frame_alloc
 module Addr_space = Vmht_vm.Addr_space
 module Mmu = Vmht_vm.Mmu
+module Tlb = Vmht_vm.Tlb
+module Ptw = Vmht_vm.Ptw
 module Cpu = Vmht_cpu.Cpu
 module Accel = Vmht_hls.Accel
+module Cache = Vmht_mem.Cache
+module Event = Vmht_obs.Event
+module Metrics = Vmht_obs.Metrics
+
+type port_meter = {
+  mutable translate_cycles : int;
+  mutable mem_cycles : int;
+}
 
 type t = {
   config : Config.t;
@@ -22,6 +32,10 @@ type t = {
   mutable mmu_list : Mmu.t list;
   mutable next_asid : int;
   trace : Vmht_sim.Trace.t;
+  metrics : Metrics.t;
+  mutable observing : bool;
+  mutable dmas : Dma.t list;
+  mutable stream_buffers : Cache.t list;
 }
 
 let create (config : Config.t) =
@@ -59,6 +73,10 @@ let create (config : Config.t) =
     mmu_list = [];
     next_asid = 1;
     trace = Vmht_sim.Trace.create ();
+    metrics = Metrics.create ();
+    observing = false;
+    dmas = [];
+    stream_buffers = [];
   }
 
 let config t = t.config
@@ -79,22 +97,63 @@ let run t main =
 
 let trace t = t.trace
 
-let record t ~component detail =
-  Vmht_sim.Trace.record t.trace ~at:(Engine.now t.engine) ~component detail
+let metrics t = t.metrics
+
+let observing t = t.observing
+
+(* Duration histograms fed live as span events stream by — these need
+   per-event samples, so they cannot be synced from component counters
+   after the fact like everything in [sync_metrics]. *)
+let feed_metrics t ~duration kind =
+  let observe name v = Metrics.observe (Metrics.histogram t.metrics name) v in
+  match kind with
+  | Event.Bus_txn { words; _ } ->
+    observe "bus.txn_cycles" duration;
+    observe "bus.txn_words" words
+  | Event.Ptw_walk _ -> observe "mmu.walk_cycles" duration
+  | Event.Page_fault _ -> observe "mmu.fault_cycles" duration
+  | Event.Dma_burst { words; _ } ->
+    observe "dma.burst_cycles" duration;
+    observe "dma.burst_words" words
+  | _ -> ()
+
+(* Events arrive when their span completes; stamping [at] back by the
+   duration makes [at] the start cycle, which is what a timeline
+   renderer wants. *)
+let emitter t ~component : Event.emitter =
+ fun ?(duration = 0) kind ->
+  let at = Engine.now t.engine - duration in
+  Vmht_sim.Trace.record t.trace ~at ~duration ~component kind;
+  feed_metrics t ~duration kind
+
+let emit t ~component ?duration kind = emitter t ~component ?duration kind
+
+let install_observers t =
+  Bus.set_observer t.bus (emitter t ~component:"bus");
+  Dram.set_observer t.dram (emitter t ~component:"dram");
+  Cpu.set_observer t.cpu (emitter t ~component:"cpu");
+  Cache.set_observer (Cpu.cache t.cpu) (emitter t ~component:"cache");
+  List.iter
+    (fun mmu -> Mmu.set_observer mmu (emitter t ~component:"mmu"))
+    t.mmu_list;
+  List.iter
+    (fun dma -> Dma.set_observer dma (emitter t ~component:"dma"))
+    t.dmas;
+  List.iter
+    (fun buf -> Cache.set_observer buf (emitter t ~component:"stream_buffer"))
+    t.stream_buffers
 
 let enable_tracing t =
   Vmht_sim.Trace.enable t.trace true;
-  Bus.set_tracer t.bus (record t ~component:"bus");
-  List.iter
-    (fun mmu -> Mmu.set_tracer mmu (record t ~component:"mmu"))
-    t.mmu_list
+  t.observing <- true;
+  install_observers t
 
 let make_mmu ?aspace t =
   let space, asid = Option.value ~default:(t.aspace, 0) aspace in
   let mmu = Mmu.create ~asid t.config.Config.mmu t.bus space in
   t.mmu_list <- mmu :: t.mmu_list;
   (* Late-created MMUs join an already-enabled trace. *)
-  Mmu.set_tracer mmu (record t ~component:"mmu");
+  if t.observing then Mmu.set_observer mmu (emitter t ~component:"mmu");
   mmu
 
 let create_process t =
@@ -118,10 +177,13 @@ let unmap_page t space ~vaddr =
    words ride one bus burst.  The returned [flush] drains the buffer's
    dirty lines (timed); the launcher calls it when the thread
    completes, before handing results back to the host. *)
-let vm_port t mmu =
+let vm_port_metered t mmu =
   let buffer =
-    Vmht_mem.Cache.create ~config:t.config.Config.accel_stream_buffer t.bus
+    Cache.create ~config:t.config.Config.accel_stream_buffer t.bus
   in
+  t.stream_buffers <- buffer :: t.stream_buffers;
+  if t.observing then
+    Cache.set_observer buffer (emitter t ~component:"stream_buffer");
   (* The buffer (like the TLB in front of it) is a single-issue
      structure: concurrent accesses from a multi-ported datapath
      serialize at its request port.  The scratchpad of the copy-based
@@ -131,21 +193,38 @@ let vm_port t mmu =
     Vmht_sim.Resource.acquire arbiter;
     Fun.protect ~finally:(fun () -> Vmht_sim.Resource.release arbiter) f
   in
+  (* Spans are measured inside the arbiter's critical section, so they
+     never overlap even with a multi-ported datapath: the two meters
+     plus compute partition the thread's wall clock exactly. *)
+  let meter = { translate_cycles = 0; mem_cycles = 0 } in
   let port =
     {
       Accel.load =
         (fun vaddr ->
           exclusively (fun () ->
+              let t0 = Engine.now_p () in
               let phys = Mmu.translate mmu ~vaddr in
-              Vmht_mem.Cache.read buffer ~addr:vaddr ~phys));
+              let t1 = Engine.now_p () in
+              meter.translate_cycles <- meter.translate_cycles + (t1 - t0);
+              let v = Cache.read buffer ~addr:vaddr ~phys in
+              meter.mem_cycles <- meter.mem_cycles + (Engine.now_p () - t1);
+              v));
       Accel.store =
         (fun vaddr value ->
           exclusively (fun () ->
+              let t0 = Engine.now_p () in
               let phys = Mmu.translate mmu ~vaddr in
-              Vmht_mem.Cache.write buffer ~addr:vaddr ~phys value));
+              let t1 = Engine.now_p () in
+              meter.translate_cycles <- meter.translate_cycles + (t1 - t0);
+              Cache.write buffer ~addr:vaddr ~phys value;
+              meter.mem_cycles <- meter.mem_cycles + (Engine.now_p () - t1)));
     }
   in
-  (port, fun () -> Vmht_mem.Cache.flush buffer)
+  (port, (fun () -> Cache.flush buffer), meter)
+
+let vm_port t mmu =
+  let port, flush, _meter = vm_port_metered t mmu in
+  (port, flush)
 
 let make_scratchpad ?words t =
   let words =
@@ -158,6 +237,8 @@ let make_scratchpad ?words t =
     Dma.create ~setup_cycles:t.config.Config.dma_setup_cycles
       ~burst_words:t.config.Config.dma_burst_words t.bus
   in
+  t.dmas <- dma :: t.dmas;
+  if t.observing then Dma.set_observer dma (emitter t ~component:"dma");
   (pad, dma)
 
 let scratchpad_port pad =
@@ -168,3 +249,64 @@ let mmus t = t.mmu_list
 let bus_stats t = Bus.stats t.bus
 
 let dram_row_hit_rate t = Dram.row_hit_rate t.dram
+
+(* Pull-model half of the metrics story: component counters are copied
+   into the registry under "component.metric" names whenever a caller
+   wants a coherent snapshot.  (Histograms are push-fed by the
+   observers, see [feed_metrics].) *)
+let sync_metrics t =
+  let c name v = Metrics.set_counter (Metrics.counter t.metrics name) v in
+  let g name v = Metrics.set_gauge (Metrics.gauge t.metrics name) v in
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  c "mmu.accesses" (sum (fun m -> (Mmu.stats m).Mmu.accesses) t.mmu_list);
+  c "mmu.tlb_hits" (sum (fun m -> (Mmu.stats m).Mmu.tlb_hits) t.mmu_list);
+  c "mmu.tlb_misses" (sum (fun m -> (Mmu.stats m).Mmu.tlb_misses) t.mmu_list);
+  c "mmu.page_faults"
+    (sum (fun m -> (Mmu.stats m).Mmu.page_faults) t.mmu_list);
+  c "mmu.walk_cycles"
+    (sum (fun m -> (Mmu.stats m).Mmu.walk_cycles) t.mmu_list);
+  c "tlb.lookups" (sum (fun m -> (Mmu.tlb_stats m).Tlb.lookups) t.mmu_list);
+  c "tlb.hits" (sum (fun m -> (Mmu.tlb_stats m).Tlb.hits) t.mmu_list);
+  c "tlb.evictions"
+    (sum (fun m -> (Mmu.tlb_stats m).Tlb.evictions) t.mmu_list);
+  c "ptw.walks" (sum (fun m -> (Mmu.ptw_stats m).Ptw.walks) t.mmu_list);
+  c "ptw.level_reads"
+    (sum (fun m -> (Mmu.ptw_stats m).Ptw.level_reads) t.mmu_list);
+  c "ptw.failed_walks"
+    (sum (fun m -> (Mmu.ptw_stats m).Ptw.failed_walks) t.mmu_list);
+  let b = Bus.stats t.bus in
+  c "bus.reads" b.Bus.reads;
+  c "bus.writes" b.Bus.writes;
+  c "bus.words_moved" b.Bus.words_moved;
+  c "bus.transactions" b.Bus.bus.Vmht_sim.Resource.transactions;
+  c "bus.busy_cycles" b.Bus.bus.Vmht_sim.Resource.busy_cycles;
+  c "bus.wait_cycles" b.Bus.bus.Vmht_sim.Resource.wait_cycles;
+  g "bus.max_queue" (float_of_int b.Bus.bus.Vmht_sim.Resource.max_queue);
+  let d = Dram.stats t.dram in
+  c "dram.accesses" d.Dram.accesses;
+  c "dram.row_hits" d.Dram.row_hits;
+  c "dram.row_misses" d.Dram.row_misses;
+  g "dram.row_hit_rate" (Dram.row_hit_rate t.dram);
+  let l1 = Cache.stats (Cpu.cache t.cpu) in
+  c "cache.read_hits" l1.Cache.read_hits;
+  c "cache.read_misses" l1.Cache.read_misses;
+  c "cache.write_hits" l1.Cache.write_hits;
+  c "cache.write_misses" l1.Cache.write_misses;
+  c "cache.writebacks" l1.Cache.writebacks;
+  c "cache.invalidations" l1.Cache.invalidations;
+  let buf_sum f = sum (fun b -> f (Cache.stats b)) t.stream_buffers in
+  c "stream_buffer.read_hits" (buf_sum (fun s -> s.Cache.read_hits));
+  c "stream_buffer.read_misses" (buf_sum (fun s -> s.Cache.read_misses));
+  c "stream_buffer.write_hits" (buf_sum (fun s -> s.Cache.write_hits));
+  c "stream_buffer.write_misses" (buf_sum (fun s -> s.Cache.write_misses));
+  c "stream_buffer.writebacks" (buf_sum (fun s -> s.Cache.writebacks));
+  c "dma.transfers" (sum (fun d -> (Dma.stats d).Dma.transfers) t.dmas);
+  c "dma.words_in" (sum (fun d -> (Dma.stats d).Dma.words_in) t.dmas);
+  c "dma.words_out" (sum (fun d -> (Dma.stats d).Dma.words_out) t.dmas);
+  let cs = Cpu.stats t.cpu in
+  c "cpu.instructions" cs.Cpu.instructions;
+  c "cpu.branches" cs.Cpu.branches;
+  c "cpu.mem_accesses" cs.Cpu.mem_accesses;
+  c "cpu.faults" cs.Cpu.faults;
+  c "cpu.mem_cycles" cs.Cpu.mem_cycles;
+  c "mem.mapped_pages" (Addr_space.mapped_pages t.aspace)

@@ -1,7 +1,24 @@
 (** The composed system-on-chip: CPU + shared bus + DRAM + one process
-    address space, onto which hardware threads are instantiated. *)
+    address space, onto which hardware threads are instantiated.
+
+    The SoC also owns the observability layer: a {!Vmht_obs.Metrics.t}
+    registry every component's counters are synced into under
+    ["component.metric"] names, and (once {!enable_tracing} is called)
+    typed-event observers on every component feeding the bounded trace
+    ring and the duration histograms. *)
 
 type t
+
+type port_meter = {
+  mutable translate_cycles : int;
+      (** cycles inside [Mmu.translate]: TLB lookups, walks, faults *)
+  mutable mem_cycles : int;
+      (** cycles in the stream buffer and on the bus behind it *)
+}
+(** Wall-clock attribution meter of one VM wrapper port.  Spans are
+    measured inside the port's single-issue arbiter, so they never
+    overlap and [translate_cycles + mem_cycles + compute] partitions
+    the thread's execution exactly. *)
 
 val create : Config.t -> t
 
@@ -45,6 +62,13 @@ val vm_port : t -> Vmht_vm.Mmu.t -> Vmht_hls.Accel.port * (unit -> unit)
     second component is the timed flush of that buffer, to be called
     when the thread completes. *)
 
+val vm_port_metered :
+  t ->
+  Vmht_vm.Mmu.t ->
+  Vmht_hls.Accel.port * (unit -> unit) * port_meter
+(** Like {!vm_port}, additionally returning the port's attribution
+    meter (read it after the thread completes). *)
+
 val make_scratchpad : ?words:int -> t -> Vmht_mem.Scratchpad.t * Vmht_mem.Dma.t
 (** Scratchpad + DMA engine for one copy-based accelerator. *)
 
@@ -54,10 +78,37 @@ val mmus : t -> Vmht_vm.Mmu.t list
 
 val trace : t -> Vmht_sim.Trace.t
 (** The system trace.  Disabled (and free) by default; after
-    {!enable_tracing} every bus transaction and every MMU miss/fault is
-    recorded with its timestamp. *)
+    {!enable_tracing} every component reports typed events (bus
+    transactions, TLB hits/misses, walks, faults, DRAM row activity,
+    cache and DMA traffic, FSM states) with start cycle and duration. *)
 
 val enable_tracing : t -> unit
+(** Turn the trace ring on and install typed-event observers on every
+    component built so far; components created later join
+    automatically. *)
+
+val observing : t -> bool
+
+val metrics : t -> Vmht_obs.Metrics.t
+(** The SoC-wide metrics registry.  Duration histograms are fed live
+    while observing; call {!sync_metrics} before snapshotting so the
+    counters reflect the components' current totals. *)
+
+val sync_metrics : t -> unit
+(** Copy every component's counters into the registry
+    (["mmu.tlb_misses"], ["bus.wait_cycles"], ["dram.row_hits"],
+    ["cache.read_misses"], ["dma.words_in"], ...).  Works whether or
+    not tracing was enabled. *)
+
+val emit :
+  t -> component:string -> ?duration:int -> Vmht_obs.Event.kind -> unit
+(** Record one event as [component] would: stamped at
+    [now - duration] and routed to the trace ring and metrics.  Used by
+    the launcher for phase/thread markers. *)
+
+val emitter : t -> component:string -> Vmht_obs.Event.emitter
+(** The observer hook {!emit} is built from, for handing to components
+    that take an [Event.emitter]. *)
 
 val bus_stats : t -> Vmht_mem.Bus.stats
 

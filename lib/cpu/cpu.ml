@@ -10,6 +10,7 @@ type stats = {
   branches : int;
   mem_accesses : int;
   faults : int;
+  mem_cycles : int;
 }
 
 type t = {
@@ -20,6 +21,8 @@ type t = {
   mutable branches : int;
   mutable mem_accesses : int;
   mutable faults : int;
+  mutable mem_cycles : int;
+  mutable observer : Vmht_obs.Event.emitter option;
 }
 
 let create ?(cost = Cost_model.default) ?cache_config bus aspace =
@@ -31,7 +34,13 @@ let create ?(cost = Cost_model.default) ?cache_config bus aspace =
     branches = 0;
     mem_accesses = 0;
     faults = 0;
+    mem_cycles = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+
+let fault_penalty t = t.cost.Cost_model.fault_penalty
 
 (* Resolve a virtual address, paying the fault penalty when demand
    paging has to install the page. *)
@@ -41,6 +50,11 @@ let resolve t vaddr =
   | None ->
     t.faults <- t.faults + 1;
     Engine.wait t.cost.Cost_model.fault_penalty;
+    (match t.observer with
+    | Some f ->
+      f ~duration:t.cost.Cost_model.fault_penalty
+        (Vmht_obs.Event.Page_fault { vaddr; asid = 0 })
+    | None -> ());
     if Addr_space.handle_fault t.aspace ~vaddr then
       match Addr_space.translate t.aspace vaddr with
       | Some paddr -> paddr
@@ -48,18 +62,28 @@ let resolve t vaddr =
     else raise (Addr_space.Segfault vaddr)
 
 let run_func t (f : Ir.func) ~args =
+  (* The CPU is a single simulation process, so load/store spans never
+     overlap and summing them attributes memory time exactly. *)
+  let timed g =
+    let t0 = Engine.now_p () in
+    let v = g () in
+    t.mem_cycles <- t.mem_cycles + (Engine.now_p () - t0);
+    v
+  in
   let memory =
     {
       Ast_interp.load =
         (fun vaddr ->
           t.mem_accesses <- t.mem_accesses + 1;
-          let phys = resolve t vaddr in
-          Cache.read t.cache ~addr:vaddr ~phys);
+          timed (fun () ->
+              let phys = resolve t vaddr in
+              Cache.read t.cache ~addr:vaddr ~phys));
       Ast_interp.store =
         (fun vaddr value ->
           t.mem_accesses <- t.mem_accesses + 1;
-          let phys = resolve t vaddr in
-          Cache.write t.cache ~addr:vaddr ~phys value);
+          timed (fun () ->
+              let phys = resolve t vaddr in
+              Cache.write t.cache ~addr:vaddr ~phys value));
     }
   in
   let hooks =
@@ -94,4 +118,5 @@ let stats (t : t) : stats =
     branches = t.branches;
     mem_accesses = t.mem_accesses;
     faults = t.faults;
+    mem_cycles = t.mem_cycles;
   }

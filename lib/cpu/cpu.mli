@@ -12,6 +12,10 @@ type stats = {
   branches : int;
   mem_accesses : int;
   faults : int;
+  mem_cycles : int;
+      (** cycles spent in loads/stores: translation, fault handling,
+          cache and bus time (the CPU runs as one process, so spans
+          never overlap and the sum is exact) *)
 }
 
 type t
@@ -36,5 +40,14 @@ val invalidate_cache : t -> unit
     when joining a hardware thread so the CPU observes its writes). *)
 
 val cache : t -> Vmht_mem.Cache.t
+
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+(** Observer for the CPU's demand-page faults
+    ({!Vmht_obs.Event.kind.Page_fault} with [asid = 0], duration = the
+    handler penalty).  Cache events come from the L1 itself via
+    {!Vmht_mem.Cache.set_observer} on {!cache}. *)
+
+val fault_penalty : t -> int
+(** The configured demand-page fault handler cost, in cycles. *)
 
 val stats : t -> stats

@@ -14,12 +14,19 @@ type outcome = {
   hw : Flow.hw_thread option;
 }
 
-let run ?(config = Config.default) ?(seed = 42) ?trace_events mode
-    (w : Workload.t) ~size =
+(* Result-mismatch log: [run] appends here whenever a workload's output
+   disagrees with the reference, so batch drivers (bench) can report
+   failure at exit without threading outcomes through every table. *)
+let mismatches : string list ref = ref []
+
+let reset_mismatches () = mismatches := []
+
+let mismatch_log () = List.rev !mismatches
+
+let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
+    mode (w : Workload.t) ~size =
   let soc = Soc.create config in
-  (match trace_events with
-   | Some _ -> Soc.enable_tracing soc
-   | None -> ());
+  if observe || Option.is_some trace_events then Soc.enable_tracing soc;
   let instance = w.Workload.setup (Soc.aspace soc) ~size ~seed in
   let request =
     { Launch.args = instance.Workload.args; buffers = instance.Workload.buffers }
@@ -45,6 +52,10 @@ let run ?(config = Config.default) ?(seed = 42) ?trace_events mode
     result.Launch.ret = instance.Workload.expected_ret
     && instance.Workload.check load
   in
+  if not correct then
+    mismatches :=
+      Printf.sprintf "%s/%s/size %d" w.Workload.name (mode_name mode) size
+      :: !mismatches;
   { result; correct; soc; instance; hw = !hw }
 
 let cycles o = o.result.Launch.total_cycles

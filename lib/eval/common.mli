@@ -18,6 +18,7 @@ val run :
   ?config:Vmht.Config.t ->
   ?seed:int ->
   ?trace_events:int ->
+  ?observe:bool ->
   mode ->
   Vmht_workloads.Workload.t ->
   size:int ->
@@ -25,7 +26,15 @@ val run :
 (** Build a fresh SoC, set the workload up, synthesize (hardware
     styles), execute, and verify the outputs.  [trace_events] enables
     the SoC trace before running (the value is advisory — the trace's
-    own capacity bounds retention). *)
+    own capacity bounds retention); [observe] (default false) does the
+    same without implying the CLI's textual dump — both turn typed
+    event observation on via {!Vmht.Soc.enable_tracing}. *)
+
+val mismatch_log : unit -> string list
+(** Workload/mode/size identifiers of every incorrect run since the
+    last {!reset_mismatches}, oldest first. *)
+
+val reset_mismatches : unit -> unit
 
 val cycles : outcome -> int
 

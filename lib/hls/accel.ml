@@ -47,7 +47,8 @@ let rec chunks n = function
     let chunk, rest = take n [] l in
     chunk :: chunks n rest
 
-let run ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port ~args =
+let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port
+    ~args =
   let f = hw.Fsm.func in
   if List.length args <> List.length f.Ir.arg_regs then
     invalid_arg
@@ -154,15 +155,30 @@ let run ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port ~args =
       (fun (p : Pipeliner.plan) -> p.Pipeliner.header = label)
       hw.Fsm.plans
   in
+  (* One FSM-state event per block entry (a pipelined region counts as
+     one state spanning all its iterations), with the measured span. *)
+  let observe_block label body =
+    match observer with
+    | None -> body ()
+    | Some (emit : Vmht_obs.Event.emitter) ->
+      let t0 = Engine.now_p () in
+      let r = body () in
+      emit
+        ~duration:(Engine.now_p () - t0)
+        (Vmht_obs.Event.Fsm_state { block = Printf.sprintf "L%d" label });
+      r
+  in
   let rec exec_block label =
     match plan_for label with
-    | Some plan -> exec_block (exec_pipelined plan)
+    | Some plan ->
+      exec_block (observe_block label (fun () -> exec_pipelined plan))
     | None ->
       stats.block_visits <- stats.block_visits + 1;
       let b = Hashtbl.find sched_blocks label in
-      for cycle = 0 to b.Schedule.makespan - 1 do
-        exec_cycle b cycle
-      done;
+      observe_block label (fun () ->
+          for cycle = 0 to b.Schedule.makespan - 1 do
+            exec_cycle b cycle
+          done);
       let ir_block = Ir.find_block f label in
       (match ir_block.Ir.term with
        | Ir.Jmp l -> exec_block l

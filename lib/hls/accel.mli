@@ -26,6 +26,7 @@ type run_stats = {
 val fresh_stats : unit -> run_stats
 
 val run :
+  ?observer:Vmht_obs.Event.emitter ->
   ?stats:run_stats ->
   ?ports:int ->
   Fsm.t ->
@@ -33,7 +34,12 @@ val run :
   args:int list ->
   int option
 (** Execute the hardware thread to completion.  Must be called from a
-    simulation process; simulated time advances as it runs. *)
+    simulation process; simulated time advances as it runs.
+
+    [observer] receives one {!Vmht_obs.Event.kind.Fsm_state} event per
+    basic-block entry, spanning the block's execution; a
+    software-pipelined loop region emits a single event covering all
+    its iterations. *)
 
 val untimed_port : Vmht_lang.Ast_interp.memory -> port
 (** Wrap an untimed memory as a port (for functional tests outside the

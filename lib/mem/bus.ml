@@ -1,4 +1,5 @@
 module Resource = Vmht_sim.Resource
+module Event = Vmht_obs.Event
 
 type stats = {
   reads : int;
@@ -15,7 +16,7 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable words_moved : int;
-  mutable tracer : (string -> unit) option;
+  mutable observer : Event.emitter option;
 }
 
 let create ?(arbitration_cycles = 2) mem dram =
@@ -27,17 +28,15 @@ let create ?(arbitration_cycles = 2) mem dram =
     reads = 0;
     writes = 0;
     words_moved = 0;
-    tracer = None;
+    observer = None;
   }
 
 let phys t = t.mem
 
-let set_tracer t f = t.tracer <- Some f
+let set_observer t f = t.observer <- Some f
 
-let trace t fmt =
-  Printf.ksprintf
-    (fun s -> match t.tracer with Some f -> f s | None -> ())
-    fmt
+let emit t ~duration kind =
+  match t.observer with Some f -> f ~duration kind | None -> ()
 
 let read_word t addr =
   Resource.acquire t.resource;
@@ -47,7 +46,7 @@ let read_word t addr =
   Resource.release t.resource;
   t.reads <- t.reads + 1;
   t.words_moved <- t.words_moved + 1;
-  trace t "rd  0x%06x (%d cycles)" addr latency;
+  emit t ~duration:latency (Event.Bus_txn { op = Event.Read; addr; words = 1 });
   v
 
 let write_word t addr value =
@@ -58,7 +57,7 @@ let write_word t addr value =
   Resource.release t.resource;
   t.writes <- t.writes + 1;
   t.words_moved <- t.words_moved + 1;
-  trace t "wr  0x%06x (%d cycles)" addr latency
+  emit t ~duration:latency (Event.Bus_txn { op = Event.Write; addr; words = 1 })
 
 let read_burst t ~addr ~words =
   Resource.acquire t.resource;
@@ -73,7 +72,7 @@ let read_burst t ~addr ~words =
   Resource.release t.resource;
   t.reads <- t.reads + 1;
   t.words_moved <- t.words_moved + words;
-  trace t "rdB 0x%06x x%d (%d cycles)" addr words latency;
+  emit t ~duration:latency (Event.Bus_txn { op = Event.Read; addr; words });
   data
 
 let write_burst t ~addr data =
@@ -89,7 +88,7 @@ let write_burst t ~addr data =
   Resource.release t.resource;
   t.writes <- t.writes + 1;
   t.words_moved <- t.words_moved + words;
-  trace t "wrB 0x%06x x%d (%d cycles)" addr words latency
+  emit t ~duration:latency (Event.Bus_txn { op = Event.Write; addr; words })
 
 let stats (t : t) : stats =
   {

@@ -32,10 +32,11 @@ val read_burst : t -> addr:int -> words:int -> int array
 val write_burst : t -> addr:int -> int array -> unit
 (** Timed sequential burst write (one bus transaction). *)
 
-val set_tracer : t -> (string -> unit) -> unit
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
 (** Install an observer invoked (in process context) once per
-    transaction with a rendered description — the hook the SoC's trace
-    facility uses. *)
+    transaction with a typed {!Vmht_obs.Event.kind.Bus_txn} event
+    carrying the transaction's latency — the hook the SoC's
+    observability layer uses. *)
 
 val stats : t -> stats
 

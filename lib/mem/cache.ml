@@ -37,6 +37,7 @@ type t = {
   mutable write_misses : int;
   mutable writebacks : int;
   mutable invalidations : int;
+  mutable observer : Vmht_obs.Event.emitter option;
 }
 
 let create ?(config = default_config) bus =
@@ -65,7 +66,10 @@ let create ?(config = default_config) bus =
     write_misses = 0;
     writebacks = 0;
     invalidations = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
 
 let set_and_tag t addr =
   let line_addr = addr / t.config.line_bytes in
@@ -125,11 +129,24 @@ let read t ~addr ~phys =
     t.read_hits <- t.read_hits + 1;
     line.last_use <- t.clock;
     Vmht_sim.Engine.wait t.config.hit_latency;
+    (match t.observer with
+    | Some f ->
+      f ~duration:t.config.hit_latency
+        (Vmht_obs.Event.Cache_hit { op = Vmht_obs.Event.Read; addr })
+    | None -> ());
     line.data.(word_in_line t addr)
   | None ->
     t.read_misses <- t.read_misses + 1;
-    let line = fill t addr phys in
-    line.data.(word_in_line t addr)
+    (match t.observer with
+    | Some f ->
+      let t0 = Vmht_sim.Engine.now_p () in
+      let line = fill t addr phys in
+      let duration = Vmht_sim.Engine.now_p () - t0 in
+      f ~duration (Vmht_obs.Event.Cache_miss { op = Vmht_obs.Event.Read; addr });
+      line.data.(word_in_line t addr)
+    | None ->
+      let line = fill t addr phys in
+      line.data.(word_in_line t addr))
 
 let write t ~addr ~phys value =
   t.clock <- t.clock + 1;
@@ -139,10 +156,23 @@ let write t ~addr ~phys value =
     | Some line ->
       t.write_hits <- t.write_hits + 1;
       Vmht_sim.Engine.wait t.config.hit_latency;
+      (match t.observer with
+      | Some f ->
+        f ~duration:t.config.hit_latency
+          (Vmht_obs.Event.Cache_hit { op = Vmht_obs.Event.Write; addr })
+      | None -> ());
       line
     | None ->
       t.write_misses <- t.write_misses + 1;
-      fill t addr phys
+      (match t.observer with
+      | Some f ->
+        let t0 = Vmht_sim.Engine.now_p () in
+        let line = fill t addr phys in
+        let duration = Vmht_sim.Engine.now_p () - t0 in
+        f ~duration
+          (Vmht_obs.Event.Cache_miss { op = Vmht_obs.Event.Write; addr });
+        line
+      | None -> fill t addr phys)
   in
   line.last_use <- t.clock;
   line.data.(word_in_line t addr) <- value;

@@ -51,6 +51,12 @@ val invalidate_all : t -> unit
 (** Untimed bookkeeping; discards (clean and dirty) contents — callers
     flush first when the dirty data must survive. *)
 
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+(** Install an observer receiving a typed
+    {!Vmht_obs.Event.kind.Cache_hit} / [Cache_miss] event per access;
+    miss events carry the measured fill latency (bus + DRAM) as their
+    duration. *)
+
 val dirty_lines : t -> int
 
 val stats : t -> stats

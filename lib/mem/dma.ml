@@ -7,10 +7,33 @@ type t = {
   mutable transfers : int;
   mutable words_in : int;
   mutable words_out : int;
+  mutable observer : Vmht_obs.Event.emitter option;
 }
 
 let create ?(setup_cycles = 120) ?(burst_words = 64) bus =
-  { bus; setup_cycles; burst_words; transfers = 0; words_in = 0; words_out = 0 }
+  {
+    bus;
+    setup_cycles;
+    burst_words;
+    transfers = 0;
+    words_in = 0;
+    words_out = 0;
+    observer = None;
+  }
+
+let set_observer t f = t.observer <- Some f
+
+(* Run [body], then emit a [Dma_burst] spanning its measured duration.
+   [op] is the direction seen from DRAM: [Read] stages in, [Write]
+   drains out. *)
+let observed t ~op ~words body =
+  match t.observer with
+  | None -> body ()
+  | Some f ->
+    let t0 = Vmht_sim.Engine.now_p () in
+    body ();
+    let duration = Vmht_sim.Engine.now_p () - t0 in
+    f ~duration (Vmht_obs.Event.Dma_burst { op; words })
 
 (* Move [words] from DRAM at [src_phys] into the scratchpad, in bus
    bursts of at most [burst_words].  No setup cost: callers charge it. *)
@@ -50,40 +73,46 @@ let burst_out_raw t pad ~src_word ~dst_phys ~words =
 let copy_in t pad ~src_phys ~dst_word ~words =
   t.transfers <- t.transfers + 1;
   t.words_in <- t.words_in + words;
-  Vmht_sim.Engine.wait t.setup_cycles;
-  burst_in_raw t pad ~src_phys ~dst_word ~words
+  observed t ~op:Vmht_obs.Event.Read ~words (fun () ->
+      Vmht_sim.Engine.wait t.setup_cycles;
+      burst_in_raw t pad ~src_phys ~dst_word ~words)
 
 let copy_out t pad ~src_word ~dst_phys ~words =
   t.transfers <- t.transfers + 1;
   t.words_out <- t.words_out + words;
-  Vmht_sim.Engine.wait t.setup_cycles;
-  burst_out_raw t pad ~src_word ~dst_phys ~words
+  observed t ~op:Vmht_obs.Event.Write ~words (fun () ->
+      Vmht_sim.Engine.wait t.setup_cycles;
+      burst_out_raw t pad ~src_word ~dst_phys ~words)
 
 let copy_in_scattered t pad ~chunks ~dst_word =
   t.transfers <- t.transfers + 1;
-  Vmht_sim.Engine.wait t.setup_cycles;
-  let _ =
-    List.fold_left
-      (fun dst (src_phys, words) ->
-        t.words_in <- t.words_in + words;
-        burst_in_raw t pad ~src_phys ~dst_word:dst ~words;
-        dst + words)
-      dst_word chunks
-  in
-  ()
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 chunks in
+  observed t ~op:Vmht_obs.Event.Read ~words:total (fun () ->
+      Vmht_sim.Engine.wait t.setup_cycles;
+      let _ =
+        List.fold_left
+          (fun dst (src_phys, words) ->
+            t.words_in <- t.words_in + words;
+            burst_in_raw t pad ~src_phys ~dst_word:dst ~words;
+            dst + words)
+          dst_word chunks
+      in
+      ())
 
 let copy_out_scattered t pad ~src_word ~chunks =
   t.transfers <- t.transfers + 1;
-  Vmht_sim.Engine.wait t.setup_cycles;
-  let _ =
-    List.fold_left
-      (fun src (dst_phys, words) ->
-        t.words_out <- t.words_out + words;
-        burst_out_raw t pad ~src_word:src ~dst_phys ~words;
-        src + words)
-      src_word chunks
-  in
-  ()
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 chunks in
+  observed t ~op:Vmht_obs.Event.Write ~words:total (fun () ->
+      Vmht_sim.Engine.wait t.setup_cycles;
+      let _ =
+        List.fold_left
+          (fun src (dst_phys, words) ->
+            t.words_out <- t.words_out + words;
+            burst_out_raw t pad ~src_word:src ~dst_phys ~words;
+            src + words)
+          src_word chunks
+      in
+      ())
 
 let stats (t : t) : stats =
   { transfers = t.transfers; words_in = t.words_in; words_out = t.words_out }

@@ -28,4 +28,10 @@ val copy_in_scattered :
 val copy_out_scattered :
   t -> Scratchpad.t -> src_word:int -> chunks:(int * int) list -> unit
 
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+(** Install an observer receiving one
+    {!Vmht_obs.Event.kind.Dma_burst} event per [copy_*] call, spanning
+    the whole transfer (setup + bursts); [op] is the direction seen
+    from DRAM ([Read] stages in, [Write] drains out). *)
+
 val stats : t -> stats

@@ -17,6 +17,7 @@ type t = {
   mutable accesses : int;
   mutable row_hits : int;
   mutable row_misses : int;
+  mutable observer : Vmht_obs.Event.emitter option;
 }
 
 
@@ -29,7 +30,12 @@ let create ?(config = default_config) () =
     accesses = 0;
     row_hits = 0;
     row_misses = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+
+let emit t kind = match t.observer with Some f -> f kind | None -> ()
 
 let row_of t addr = addr / t.config.row_bytes
 
@@ -41,10 +47,12 @@ let access_latency t ~addr =
   let bank = bank_of t addr in
   if t.open_rows.(bank) = row then begin
     t.row_hits <- t.row_hits + 1;
+    emit t (Vmht_obs.Event.Dram_row_hit { bank });
     t.config.t_cas
   end
   else begin
     t.row_misses <- t.row_misses + 1;
+    emit t (Vmht_obs.Event.Dram_row_miss { bank });
     let penalty =
       if t.open_rows.(bank) = -1 then t.config.t_rcd + t.config.t_cas
       else t.config.t_rp + t.config.t_rcd + t.config.t_cas

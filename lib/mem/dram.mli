@@ -32,6 +32,12 @@ val burst_latency : t -> addr:int -> words:int -> int
     paying a fresh row activation whenever the burst crosses a row
     boundary. *)
 
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+(** Install an observer that receives an instant
+    {!Vmht_obs.Event.kind.Dram_row_hit} / [Dram_row_miss] event per
+    latency computation.  Inner beats of a burst that stay within an
+    open row are counted as hits in {!stats} but do not emit events. *)
+
 val stats : t -> stats
 
 val row_hit_rate : t -> float

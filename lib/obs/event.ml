@@ -1,0 +1,102 @@
+type mem_op = Read | Write
+
+type kind =
+  | Tlb_hit of { vaddr : int; asid : int }
+  | Tlb_miss of { vaddr : int; asid : int }
+  | Ptw_walk of { vaddr : int; levels : int }
+  | Page_fault of { vaddr : int; asid : int }
+  | Bus_txn of { op : mem_op; addr : int; words : int }
+  | Dram_row_hit of { bank : int }
+  | Dram_row_miss of { bank : int }
+  | Dma_burst of { op : mem_op; words : int }
+  | Cache_hit of { op : mem_op; addr : int }
+  | Cache_miss of { op : mem_op; addr : int }
+  | Fsm_state of { block : string }
+  | Phase_begin of { phase : string }
+  | Phase_end of { phase : string }
+  | Thread_spawn of { thread : string }
+  | Thread_join of { thread : string }
+  | Note of string
+
+type t = { at : int; duration : int; component : string; kind : kind }
+
+type emitter = ?duration:int -> kind -> unit
+
+let mem_op_name = function Read -> "read" | Write -> "write"
+
+let label = function
+  | Tlb_hit _ -> "tlb_hit"
+  | Tlb_miss _ -> "tlb_miss"
+  | Ptw_walk _ -> "ptw_walk"
+  | Page_fault _ -> "page_fault"
+  | Bus_txn _ -> "bus_txn"
+  | Dram_row_hit _ -> "dram_row_hit"
+  | Dram_row_miss _ -> "dram_row_miss"
+  | Dma_burst _ -> "dma_burst"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Fsm_state _ -> "fsm_state"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+  | Thread_spawn _ -> "thread_spawn"
+  | Thread_join _ -> "thread_join"
+  | Note _ -> "note"
+
+let args = function
+  | Tlb_hit { vaddr; asid } | Tlb_miss { vaddr; asid } ->
+    [ ("vaddr", Json.Int vaddr); ("asid", Json.Int asid) ]
+  | Ptw_walk { vaddr; levels } ->
+    [ ("vaddr", Json.Int vaddr); ("levels", Json.Int levels) ]
+  | Page_fault { vaddr; asid } ->
+    [ ("vaddr", Json.Int vaddr); ("asid", Json.Int asid) ]
+  | Bus_txn { op; addr; words } ->
+    [
+      ("op", Json.String (mem_op_name op));
+      ("addr", Json.Int addr);
+      ("words", Json.Int words);
+    ]
+  | Dram_row_hit { bank } | Dram_row_miss { bank } ->
+    [ ("bank", Json.Int bank) ]
+  | Dma_burst { op; words } ->
+    [ ("op", Json.String (mem_op_name op)); ("words", Json.Int words) ]
+  | Cache_hit { op; addr } | Cache_miss { op; addr } ->
+    [ ("op", Json.String (mem_op_name op)); ("addr", Json.Int addr) ]
+  | Fsm_state { block } -> [ ("block", Json.String block) ]
+  | Phase_begin { phase } | Phase_end { phase } ->
+    [ ("phase", Json.String phase) ]
+  | Thread_spawn { thread } | Thread_join { thread } ->
+    [ ("thread", Json.String thread) ]
+  | Note s -> [ ("note", Json.String s) ]
+
+let kind_to_string = function
+  | Tlb_hit { vaddr; asid } ->
+    Printf.sprintf "tlb_hit 0x%06x (asid %d)" vaddr asid
+  | Tlb_miss { vaddr; asid } ->
+    Printf.sprintf "tlb_miss 0x%06x (asid %d)" vaddr asid
+  | Ptw_walk { vaddr; levels } ->
+    Printf.sprintf "ptw_walk 0x%06x (%d levels)" vaddr levels
+  | Page_fault { vaddr; asid } ->
+    Printf.sprintf "page_fault 0x%06x (asid %d)" vaddr asid
+  | Bus_txn { op; addr; words } ->
+    Printf.sprintf "bus_%s 0x%06x x%d" (mem_op_name op) addr words
+  | Dram_row_hit { bank } -> Printf.sprintf "dram_row_hit bank %d" bank
+  | Dram_row_miss { bank } -> Printf.sprintf "dram_row_miss bank %d" bank
+  | Dma_burst { op; words } ->
+    Printf.sprintf "dma_%s x%d" (mem_op_name op) words
+  | Cache_hit { op; addr } ->
+    Printf.sprintf "cache_hit %s 0x%06x" (mem_op_name op) addr
+  | Cache_miss { op; addr } ->
+    Printf.sprintf "cache_miss %s 0x%06x" (mem_op_name op) addr
+  | Fsm_state { block } -> Printf.sprintf "fsm_state %s" block
+  | Phase_begin { phase } -> Printf.sprintf "phase_begin %s" phase
+  | Phase_end { phase } -> Printf.sprintf "phase_end %s" phase
+  | Thread_spawn { thread } -> Printf.sprintf "thread_spawn %s" thread
+  | Thread_join { thread } -> Printf.sprintf "thread_join %s" thread
+  | Note s -> s
+
+let to_string e =
+  if e.duration > 0 then
+    Printf.sprintf "[%8d] %-12s %s (+%d)" e.at e.component
+      (kind_to_string e.kind) e.duration
+  else
+    Printf.sprintf "[%8d] %-12s %s" e.at e.component (kind_to_string e.kind)

@@ -1,0 +1,178 @@
+(* Up to [2^62 - 1] fits bucket 62, so 63 buckets cover every
+   non-negative OCaml int on 64-bit. *)
+let n_buckets = 63
+
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let find_or_add table name make =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.replace table name v;
+    v
+
+let counter t name = find_or_add t.counters name (fun () -> { count = 0 })
+
+let gauge t name = find_or_add t.gauges name (fun () -> { value = 0. })
+
+let histogram t name =
+  find_or_add t.histograms name (fun () ->
+      {
+        n = 0;
+        sum = 0;
+        min_v = max_int;
+        max_v = 0;
+        buckets = Array.make n_buckets 0;
+      })
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let set_counter c v = c.count <- v
+
+let counter_value c = c.count
+
+let set_gauge g v = g.value <- v
+
+let gauge_value g = g.value
+
+(* Bucket 0 holds value 0; bucket [k >= 1] holds [2^(k-1) .. 2^k - 1]
+   (i.e. the values needing exactly [k] bits). *)
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits v 0)
+  end
+
+let bucket_upper k = if k = 0 then 0 else (1 lsl k) - 1
+
+let observe h v =
+  let v = max 0 v in
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let k = bucket_index v in
+  h.buckets.(k) <- h.buckets.(k) + 1
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let quantile h q =
+  if h.n = 0 then 0
+  else
+    let k = Vmht_util.Stats.quantile_bucket ~q h.buckets in
+    if k < 0 then 0 else Stdlib.min h.max_v (bucket_upper k)
+
+let histogram_snapshot h =
+  {
+    count = h.n;
+    sum = h.sum;
+    min = (if h.n = 0 then 0 else h.min_v);
+    max = h.max_v;
+    p50 = quantile h 0.5;
+    p95 = quantile h 0.95;
+    buckets =
+      Array.to_list h.buckets
+      |> List.mapi (fun k c -> (bucket_upper k, c))
+      |> List.filter (fun (_, c) -> c > 0);
+  }
+
+let sorted_bindings table value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) : snapshot =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.count);
+    gauges = sorted_bindings t.gauges (fun g -> g.value);
+    histograms = sorted_bindings t.histograms histogram_snapshot;
+  }
+
+let reset (t : t) =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms
+
+let histogram_snapshot_to_json (h : histogram_snapshot) =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ("min", Json.Int h.min);
+      ("max", Json.Int h.max);
+      ("p50", Json.Int h.p50);
+      ("p95", Json.Int h.p95);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) -> Json.List [ Json.Int le; Json.Int c ])
+             h.buckets) );
+    ]
+
+let snapshot_to_json (s : snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) -> (k, histogram_snapshot_to_json h))
+             s.histograms) );
+    ]
+
+let snapshot_to_string (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-32s %d\n" k v))
+    s.counters;
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-32s %g\n" k v))
+    s.gauges;
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s n=%d sum=%d min=%d p50<=%d p95<=%d max=%d\n" k
+           h.count h.sum h.min h.p50 h.p95 h.max))
+    s.histograms;
+  Buffer.contents buf

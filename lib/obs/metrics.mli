@@ -1,0 +1,79 @@
+(** Metrics registry: named counters, gauges and log2-bucketed cycle
+    histograms.
+
+    Components (or the SoC on their behalf) register instruments under
+    a ["component.metric"] naming convention; {!snapshot} produces one
+    uniform, sorted view that the report renders as text or JSON.
+    Counters hold exact integers, gauges hold floats (rates, ratios,
+    high-water marks), and histograms bucket non-negative integer
+    samples by bit-width — bucket 0 holds value 0, bucket [k] holds
+    [2^(k-1) .. 2^k - 1] — which is cheap, bounded, and plenty for
+    latency distributions spanning orders of magnitude. *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create (registries are open: first use registers). *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+
+val set_counter : counter -> int -> unit
+(** Absolute set — how component stats structs are synced in. *)
+
+val counter_value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record one sample (clamped below at 0). *)
+
+val bucket_index : int -> int
+(** The histogram bucket a value lands in. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of bucket [k]: 0 for bucket 0, else
+    [2^k - 1]. *)
+
+(** {2 Snapshots} *)
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when empty *)
+  max : int;
+  p50 : int;  (** upper bound of the median's bucket, clamped to max *)
+  p95 : int;
+  buckets : (int * int) list;  (** (inclusive upper bound, count), populated buckets only *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+val reset : t -> unit
+(** Drop every registered instrument (for SoC reuse across runs). *)
+
+val snapshot_to_json : snapshot -> Json.t
+
+val snapshot_to_string : snapshot -> string
+(** One line per instrument, aligned. *)

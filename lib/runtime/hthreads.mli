@@ -9,10 +9,18 @@
 
 type 'a t
 
-val spawn : name:string -> (unit -> 'a) -> 'a t
-(** Start a thread at the current simulated time (process context). *)
+val spawn :
+  ?obs:Vmht_obs.Event.emitter -> name:string -> (unit -> 'a) -> 'a t
+(** Start a thread at the current simulated time (process context).
+    [obs], when given, receives a {!Vmht_obs.Event.kind.Thread_spawn}
+    event now and a [Thread_join] event when {!join} returns. *)
 
-val spawn_root : Vmht_sim.Engine.t -> name:string -> (unit -> 'a) -> 'a t
+val spawn_root :
+  ?obs:Vmht_obs.Event.emitter ->
+  Vmht_sim.Engine.t ->
+  name:string ->
+  (unit -> 'a) ->
+  'a t
 (** Start a thread from outside process context (e.g. before
     [Engine.run]). *)
 

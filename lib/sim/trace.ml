@@ -1,4 +1,4 @@
-type event = { at : int; component : string; detail : string }
+type event = Vmht_obs.Event.t
 
 type t = {
   capacity : int;
@@ -12,13 +12,17 @@ let create ?(capacity = 65536) () =
 
 let enable t flag = t.enabled <- flag
 
-let record t ~at ~component detail =
+let enabled t = t.enabled
+
+let record t ~at ?(duration = 0) ~component kind =
   if t.enabled then begin
     if Queue.length t.queue >= t.capacity then begin
       ignore (Queue.pop t.queue);
       t.dropped <- t.dropped + 1
     end;
-    Queue.add { at; component; detail } t.queue
+    Queue.add
+      { Vmht_obs.Event.at; duration; component; kind }
+      t.queue
   end
 
 let events t = List.of_seq (Queue.to_seq t.queue)
@@ -27,11 +31,16 @@ let count t = Queue.length t.queue
 
 let dropped t = t.dropped
 
+let clear t =
+  Queue.clear t.queue;
+  t.dropped <- 0
+
 let to_string t =
   let buf = Buffer.create 1024 in
+  if t.dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "... %d earlier events dropped ...\n" t.dropped);
   Queue.iter
-    (fun e ->
-      Buffer.add_string buf
-        (Printf.sprintf "[%8d] %-12s %s\n" e.at e.component e.detail))
+    (fun e -> Buffer.add_string buf (Vmht_obs.Event.to_string e ^ "\n"))
     t.queue;
   Buffer.contents buf

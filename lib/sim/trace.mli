@@ -1,21 +1,29 @@
-(** Lightweight event trace, used by tests and by the CLI's [--trace]
-    mode to inspect what a simulated system did and when. *)
+(** Bounded ring buffer of typed observability events, used by tests
+    and by the CLI's trace modes to inspect what a simulated system did
+    and when.  The event schema lives in {!Vmht_obs.Event}; this module
+    only owns retention. *)
 
-type event = { at : int; component : string; detail : string }
+type event = Vmht_obs.Event.t
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** A bounded trace; once [capacity] events are recorded the oldest are
-    dropped (default capacity 65536). *)
+    dropped — and counted, see {!dropped} (default capacity 65536). *)
 
 val enable : t -> bool -> unit
 (** Recording is off until enabled; disabled traces cost one branch. *)
 
-val record : t -> at:int -> component:string -> string -> unit
+val enabled : t -> bool
+
+val record :
+  t -> at:int -> ?duration:int -> component:string -> Vmht_obs.Event.kind -> unit
+(** [at] is the event's start cycle; [duration] (default 0) its span. *)
 
 val events : t -> event list
-(** Recorded events, oldest first. *)
+(** Recorded events, oldest first.  When {!dropped} is non-zero the
+    list holds only the newest [capacity] events — older ones are gone,
+    not merely hidden. *)
 
 val count : t -> int
 (** Number of events currently retained. *)
@@ -23,4 +31,11 @@ val count : t -> int
 val dropped : t -> int
 (** Number of events discarded due to the capacity bound. *)
 
+val clear : t -> unit
+(** Forget every retained event and reset {!dropped}, so a SoC can be
+    reused across runs without stale events.  Leaves the enabled flag
+    unchanged. *)
+
 val to_string : t -> string
+(** One line per event; prefixed by a ["... N earlier events dropped
+    ..."] header when the capacity bound discarded older events. *)

@@ -76,6 +76,44 @@ let render ?(width = 64) ?(height = 18) ?(logx = false) ?(logy = false)
     series;
   Buffer.contents buf
 
+let waterfall ?(width = 48) ~title ~unit segments =
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. segments in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (total %.0f %s)\n" title total unit);
+  if total <= 0. then Buffer.add_string buf "  (no cycles attributed)\n"
+  else begin
+    let label_w =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 segments
+    in
+    (* Cumulative offsets: each segment's bar starts where the previous
+       one ended, so the chart reads as a timeline left to right. *)
+    let cells v = v /. total *. float_of_int width in
+    let _ =
+      List.fold_left
+        (fun offset (label, v) ->
+          let start = int_of_float (Float.round (cells offset)) in
+          let stop = int_of_float (Float.round (cells (offset +. v))) in
+          let start = min start width and stop = min stop width in
+          (* Non-zero segments always get at least one cell. *)
+          let stop = if v > 0. && stop <= start then start + 1 else stop in
+          let stop = min stop width in
+          let bar =
+            String.make start ' '
+            ^ String.make (max 0 (stop - start)) '#'
+            ^ String.make (max 0 (width - stop)) ' '
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s| %12.0f  %5.1f%%\n" label_w label bar
+               v
+               (100. *. v /. total));
+          offset +. v)
+        0. segments
+    in
+    ()
+  end;
+  Buffer.contents buf
+
 let print ?width ?height ?logx ?logy ~title ~xlabel ~ylabel series =
   print_string
     (render ?width ?height ?logx ?logy ~title ~xlabel ~ylabel series ^ "\n")

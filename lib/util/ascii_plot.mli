@@ -18,6 +18,13 @@ val render :
     the margins.  Series glyphs cycle through [*], [o], [+], [x], [#].
     [logx]/[logy] plot on a log10 scale (points <= 0 are dropped). *)
 
+val waterfall :
+  ?width:int -> title:string -> unit:string -> (string * float) list -> string
+(** Cumulative horizontal-bar chart: each labeled segment's bar starts
+    where the previous one ended, so a cycle breakdown reads as a
+    left-to-right timeline.  Every row shows the segment's value and
+    its share of the total.  [unit] names the quantity ("cycles"). *)
+
 val print :
   ?width:int ->
   ?height:int ->

@@ -15,6 +15,17 @@ val median : float list -> float
 val min_max : float list -> float * float
 (** [(min, max)]; [(0., 0.)] on the empty list. *)
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-quantile ([0. <= p <= 1.], clamped) of
+    [xs] with linear interpolation between order statistics; 0. on the
+    empty list. *)
+
+val quantile_bucket : q:float -> int array -> int
+(** Index of the bucket containing the [q]-quantile of a histogram
+    given per-bucket counts (the first populated bucket whose
+    cumulative count reaches [q] of the total); -1 if all counts are
+    zero.  Used by the metrics registry's log2 histograms. *)
+
 val percent_delta : float -> float -> float
 (** [percent_delta base v] is [(v - base) / base * 100.]. *)
 

@@ -41,7 +41,7 @@ type t = {
   mutable tlb_misses : int;
   mutable page_faults : int;
   mutable walk_cycles : int;
-  mutable tracer : (string -> unit) option;
+  mutable observer : Vmht_obs.Event.emitter option;
 }
 
 let create ?(asid = 0) config bus aspace =
@@ -57,17 +57,15 @@ let create ?(asid = 0) config bus aspace =
     tlb_misses = 0;
     page_faults = 0;
     walk_cycles = 0;
-    tracer = None;
+    observer = None;
   }
 
 let asid t = t.asid
 
-let set_tracer t f = t.tracer <- Some f
+let set_observer t f = t.observer <- Some f
 
-let trace t fmt =
-  Printf.ksprintf
-    (fun s -> match t.tracer with Some f -> f s | None -> ())
-    fmt
+let emit t ?duration kind =
+  match t.observer with Some f -> f ?duration kind | None -> ()
 
 let page_shift t = Page_table.page_shift (Addr_space.page_table t.aspace)
 
@@ -75,6 +73,8 @@ let page_shift t = Page_table.page_shift (Addr_space.page_table t.aspace)
    address space can repair the miss.  Recursion terminates because a
    successful [handle_fault] installs the mapping. *)
 let rec refill t ~vaddr =
+  let walk_start = Engine.now_p () in
+  let reads_before = (Ptw.stats t.ptw).Ptw.level_reads in
   let entry =
     if t.config.hw_walk then Ptw.walk t.ptw ~vaddr
     else begin
@@ -84,6 +84,10 @@ let rec refill t ~vaddr =
       Ptw.walk t.ptw ~vaddr
     end
   in
+  emit t
+    ~duration:(Engine.now_p () - walk_start)
+    (Vmht_obs.Event.Ptw_walk
+       { vaddr; levels = (Ptw.stats t.ptw).Ptw.level_reads - reads_before });
   match entry with
   | Some { Page_table.frame; writable } ->
     Tlb.insert ~asid:t.asid t.tlb ~vpn:(vaddr lsr page_shift t)
@@ -92,8 +96,9 @@ let rec refill t ~vaddr =
   | None ->
     (* Page not present: software fault path (demand paging). *)
     t.page_faults <- t.page_faults + 1;
-    trace t "fault 0x%06x (asid %d)" vaddr t.asid;
     Engine.wait t.config.fault_penalty;
+    emit t ~duration:t.config.fault_penalty
+      (Vmht_obs.Event.Page_fault { vaddr; asid = t.asid });
     if Addr_space.handle_fault t.aspace ~vaddr then refill t ~vaddr
     else raise (Mmu_fault vaddr)
 
@@ -105,10 +110,12 @@ let translate t ~vaddr =
   match Tlb.lookup ~asid:t.asid t.tlb ~vpn with
   | Some { Tlb.frame; _ } ->
     t.tlb_hits <- t.tlb_hits + 1;
+    emit t ~duration:t.config.tlb_hit_cycles
+      (Vmht_obs.Event.Tlb_hit { vaddr; asid = t.asid });
     frame lor offset
   | None ->
     t.tlb_misses <- t.tlb_misses + 1;
-    trace t "miss  0x%06x (asid %d)" vaddr t.asid;
+    emit t (Vmht_obs.Event.Tlb_miss { vaddr; asid = t.asid });
     let before = Engine.now_p () in
     let frame = refill t ~vaddr in
     t.walk_cycles <- t.walk_cycles + (Engine.now_p () - before);
@@ -135,6 +142,10 @@ let stats (t : t) : stats =
     page_faults = t.page_faults;
     walk_cycles = t.walk_cycles;
   }
+
+let tlb_stats t = Tlb.stats t.tlb
+
+let ptw_stats t = Ptw.stats t.ptw
 
 let tlb_hit_rate t =
   if t.accesses = 0 then 0.

@@ -53,8 +53,11 @@ val load : t -> int -> int
 
 val store : t -> int -> int -> unit
 
-val set_tracer : t -> (string -> unit) -> unit
-(** Observer for translation events (misses, walks, faults). *)
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+(** Observer for translation events: typed
+    {!Vmht_obs.Event.kind.Tlb_hit} / [Tlb_miss] / [Ptw_walk] (duration
+    = measured walk span, [levels] = page-table reads issued) /
+    [Page_fault] (duration = the fault handler penalty) events. *)
 
 val invalidate_tlb : t -> unit
 
@@ -62,5 +65,11 @@ val invalidate_page : t -> vaddr:int -> unit
 (** Drop one translation (the per-page half of a TLB shootdown). *)
 
 val stats : t -> stats
+
+val tlb_stats : t -> Tlb.stats
+(** Counters of the MMU's private TLB (lookups, hits, evictions). *)
+
+val ptw_stats : t -> Ptw.stats
+(** Counters of the MMU's walker (walks, level reads, failed walks). *)
 
 val tlb_hit_rate : t -> float

@@ -124,3 +124,37 @@ System composition against a device budget:
     FF     12.0%
     DSP    29.1%
     BRAM    4.3%
+
+Observability: a run can write a Chrome-trace JSON alongside the
+summary, and emit the whole report as machine-readable JSON:
+
+  $ vmht run vecadd --mode vm --size 64 --trace-out trace.json
+  vecadd / vm / size 64: 1,875 cycles (correct)
+    phases: stage=0 compute=1507 drain=368
+    mmu: 192 accesses, 189 hits, 3 misses, 0 faults, hit rate 0.984
+    trace written to trace.json
+  $ grep -c '"ph": "M"' trace.json > /dev/null && echo has-metadata
+  has-metadata
+  $ grep -q '"traceEvents"' trace.json && grep -q '"ts"' trace.json && echo chrome-shape
+  chrome-shape
+
+  $ vmht run vecadd --mode vm --size 64 --metrics-json | head -6
+  {
+    "workload": "vecadd",
+    "mode": "vm",
+    "size": 64,
+    "ret": null,
+    "total_cycles": 1875,
+  $ vmht run vecadd --mode vm --size 64 --metrics-json | grep -c '"tlb.lookups"\|"bus.reads"\|"dram.accesses"'
+  3
+
+The trace subcommand replays a workload with tracing on and filters
+the typed event stream:
+
+  $ vmht trace vecadd --mode dma --size 64 --component dma
+  [      40] dma          dma_read x64 (+213)
+  [     293] dma          dma_read x64 (+213)
+  [     973] dma          dma_write x64 (+213)
+
+  $ vmht trace vecadd --mode vm --size 64 --out t2.json
+  662 events written to t2.json

@@ -154,9 +154,23 @@ let test_soc_trace_records () =
   let events = Vmht_sim.Trace.events (Soc.trace soc) in
   check_bool "events recorded" true (List.length events > 0);
   check_bool "mmu miss present" true
-    (List.exists (fun e -> e.Vmht_sim.Trace.component = "mmu") events);
+    (List.exists
+       (fun e ->
+         e.Vmht_obs.Event.component = "mmu"
+         &&
+         match e.Vmht_obs.Event.kind with
+         | Vmht_obs.Event.Tlb_miss _ -> true
+         | _ -> false)
+       events);
   check_bool "bus traffic present" true
-    (List.exists (fun e -> e.Vmht_sim.Trace.component = "bus") events)
+    (List.exists
+       (fun e ->
+         e.Vmht_obs.Event.component = "bus"
+         &&
+         match e.Vmht_obs.Event.kind with
+         | Vmht_obs.Event.Bus_txn _ -> true
+         | _ -> false)
+       events)
 
 let test_trace_off_by_default () =
   let soc = Soc.create Config.default in

@@ -1,0 +1,349 @@
+(* Observability layer: JSON round-trips, metrics histograms, the
+   trace ring's retention properties, Chrome-trace export shape, and —
+   the load-bearing invariant — per-phase cycle attribution summing
+   exactly to every run's total cycles, for every workload in every
+   interface style. *)
+
+open Vmht_obs
+module Workload = Vmht_workloads.Workload
+module Registry = Vmht_workloads.Registry
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* ------------------------- Json ----------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.String "hi \"there\"\n\ttab");
+        ("list", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+        ("nested", Json.Obj [ ("k", Json.String "v") ]);
+      ]
+  in
+  let parsed = Json.of_string (Json.to_string doc) in
+  check_bool "compact round-trips" true (parsed = doc);
+  let parsed = Json.of_string (Json.to_string_pretty doc) in
+  check_bool "pretty round-trips" true (parsed = doc)
+
+let test_json_escapes () =
+  let s = Json.to_string (Json.String "a\"b\\c\nd") in
+  check_str "escaped" {|"a\"b\\c\nd"|} s;
+  (match Json.of_string {|"Aé"|} with
+   | Json.String v -> check_str "unicode escapes decode" "A\xc3\xa9" v
+   | _ -> Alcotest.fail "expected a string");
+  match Json.of_string {|"😀"|} with
+  | Json.String v ->
+    check_str "surrogate pair decodes" "\xf0\x9f\x98\x80" v
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "truncated object" true (fails {|{"a": 1|});
+  check_bool "trailing garbage" true (fails "[1, 2] x");
+  check_bool "bare word" true (fails "frue")
+
+(* ------------------------- Metrics -------------------------------- *)
+
+let test_histogram_buckets () =
+  check_int "0 lands in bucket 0" 0 (Metrics.bucket_index 0);
+  check_int "1 lands in bucket 1" 1 (Metrics.bucket_index 1);
+  check_int "2 lands in bucket 2" 2 (Metrics.bucket_index 2);
+  check_int "3 lands in bucket 2" 2 (Metrics.bucket_index 3);
+  check_int "4 lands in bucket 3" 3 (Metrics.bucket_index 4);
+  check_int "7 lands in bucket 3" 3 (Metrics.bucket_index 7);
+  check_int "8 lands in bucket 4" 4 (Metrics.bucket_index 8);
+  check_int "bucket 0 upper" 0 (Metrics.bucket_upper 0);
+  check_int "bucket 3 upper" 7 (Metrics.bucket_upper 3);
+  check_int "bucket 10 upper" 1023 (Metrics.bucket_upper 10);
+  (* Every bucket's upper bound must land in that bucket, and the next
+     value in the next one. *)
+  for k = 1 to 20 do
+    let upper = Metrics.bucket_upper k in
+    check_int "upper in bucket" k (Metrics.bucket_index upper);
+    check_int "upper+1 in next" (k + 1) (Metrics.bucket_index (upper + 1))
+  done
+
+let test_histogram_snapshot () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "t.lat" in
+  List.iter (Metrics.observe h) [ 1; 1; 2; 3; 100 ];
+  let s = Metrics.histogram_snapshot h in
+  check_int "count" 5 s.Metrics.count;
+  check_int "sum" 107 s.Metrics.sum;
+  check_int "min" 1 s.Metrics.min;
+  check_int "max" 100 s.Metrics.max;
+  (* Median bucket is bucket 2 (values 2..3) -> upper bound 3. *)
+  check_int "p50" 3 s.Metrics.p50;
+  (* p95 hits the top bucket; quantiles clamp to the observed max. *)
+  check_int "p95 clamped to max" 100 s.Metrics.p95
+
+let test_metrics_snapshot_sorted () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "b.two");
+  Metrics.incr ~by:5 (Metrics.counter m "a.one");
+  Metrics.set_gauge (Metrics.gauge m "g.rate") 0.5;
+  let s = Metrics.snapshot m in
+  check_bool "counters sorted" true
+    (List.map fst s.Metrics.counters = [ "a.one"; "b.two" ]);
+  check_int "incr by" 5 (List.assoc "a.one" s.Metrics.counters);
+  (* The JSON rendering parses back. *)
+  let json = Json.of_string (Json.to_string (Metrics.snapshot_to_json s)) in
+  match Json.member "counters" json with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "counters object expected"
+
+(* ------------------------- Trace ring (qcheck) -------------------- *)
+
+let ring_property =
+  QCheck.Test.make ~count:200
+    ~name:"trace ring keeps the newest [capacity] events"
+    QCheck.(pair (int_range 1 40) (int_range 0 120))
+    (fun (capacity, n) ->
+      let tr = Vmht_sim.Trace.create ~capacity () in
+      Vmht_sim.Trace.enable tr true;
+      for i = 0 to n - 1 do
+        Vmht_sim.Trace.record tr ~at:i ~component:"c"
+          (Event.Note (string_of_int i))
+      done;
+      let events = Vmht_sim.Trace.events tr in
+      Vmht_sim.Trace.count tr = min n capacity
+      && Vmht_sim.Trace.dropped tr = max 0 (n - capacity)
+      && List.length events = min n capacity
+      && List.for_all2
+           (fun (e : Event.t) expected -> e.Event.at = expected)
+           events
+           (List.init (min n capacity) (fun i -> max 0 (n - capacity) + i)))
+
+(* ------------------------- Chrome trace --------------------------- *)
+
+let sample_events =
+  [
+    {
+      Event.at = 10;
+      duration = 5;
+      component = "bus";
+      kind = Event.Bus_txn { op = Event.Read; addr = 0x40; words = 4 };
+    };
+    {
+      Event.at = 12;
+      duration = 0;
+      component = "mmu";
+      kind = Event.Tlb_miss { vaddr = 0x1000; asid = 0 };
+    };
+    {
+      Event.at = 13;
+      duration = 30;
+      component = "mmu";
+      kind = Event.Ptw_walk { vaddr = 0x1000; levels = 2 };
+    };
+  ]
+
+let test_chrome_trace_shape () =
+  let doc = Json.of_string (Chrome_trace.to_string sample_events) in
+  (match Json.member "displayTimeUnit" doc with
+   | Some (Json.String _) -> ()
+   | _ -> Alcotest.fail "displayTimeUnit missing");
+  let entries =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  (* process_name + 2 thread_name metadata events + 3 payload events. *)
+  check_int "entry count" 6 (List.length entries);
+  List.iter
+    (fun e ->
+      check_bool "ph present" true
+        (match Json.member "ph" e with
+         | Some (Json.String _) -> true
+         | _ -> false);
+      check_bool "pid present" true (Json.member "pid" e <> None);
+      check_bool "tid present" true (Json.member "tid" e <> None))
+    entries;
+  let payload =
+    List.filter
+      (fun e -> Json.member "ph" e <> Some (Json.String "M"))
+      entries
+  in
+  check_int "payload count" 3 (List.length payload);
+  List.iter
+    (fun e ->
+      check_bool "ts present" true
+        (match Json.member "ts" e with Some (Json.Int _) -> true | _ -> false))
+    payload;
+  (* The bus span comes out as a complete event with its duration. *)
+  let bus =
+    List.find
+      (fun e -> Json.member "cat" e = Some (Json.String "bus"))
+      payload
+  in
+  check_bool "span is ph=X" true (Json.member "ph" bus = Some (Json.String "X"));
+  check_bool "dur carried" true (Json.member "dur" bus = Some (Json.Int 5));
+  check_bool "ts is start" true (Json.member "ts" bus = Some (Json.Int 10));
+  (* Instants are thread-scoped. *)
+  let miss =
+    List.find
+      (fun e -> Json.member "name" e = Some (Json.String "tlb_miss"))
+      payload
+  in
+  check_bool "instant is ph=i" true
+    (Json.member "ph" miss = Some (Json.String "i"))
+
+(* ------------------------- Attribution ---------------------------- *)
+
+let test_waterfall_renders () =
+  let a =
+    {
+      Attribution.translate = 100;
+      walk = 200;
+      fault = 0;
+      bus_wait = 50;
+      dram = 400;
+      compute = 1000;
+      dma_stage = 0;
+      drain = 250;
+    }
+  in
+  check_int "total" 2000 (Attribution.total a);
+  let s = Attribution.waterfall a in
+  check_bool "compute row" true (contains s "compute");
+  check_bool "zero rows dropped" true (not (contains s "fault"))
+
+(* Small sizes (mirroring test_system) keep the full sweep quick while
+   still crossing several pages. *)
+let attr_size (w : Workload.t) =
+  match w.Workload.name with
+  | "mmul" -> 8
+  | "spmv" -> 128
+  | "tree_search" -> 256
+  | _ -> 1024
+
+let test_attribution_sums_to_total () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun mode ->
+          let o =
+            Vmht_eval.Common.run mode w ~size:(attr_size w)
+          in
+          let r = o.Vmht_eval.Common.result in
+          let a = r.Vmht.Launch.attribution in
+          let label what =
+            Printf.sprintf "%s/%s: %s" w.Workload.name
+              (Vmht_eval.Common.mode_name mode)
+              what
+          in
+          List.iter
+            (fun (seg, v) ->
+              check_bool (label (seg ^ " non-negative")) true (v >= 0))
+            (Attribution.to_list a);
+          check_int
+            (label "attribution sums to total_cycles")
+            r.Vmht.Launch.total_cycles (Attribution.total a))
+        [ Vmht_eval.Common.Sw; Vmht_eval.Common.Vm; Vmht_eval.Common.Dma ])
+    Registry.all
+
+let test_metrics_cover_components () =
+  let o =
+    Vmht_eval.Common.run ~observe:true Vmht_eval.Common.Vm
+      (Registry.find "vecadd") ~size:512
+  in
+  let soc = o.Vmht_eval.Common.soc in
+  let report =
+    Vmht.Report.gather soc ~workload:"vecadd" ~mode:"vm" ~size:512
+      o.Vmht_eval.Common.result
+  in
+  let counters = report.Vmht.Report.metrics.Metrics.counters in
+  let positive name =
+    match List.assoc_opt name counters with
+    | Some v -> v > 0
+    | None -> false
+  in
+  List.iter
+    (fun name -> check_bool (name ^ " > 0") true (positive name))
+    [
+      "tlb.lookups";
+      "ptw.walks";
+      "mmu.accesses";
+      "bus.reads";
+      "bus.words_moved";
+      "dram.accesses";
+      "stream_buffer.read_misses";
+    ];
+  check_bool "counter exists even when zero" true
+    (List.mem_assoc "dma.transfers" counters);
+  (* Observers fed the duration histograms while the run was traced. *)
+  let hist name =
+    List.assoc_opt name report.Vmht.Report.metrics.Metrics.histograms
+  in
+  (match hist "bus.txn_cycles" with
+   | Some h -> check_bool "bus latency samples" true (h.Metrics.count > 0)
+   | None -> Alcotest.fail "bus.txn_cycles histogram missing");
+  (* And the machine-readable report parses back as JSON. *)
+  let json =
+    Json.of_string (Json.to_string (Vmht.Report.to_json report))
+  in
+  check_bool "attribution in report json" true
+    (Json.member "attribution" json <> None)
+
+let test_dma_burst_events () =
+  let o =
+    Vmht_eval.Common.run ~observe:true Vmht_eval.Common.Dma
+      (Registry.find "vecadd") ~size:256
+  in
+  let events =
+    Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc)
+  in
+  check_bool "dma bursts observed" true
+    (List.exists
+       (fun (e : Event.t) ->
+         match e.Event.kind with Event.Dma_burst _ -> true | _ -> false)
+       events);
+  check_bool "phase markers observed" true
+    (List.exists
+       (fun (e : Event.t) ->
+         match e.Event.kind with
+         | Event.Phase_begin { phase = "stage" } -> true
+         | _ -> false)
+       events)
+
+let suite =
+  [
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "metrics: bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "metrics: histogram snapshot" `Quick
+      test_histogram_snapshot;
+    Alcotest.test_case "metrics: snapshot sorted" `Quick
+      test_metrics_snapshot_sorted;
+    QCheck_alcotest.to_alcotest ring_property;
+    Alcotest.test_case "chrome: export shape" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "attribution: waterfall" `Quick test_waterfall_renders;
+    Alcotest.test_case "attribution: sums to total (all workloads x styles)"
+      `Quick test_attribution_sums_to_total;
+    Alcotest.test_case "metrics: cover components" `Quick
+      test_metrics_cover_components;
+    Alcotest.test_case "events: dma bursts + phases" `Quick
+      test_dma_burst_events;
+  ]

@@ -206,20 +206,49 @@ let test_resource_utilization () =
 
 let test_trace_disabled_by_default () =
   let tr = Trace.create () in
-  Trace.record tr ~at:0 ~component:"x" "y";
+  Trace.record tr ~at:0 ~component:"x" (Vmht_obs.Event.Note "y");
   check_int "nothing recorded" 0 (Trace.count tr)
 
 let test_trace_bounded () =
   let tr = Trace.create ~capacity:3 () in
   Trace.enable tr true;
   for i = 1 to 5 do
-    Trace.record tr ~at:i ~component:"c" (string_of_int i)
+    Trace.record tr ~at:i ~component:"c"
+      (Vmht_obs.Event.Note (string_of_int i))
   done;
   check_int "capacity respected" 3 (Trace.count tr);
   check_int "dropped counted" 2 (Trace.dropped tr);
   match Trace.events tr with
-  | { Trace.at = 3; _ } :: _ -> ()
+  | { Vmht_obs.Event.at = 3; _ } :: _ -> ()
   | _ -> Alcotest.fail "oldest retained event should be at=3"
+
+let test_trace_dropped_header () =
+  let tr = Trace.create ~capacity:2 () in
+  Trace.enable tr true;
+  for i = 1 to 5 do
+    Trace.record tr ~at:i ~component:"c"
+      (Vmht_obs.Event.Note (string_of_int i))
+  done;
+  let rendered = Trace.to_string tr in
+  let first_line =
+    match String.split_on_char '\n' rendered with l :: _ -> l | [] -> ""
+  in
+  Alcotest.(check string)
+    "header present" "... 3 earlier events dropped ..." first_line
+
+let test_trace_clear () =
+  let tr = Trace.create ~capacity:2 () in
+  Trace.enable tr true;
+  for i = 1 to 5 do
+    Trace.record tr ~at:i ~component:"c"
+      (Vmht_obs.Event.Note (string_of_int i))
+  done;
+  Trace.clear tr;
+  check_int "events gone" 0 (Trace.count tr);
+  check_int "dropped reset" 0 (Trace.dropped tr);
+  check_bool "still enabled" true (Trace.enabled tr);
+  Trace.record tr ~at:9 ~component:"c" (Vmht_obs.Event.Note "again");
+  check_int "usable after clear" 1 (Trace.count tr)
 
 let suite =
   [
@@ -242,4 +271,6 @@ let suite =
     Alcotest.test_case "trace: disabled by default" `Quick
       test_trace_disabled_by_default;
     Alcotest.test_case "trace: bounded" `Quick test_trace_bounded;
+    Alcotest.test_case "trace: dropped header" `Quick test_trace_dropped_header;
+    Alcotest.test_case "trace: clear" `Quick test_trace_clear;
   ]

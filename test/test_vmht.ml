@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("inline", Test_inline.suite);
       ("ir", Test_ir.suite);

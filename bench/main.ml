@@ -1,40 +1,60 @@
 (* Benchmark harness.
 
-   Two jobs:
+   Three jobs:
 
    1. Regenerate the paper's evaluation: with no arguments (or with
       experiment names / "tables" / "figures" / "all"), print every
       table and figure.  This is what EXPERIMENTS.md records.
+      Experiments fan out over a domain pool; `-j N` sets its width
+      (default: the machine's recommended domain count, `-j 1` is the
+      fully sequential behavior).  Output is byte-identical at any
+      width.
 
-   2. `micro`: Bechamel micro-benchmarks — one Test.make per table and
-      figure, each timing the core operation that experiment stresses
-      (full experiment runs take seconds and belong to job 1; the micro
-      suite watches for regressions in the underlying machinery). *)
+   2. `micro [name...]`: Bechamel micro-benchmarks — one Test.make per
+      experiment plus targets for the simulator machinery itself
+      (event queue, MMU translation).  With name arguments, only
+      targets whose name contains one of them run.
+
+   3. `perf [--json FILE]`: wall-clock seconds per experiment, the
+      synthesis-cache counters, and the micro estimates — optionally
+      written to FILE as a JSON snapshot (the committed
+      BENCH_eval.json). *)
 
 open Bechamel
 module Workload = Vmht_workloads.Workload
 module Registry = Vmht_workloads.Registry
+module Json = Vmht_obs.Json
 
-let vecadd = Registry.find "vecadd"
+(* Lazy so that running a single micro target (or none) doesn't pay
+   for the others' workload lookups at startup. *)
+let vecadd = lazy (Registry.find "vecadd")
 
-let list_sum = Registry.find "list_sum"
+let list_sum = lazy (Registry.find "list_sum")
 
-let spmv = Registry.find "spmv"
+let spmv = lazy (Registry.find "spmv")
 
 (* --- micro-benchmark bodies ------------------------------------- *)
 
+(* Synthesis bodies pass ~cache:false: with the process-wide memo
+   cache they would otherwise time a table lookup after the first
+   iteration. *)
+
 let synthesize_vm () =
-  ignore (Vmht_eval.Common.synthesize Vmht.Wrapper.Vm_iface vecadd)
+  ignore
+    (Vmht_eval.Common.synthesize ~cache:false Vmht.Wrapper.Vm_iface
+       (Lazy.force vecadd))
 
 let synthesize_dma () =
-  ignore (Vmht_eval.Common.synthesize Vmht.Wrapper.Dma_iface vecadd)
+  ignore
+    (Vmht_eval.Common.synthesize ~cache:false Vmht.Wrapper.Dma_iface
+       (Lazy.force vecadd))
 
 let run_small mode w () =
-  let o = Vmht_eval.Common.run mode w ~size:256 in
+  let o = Vmht_eval.Common.run mode (Lazy.force w) ~size:256 in
   assert o.Vmht_eval.Common.correct
 
 let optimize_pipeline () =
-  let f = Vmht_ir.Lower.lower_kernel (Workload.kernel spmv) in
+  let f = Vmht_ir.Lower.lower_kernel (Workload.kernel (Lazy.force spmv)) in
   ignore (Vmht_ir.Passes.optimize f)
 
 let tlb_churn () =
@@ -67,12 +87,44 @@ let page_table_churn () =
     ignore (Vmht_vm.Page_table.lookup pt ~vaddr:(vpn * 4096))
   done
 
-let unroll_synthesis () =
-  let config = Vmht.Config.with_unroll Vmht.Config.default 8 in
-  ignore (Vmht_eval.Common.synthesize ~config Vmht.Wrapper.Vm_iface vecadd)
+let event_queue_churn () =
+  let q = Vmht_sim.Event_queue.create () in
+  for round = 0 to 3 do
+    for i = 0 to 255 do
+      (* Scrambled arrival times exercise sift-up and sift-down. *)
+      Vmht_sim.Event_queue.push q ~at:((i * 37) land 1023) (round + i)
+    done;
+    for _ = 0 to 191 do
+      ignore (Vmht_sim.Event_queue.pop_payload_exn q)
+    done
+  done;
+  while not (Vmht_sim.Event_queue.is_empty q) do
+    ignore (Vmht_sim.Event_queue.pop_payload_exn q)
+  done
+
+let mmu_translate_churn () =
+  let bytes = 1 lsl 21 in
+  let phys = Vmht_mem.Phys_mem.create ~bytes in
+  let dram = Vmht_mem.Dram.create () in
+  let bus = Vmht_mem.Bus.create phys dram in
+  let frames = Vmht_vm.Frame_alloc.create ~base:0 ~bytes ~page_bytes:4096 in
+  let aspace =
+    Vmht_vm.Addr_space.create phys frames ~page_shift:12 ~va_bits:24
+  in
+  let base = Vmht_vm.Addr_space.alloc aspace ~bytes:(8 * 4096) in
+  let mmu = Vmht_vm.Mmu.create Vmht_vm.Mmu.default_config bus aspace in
+  let eng = Vmht_sim.Engine.create () in
+  Vmht_sim.Engine.spawn eng ~name:"bench" (fun () ->
+      (* 8 pages of working set against a 16-entry TLB: after the 8
+         cold misses every translate is a hit — the fast path. *)
+      for i = 0 to 4095 do
+        ignore (Vmht_vm.Mmu.translate mmu ~vaddr:(base + (i * 8 mod 32768)))
+      done);
+  Vmht_sim.Engine.run eng
 
 let multi_thread_pair () =
   (* Two concurrent hardware threads, as fig6 scales up. *)
+  let vecadd = Lazy.force vecadd in
   let config = Vmht.Config.default in
   let soc = Vmht.Soc.create config in
   let i1 = vecadd.Workload.setup (Vmht.Soc.aspace soc) ~size:128 ~seed:1 in
@@ -91,26 +143,44 @@ let multi_thread_pair () =
       ignore (Vmht_rt.Hthreads.join t1);
       ignore (Vmht_rt.Hthreads.join t2))
 
-let micro_tests =
+(* Lazy Test.t per target: selecting a subset by name never builds
+   (or forces the workloads of) the rest. *)
+let micro_targets : (string * Test.t Lazy.t) list =
+  let t name body = (name, lazy (Test.make ~name (Staged.stage body))) in
   [
-    Test.make ~name:"table1.sw-profile"
-      (Staged.stage (run_small Vmht_eval.Common.Sw vecadd));
-    Test.make ~name:"table2.synthesize-vm" (Staged.stage synthesize_vm);
-    Test.make ~name:"table3.run-vm-small"
-      (Staged.stage (run_small Vmht_eval.Common.Vm vecadd));
-    Test.make ~name:"table4.optimizer" (Staged.stage optimize_pipeline);
-    Test.make ~name:"table5.synthesize-dma" (Staged.stage synthesize_dma);
-    Test.make ~name:"fig1.run-dma-small"
-      (Staged.stage (run_small Vmht_eval.Common.Dma vecadd));
-    Test.make ~name:"fig2.tlb-churn" (Staged.stage tlb_churn);
-    Test.make ~name:"fig3.page-table-churn" (Staged.stage page_table_churn);
-    Test.make ~name:"fig4.pointer-chase-vm"
-      (Staged.stage (run_small Vmht_eval.Common.Vm list_sum));
-    Test.make ~name:"fig5.unroll-synthesis" (Staged.stage unroll_synthesis);
-    Test.make ~name:"fig6.two-threads" (Staged.stage multi_thread_pair);
+    t "table1.sw-profile" (run_small Vmht_eval.Common.Sw vecadd);
+    t "table2.synthesize-vm" synthesize_vm;
+    t "table3.run-vm-small" (run_small Vmht_eval.Common.Vm vecadd);
+    t "table4.optimizer" optimize_pipeline;
+    t "table5.synthesize-dma" synthesize_dma;
+    t "fig1.run-dma-small" (run_small Vmht_eval.Common.Dma vecadd);
+    t "fig2.tlb-churn" tlb_churn;
+    t "fig3.page-table-churn" page_table_churn;
+    t "fig4.pointer-chase-vm" (run_small Vmht_eval.Common.Vm list_sum);
+    t "fig5.unroll-synthesis" (fun () ->
+        let config = Vmht.Config.with_unroll Vmht.Config.default 8 in
+        ignore
+          (Vmht_eval.Common.synthesize ~config ~cache:false
+             Vmht.Wrapper.Vm_iface (Lazy.force vecadd)));
+    t "fig6.two-threads" multi_thread_pair;
+    t "sim.event-queue-churn" event_queue_churn;
+    t "sim.mmu-translate" mmu_translate_churn;
   ]
 
-let run_micro () =
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let select_micro filters =
+  List.filter
+    (fun (name, _) ->
+      filters = [] || List.exists (contains_substring name) filters)
+    micro_targets
+
+(* --- micro measurement ------------------------------------------- *)
+
+let micro_estimates tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -118,63 +188,213 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) ()
   in
-  let test = Test.make_grouped ~name:"vmht" ~fmt:"%s %s" micro_tests in
+  let test = Test.make_grouped ~name:"vmht" ~fmt:"%s %s" tests in
   let raw_results = Benchmark.all cfg instances test in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw_results) instances
   in
   let results = Analyze.merge ols instances results in
-  print_endline "micro-benchmarks (monotonic clock, ns per run):";
+  let rows = ref [] in
   Hashtbl.iter
     (fun _metric tbl ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let estimate =
-              match Analyze.OLS.estimates ols_result with
-              | Some [ e ] -> Printf.sprintf "%14.0f ns" e
-              | Some es ->
-                String.concat ", " (List.map (Printf.sprintf "%.0f") es)
-              | None -> "n/a"
-            in
-            (name, estimate) :: acc)
-          tbl []
-      in
-      List.iter
-        (fun (name, estimate) -> Printf.printf "  %-32s %s\n" name estimate)
-        (List.sort compare rows))
-    results
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> Some e
+            | Some _ | None -> None
+          in
+          rows := (name, estimate) :: !rows)
+        tbl)
+    results;
+  List.sort compare !rows
+
+let run_micro ?(filters = []) () =
+  match select_micro filters with
+  | [] ->
+    Printf.eprintf "no micro target matches %s\n"
+      (String.concat ", " filters);
+    exit 1
+  | selected ->
+    let estimates =
+      micro_estimates (List.map (fun (_, t) -> Lazy.force t) selected)
+    in
+    print_endline "micro-benchmarks (monotonic clock, ns per run):";
+    List.iter
+      (fun (name, estimate) ->
+        let cell =
+          match estimate with
+          | Some e -> Printf.sprintf "%14.0f ns" e
+          | None -> "n/a"
+        in
+        Printf.printf "  %-32s %s\n" name cell)
+      estimates
+
+(* --- perf snapshot ------------------------------------------------ *)
+
+let run_perf ~json () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "perf: %d experiments, %d jobs\n%!"
+    (List.length Vmht_eval.All_experiments.names)
+    (Vmht_par.Parmap.jobs ());
+  let experiments =
+    List.map
+      (fun name ->
+        let s0 = Unix.gettimeofday () in
+        let out = Vmht_eval.All_experiments.run name in
+        let seconds = Unix.gettimeofday () -. s0 in
+        Printf.printf "  %-8s %8.3f s  (%d bytes)\n%!" name seconds
+          (String.length out);
+        (name, seconds, String.length out))
+      Vmht_eval.All_experiments.names
+  in
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  let cache = Vmht.Flow.cache_stats () in
+  let metrics = Vmht_obs.Metrics.create () in
+  Vmht.Flow.sync_cache_metrics metrics;
+  print_string
+    (Vmht_obs.Metrics.snapshot_to_string (Vmht_obs.Metrics.snapshot metrics));
+  Printf.printf "total: %.3f s\n%!" total_seconds;
+  let micro = micro_estimates (List.map (fun (_, t) -> Lazy.force t) micro_targets) in
+  List.iter
+    (fun (name, estimate) ->
+      Printf.printf "  %-32s %s\n" name
+        (match estimate with
+         | Some e -> Printf.sprintf "%14.0f ns" e
+         | None -> "n/a"))
+    micro;
+  match json with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.String "vmht-bench-eval/1");
+          ("jobs", Json.Int (Vmht_par.Parmap.jobs ()));
+          ( "experiments",
+            Json.List
+              (List.map
+                 (fun (name, seconds, bytes) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("seconds", Json.Float seconds);
+                       ("output_bytes", Json.Int bytes);
+                     ])
+                 experiments) );
+          ("total_seconds", Json.Float total_seconds);
+          ( "synthesis_cache",
+            Json.Obj
+              [
+                ("hits", Json.Int cache.Vmht.Flow.cache_hits);
+                ("misses", Json.Int cache.Vmht.Flow.cache_misses);
+                ("entries", Json.Int cache.Vmht.Flow.cache_entries);
+              ] );
+          ( "micro",
+            Json.List
+              (List.map
+                 (fun (name, estimate) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ( "ns_per_run",
+                         match estimate with
+                         | Some e -> Json.Float e
+                         | None -> Json.Null );
+                     ])
+                 micro) );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string_pretty doc);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
 
 (* --- entry point -------------------------------------------------- *)
 
 let usage () =
-  Printf.printf "usage: main.exe [all|tables|figures|micro|%s]...\n"
-    (String.concat "|" Vmht_eval.All_experiments.names)
+  Printf.printf
+    "usage: main.exe [-j N] [target]...\n\
+     targets:\n\
+    \  all               every table, figure and ablation, then micro\n\
+    \  tables | figures  the corresponding subset\n\
+    \  micro [name...]   micro-benchmarks (optionally only targets whose\n\
+    \                    name contains one of the given substrings)\n\
+    \  perf [--json F]   wall-clock per experiment + cache counters +\n\
+    \                    micro estimates, optionally snapshotted to F\n\
+    \  %s\n\
+     options:\n\
+    \  -j N              domain-pool width (default: recommended domain\n\
+    \                    count; 1 = sequential).  Output is byte-identical\n\
+    \                    at any width.\n"
+    (String.concat " | " Vmht_eval.All_experiments.names)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let targets = if args = [] then [ "all" ] else args in
-  List.iter
-    (fun target ->
-      match target with
-      | "all" ->
-        print_string (Vmht_eval.All_experiments.run_all ());
-        run_micro ()
-      | "tables" ->
-        List.iter
-          (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
-          [ "table1"; "table2"; "table3"; "table4"; "table5" ]
-      | "figures" ->
-        List.iter
-          (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
-          [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
-      | "micro" -> run_micro ()
-      | "help" | "--help" | "-h" -> usage ()
-      | name -> (
-        match Vmht_eval.All_experiments.run name with
-        | output -> print_string (output ^ "\n")
-        | exception Not_found ->
-          Printf.eprintf "unknown experiment '%s'\n" name;
-          usage ();
-          exit 1))
-    targets
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let json_path = ref None in
+  let bad msg =
+    Printf.eprintf "%s\n" msg;
+    usage ();
+    exit 1
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 ->
+        jobs := v;
+        parse acc rest
+      | _ -> bad (Printf.sprintf "-j needs a positive integer, got '%s'" n))
+    | [ "-j" ] -> bad "-j needs a positive integer"
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse acc rest
+    | [ "--json" ] -> bad "--json needs a file path"
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+      match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+      | Some v when v >= 1 ->
+        jobs := v;
+        parse acc rest
+      | _ -> bad (Printf.sprintf "bad jobs count '%s'" arg))
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let targets = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let targets = if targets = [] then [ "all" ] else targets in
+  Vmht_par.Parmap.set_jobs !jobs;
+  let rec dispatch = function
+    | [] -> ()
+    | "all" :: rest ->
+      print_string (Vmht_eval.All_experiments.run_all ());
+      run_micro ();
+      dispatch rest
+    | "tables" :: rest ->
+      List.iter
+        (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
+        [ "table1"; "table2"; "table3"; "table4"; "table5" ];
+      dispatch rest
+    | "figures" :: rest ->
+      List.iter
+        (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
+        [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ];
+      dispatch rest
+    | "micro" :: filters ->
+      (* everything after `micro` selects targets by substring *)
+      run_micro ~filters ()
+    | "perf" :: rest ->
+      run_perf ~json:!json_path ();
+      dispatch rest
+    | ("help" | "--help" | "-h") :: rest ->
+      usage ();
+      dispatch rest
+    | name :: rest ->
+      (match Vmht_eval.All_experiments.run name with
+       | output -> print_string (output ^ "\n")
+       | exception Not_found ->
+         Printf.eprintf "unknown experiment '%s'\n" name;
+         usage ();
+         exit 1);
+      dispatch rest
+  in
+  dispatch targets;
+  Vmht_par.Parmap.shutdown ()

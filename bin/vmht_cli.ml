@@ -415,7 +415,21 @@ let bench_cmd =
   let names =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT")
   in
-  let action names =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for experiment sweeps (default: the \
+             machine's recommended domain count; 1 = sequential).  \
+             Output is byte-identical at any width.")
+  in
+  let action jobs names =
+    Vmht_par.Parmap.set_jobs
+      (match jobs with
+       | Some n -> n
+       | None -> Domain.recommended_domain_count ());
     Vmht_eval.Common.reset_mismatches ();
     let run_one = function
       | "all" ->
@@ -440,7 +454,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures.")
-    Term.(const action $ names)
+    Term.(const action $ jobs $ names)
 
 (* ------------------------- list ----------------------------------- *)
 

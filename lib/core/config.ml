@@ -66,6 +66,62 @@ let with_unroll t unroll = { t with unroll }
 
 let with_pipelining t pipeline_loops = { t with pipeline_loops }
 
+(* Every field, spelled out: the fingerprint keys the synthesis cache,
+   so forgetting a field here would let two configs that synthesize
+   differently share a cache slot.  Enumerating all of them (even the
+   purely runtime ones like DRAM timings) trades a few spurious cache
+   misses for immunity to that bug class. *)
+let fingerprint (t : t) =
+  let b = Buffer.create 160 in
+  let i v = Buffer.add_string b (string_of_int v); Buffer.add_char b ';' in
+  let f v = Buffer.add_string b (string_of_bool v); Buffer.add_char b ';' in
+  i t.phys_bytes;
+  i t.page_shift;
+  i t.va_bits;
+  (let d = t.dram in
+   i d.Vmht_mem.Dram.t_cas;
+   i d.Vmht_mem.Dram.t_rcd;
+   i d.Vmht_mem.Dram.t_rp;
+   i d.Vmht_mem.Dram.row_bytes;
+   i d.Vmht_mem.Dram.banks);
+  i t.bus_arbitration_cycles;
+  let cache (c : Vmht_mem.Cache.config) =
+    i c.Vmht_mem.Cache.size_bytes;
+    i c.Vmht_mem.Cache.line_bytes;
+    i c.Vmht_mem.Cache.ways;
+    i c.Vmht_mem.Cache.hit_latency
+  in
+  cache t.cache;
+  (let r = t.resources in
+   i r.Vmht_hls.Schedule.alu;
+   i r.Vmht_hls.Schedule.cmp;
+   i r.Vmht_hls.Schedule.mul;
+   i r.Vmht_hls.Schedule.div;
+   i r.Vmht_hls.Schedule.shift;
+   i r.Vmht_hls.Schedule.mem_ports);
+  i t.unroll;
+  f t.pipeline_loops;
+  i t.accel_mem_ports;
+  (let m = t.mmu in
+   i m.Vmht_vm.Mmu.tlb.Vmht_vm.Tlb.entries;
+   i m.Vmht_vm.Mmu.tlb.Vmht_vm.Tlb.assoc;
+   Buffer.add_string b
+     (match m.Vmht_vm.Mmu.tlb.Vmht_vm.Tlb.policy with
+      | Vmht_vm.Tlb.Lru -> "lru;"
+      | Vmht_vm.Tlb.Fifo -> "fifo;");
+   f m.Vmht_vm.Mmu.hw_walk;
+   i m.Vmht_vm.Mmu.tlb_hit_cycles;
+   i m.Vmht_vm.Mmu.sw_refill_penalty;
+   i m.Vmht_vm.Mmu.fault_penalty);
+  cache t.accel_stream_buffer;
+  i t.scratchpad_words;
+  i t.dma_setup_cycles;
+  i t.dma_burst_words;
+  i t.pin_cycles_per_page;
+  i t.cache_maintenance_cycles;
+  i t.seed;
+  Buffer.contents b
+
 let to_string t =
   Printf.sprintf
     "page=%dB tlb=%d entries (hw_walk=%b) cache=%dB unroll=%d ports=%d \

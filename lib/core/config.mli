@@ -44,4 +44,9 @@ val with_unroll : t -> int -> t
 
 val with_pipelining : t -> bool -> t
 
+val fingerprint : t -> string
+(** A compact, injective rendering of every field, used (with the
+    kernel and wrapper style) to key the synthesis cache.  Two configs
+    fingerprint equally iff they are structurally equal. *)
+
 val to_string : t -> string

@@ -14,7 +14,7 @@ type hw_thread = {
   synthesis_seconds : float;
 }
 
-let synthesize ?(windows = 3) (config : Config.t) style kernel =
+let synthesize_uncached ~windows (config : Config.t) style kernel =
   let started = Sys.time () in
   let fsm =
     Fsm.synthesize ~resources:config.Config.resources
@@ -37,15 +37,121 @@ let synthesize ?(windows = 3) (config : Config.t) style kernel =
     synthesis_seconds = finished -. started;
   }
 
-let synthesize_source ?windows config style source =
-  synthesize ?windows config style (Vmht_lang.Parser.parse_kernel source)
+(* --- synthesis memo cache ----------------------------------------- *)
 
-let synthesize_program ?windows config style source ~name =
+(* Synthesis is pure (modulo the wall-clock stamp), so results are
+   memoized process-wide, keyed by kernel name, wrapper style, config
+   fingerprint and window count.  Sweeps that vary only runtime
+   parameters (data size, seed, thread count) then synthesize each
+   kernel once instead of once per sweep point.
+
+   The cache is single-flight: concurrent requests for the same key
+   block on the one in-progress synthesis rather than duplicating it,
+   so every caller in a process sees the *same* [hw_thread] value —
+   which keeps anything derived from it (including the reported
+   synthesis time) identical across callers, whatever the parallel
+   schedule.  Keys add the kernel name, but the stored kernel AST is
+   compared structurally on hit, so a name collision degrades to a
+   miss instead of returning the wrong hardware. *)
+
+type cache_stats = { cache_hits : int; cache_misses : int; cache_entries : int }
+
+type cache_state = In_flight | Ready of Ast.kernel * hw_thread
+
+type cache_slot = { mutable state : cache_state }
+
+let cache_mutex = Mutex.create ()
+
+let cache_cond = Condition.create ()
+
+let cache_table : (string * string * string * int, cache_slot) Hashtbl.t =
+  Hashtbl.create 64
+
+let cache_hits = Atomic.make 0
+
+let cache_misses = Atomic.make 0
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let entries = Hashtbl.length cache_table in
+  Mutex.unlock cache_mutex;
+  {
+    cache_hits = Atomic.get cache_hits;
+    cache_misses = Atomic.get cache_misses;
+    cache_entries = entries;
+  }
+
+let reset_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache_table;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0;
+  Mutex.unlock cache_mutex
+
+let sync_cache_metrics m =
+  let s = cache_stats () in
+  Vmht_obs.Metrics.set_counter
+    (Vmht_obs.Metrics.counter m "flow.synth_cache_hits")
+    s.cache_hits;
+  Vmht_obs.Metrics.set_counter
+    (Vmht_obs.Metrics.counter m "flow.synth_cache_misses")
+    s.cache_misses;
+  Vmht_obs.Metrics.set_counter
+    (Vmht_obs.Metrics.counter m "flow.synth_cache_entries")
+    s.cache_entries
+
+let synthesize ?(cache = true) ?(windows = 3) (config : Config.t) style kernel =
+  if not cache then synthesize_uncached ~windows config style kernel
+  else begin
+    let key =
+      ( kernel.Ast.kname,
+        Wrapper.style_name style,
+        Config.fingerprint config,
+        windows )
+    in
+    let rec acquire () =
+      (* Called with [cache_mutex] held; returns with it released. *)
+      match Hashtbl.find_opt cache_table key with
+      | Some { state = Ready (k, hw) } when k = kernel ->
+        Mutex.unlock cache_mutex;
+        Atomic.incr cache_hits;
+        hw
+      | Some ({ state = In_flight } as _slot) ->
+        Condition.wait cache_cond cache_mutex;
+        acquire ()
+      | Some { state = Ready _ } (* same name, different kernel *) | None ->
+        let slot = { state = In_flight } in
+        Hashtbl.replace cache_table key slot;
+        Mutex.unlock cache_mutex;
+        Atomic.incr cache_misses;
+        let hw =
+          try synthesize_uncached ~windows config style kernel
+          with e ->
+            Mutex.lock cache_mutex;
+            Hashtbl.remove cache_table key;
+            Condition.broadcast cache_cond;
+            Mutex.unlock cache_mutex;
+            raise e
+        in
+        Mutex.lock cache_mutex;
+        slot.state <- Ready (kernel, hw);
+        Condition.broadcast cache_cond;
+        Mutex.unlock cache_mutex;
+        hw
+    in
+    Mutex.lock cache_mutex;
+    acquire ()
+  end
+
+let synthesize_source ?cache ?windows config style source =
+  synthesize ?cache ?windows config style (Vmht_lang.Parser.parse_kernel source)
+
+let synthesize_program ?cache ?windows config style source ~name =
   let program = Vmht_lang.Parser.parse_program source in
   Vmht_lang.Typecheck.check_program program;
   let program = Vmht_lang.Inline.program program in
   match Vmht_lang.Ast.find_kernel program name with
-  | Some kernel -> synthesize ?windows config style kernel
+  | Some kernel -> synthesize ?cache ?windows config style kernel
   | None -> raise Not_found
 
 let compile_sw (config : Config.t) kernel =

@@ -14,16 +14,31 @@ type hw_thread = {
 }
 
 val synthesize :
-  ?windows:int -> Config.t -> Wrapper.style -> Vmht_lang.Ast.kernel -> hw_thread
+  ?cache:bool ->
+  ?windows:int ->
+  Config.t ->
+  Wrapper.style ->
+  Vmht_lang.Ast.kernel ->
+  hw_thread
 (** [windows] (default 3) sizes the DMA wrapper's address-window
-    comparator bank; ignored for the VM style. *)
+    comparator bank; ignored for the VM style.
+
+    Results are memoized process-wide (see {!cache_stats}): a repeat
+    call with a structurally equal kernel, the same style, an equal
+    {!Config.fingerprint} and the same [windows] returns the cached
+    [hw_thread] (the very same value, so its [synthesis_seconds] is
+    the original measurement).  The cache is single-flight and safe
+    under concurrent callers on multiple domains.  Pass [~cache:false]
+    to force a fresh synthesis — benchmarks that *measure* synthesis
+    must, or they time a table lookup. *)
 
 val synthesize_source :
-  ?windows:int -> Config.t -> Wrapper.style -> string -> hw_thread
+  ?cache:bool -> ?windows:int -> Config.t -> Wrapper.style -> string -> hw_thread
 (** Convenience: parse a single-kernel source string first.  Raises
     {!Vmht_lang.Loc.Error} on bad input. *)
 
 val synthesize_program :
+  ?cache:bool ->
   ?windows:int ->
   Config.t ->
   Wrapper.style ->
@@ -39,3 +54,21 @@ val compile_sw : Config.t -> Vmht_lang.Ast.kernel -> Vmht_ir.Ir.func
     for software-thread execution and as the Table 5 baseline. *)
 
 val summary : hw_thread -> string
+
+(** {2 Synthesis cache} *)
+
+type cache_stats = {
+  cache_hits : int;  (** calls answered from the memo table *)
+  cache_misses : int;  (** calls that ran the full flow *)
+  cache_entries : int;  (** distinct (kernel, style, config) keys held *)
+}
+
+val cache_stats : unit -> cache_stats
+
+val reset_cache : unit -> unit
+(** Drop every entry and zero the counters (tests, micro-benchmarks). *)
+
+val sync_cache_metrics : Vmht_obs.Metrics.t -> unit
+(** Publish the cache counters into a metrics registry as
+    ["flow.synth_cache_hits"/"flow.synth_cache_misses"/
+    "flow.synth_cache_entries"]. *)

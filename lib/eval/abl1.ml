@@ -31,17 +31,18 @@ let run () =
          (default sizes)"
       ~headers:("buffer" :: List.map (fun w -> w.Workload.name) workloads)
   in
-  List.iter
+  Common.par_map
     (fun bytes ->
       let config = config_with_buffer bytes in
       let cells =
-        List.map
+        Common.par_map
           (fun w ->
             let o = Common.run ~config Common.Vm w ~size:w.Workload.default_size in
             assert o.Common.correct;
             Table.fmt_int (Common.cycles o))
           workloads
       in
-      Table.add_row table (label_of bytes :: cells))
-    sizes_bytes;
+      label_of bytes :: cells)
+    sizes_bytes
+  |> List.iter (Table.add_row table);
   Table.render table

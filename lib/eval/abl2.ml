@@ -41,15 +41,16 @@ let run () =
         "Ablation 2: TLB organization at 16 entries — cycles (hit rate)"
       ~headers:("organization" :: List.map (fun w -> w.Workload.name) workloads)
   in
-  List.iter
+  Common.par_map
     (fun (name, tlb) ->
       let cells =
-        List.map
+        Common.par_map
           (fun w ->
             let cycles, hr = measure tlb w in
             Printf.sprintf "%s (%.3f)" (Table.fmt_int cycles) hr)
           workloads
       in
-      Table.add_row table (name :: cells))
-    organizations;
+      name :: cells)
+    organizations
+  |> List.iter (Table.add_row table);
   Table.render table

@@ -38,10 +38,10 @@ let run () =
         :: List.map (fun p -> Printf.sprintf "%d port(s)" p) port_counts
         @ [ "LUT" ])
   in
-  List.iter
+  Common.par_map
     (fun unroll ->
       let cells =
-        List.map
+        Common.par_map
           (fun ports ->
             let config = config_with ~unroll ~ports in
             let o = Common.run ~config Common.Dma w ~size:w.Workload.default_size in
@@ -56,7 +56,7 @@ let run () =
            Vmht.Wrapper.Dma_iface w)
           .Vmht.Flow.datapath_area
       in
-      Table.add_row table
-        ((string_of_int unroll :: cells) @ [ string_of_int area.Optypes.lut ]))
-    unroll_factors;
+      (string_of_int unroll :: cells) @ [ string_of_int area.Optypes.lut ])
+    unroll_factors
+  |> List.iter (Table.add_row table);
   Table.render table

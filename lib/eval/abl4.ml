@@ -20,7 +20,7 @@ let run () =
          modulo-scheduled (achieved II vs FSM iteration length)"
       ~headers:[ "kernel"; "FSM"; "pipelined"; "gain"; "II"; "iter cycles" ]
   in
-  List.iter
+  Common.par_map
     (fun name ->
       let w = Vmht_workloads.Registry.find name in
       let size = w.Workload.default_size in
@@ -36,16 +36,16 @@ let run () =
           | [] -> (0, 0))
         | None -> (0, 0)
       in
-      Table.add_row table
-        [
-          name;
-          Table.fmt_int (Common.cycles off);
-          Table.fmt_int (Common.cycles on);
-          Table.fmt_float
-            (float_of_int (Common.cycles off) /. float_of_int (Common.cycles on))
-          ^ "x";
-          string_of_int ii;
-          string_of_int iter;
-        ])
-    subjects;
+      [
+        name;
+        Table.fmt_int (Common.cycles off);
+        Table.fmt_int (Common.cycles on);
+        Table.fmt_float
+          (float_of_int (Common.cycles off) /. float_of_int (Common.cycles on))
+        ^ "x";
+        string_of_int ii;
+        string_of_int iter;
+      ])
+    subjects
+  |> List.iter (Table.add_row table);
   Table.render table

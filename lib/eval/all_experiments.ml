@@ -22,9 +22,13 @@ let names = List.map fst experiments
 
 let run name = (List.assoc name experiments) ()
 
+(* Experiments fan out across the domain pool (and, inside each, their
+   sweep points fan out again — [Common.par_map] nests safely).  The
+   rendered sections come back in registry order and mismatches merge
+   in submission order, so the output is byte-identical to a
+   sequential run. *)
 let run_all () =
   String.concat "\n"
-    (List.map
-       (fun (name, f) ->
-         Printf.sprintf "===== %s =====\n%s" name (f ()))
+    (Common.par_map
+       (fun (name, f) -> Printf.sprintf "===== %s =====\n%s" name (f ()))
        experiments)

@@ -16,12 +16,67 @@ type outcome = {
 
 (* Result-mismatch log: [run] appends here whenever a workload's output
    disagrees with the reference, so batch drivers (bench) can report
-   failure at exit without threading outcomes through every table. *)
-let mismatches : string list ref = ref []
+   failure at exit without threading outcomes through every table.
 
-let reset_mismatches () = mismatches := []
+   Under the parallel harness the global list is mutex-guarded, and
+   [par_map] gives each task a domain-local sink whose contents are
+   merged back in submission order — so the log reads identically
+   whatever the parallel schedule (and exactly as the old sequential
+   code wrote it when jobs = 1). *)
+let mismatch_mutex = Mutex.create ()
 
-let mismatch_log () = List.rev !mismatches
+let mismatches : string list ref = ref [] (* newest first; guarded *)
+
+(* The active sink of the calling domain: [Some r] inside a [par_map]
+   task, [None] (= the shared global) otherwise. *)
+let mismatch_sink : string list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record_mismatch m =
+  match Domain.DLS.get mismatch_sink with
+  | Some local -> local := m :: !local
+  | None ->
+    Mutex.lock mismatch_mutex;
+    mismatches := m :: !mismatches;
+    Mutex.unlock mismatch_mutex
+
+(* Append an oldest-first batch [ms] to the calling context's sink. *)
+let merge_mismatches ms =
+  if ms <> [] then
+    match Domain.DLS.get mismatch_sink with
+    | Some local -> local := List.rev_append ms !local
+    | None ->
+      Mutex.lock mismatch_mutex;
+      mismatches := List.rev_append ms !mismatches;
+      Mutex.unlock mismatch_mutex
+
+let reset_mismatches () =
+  Mutex.lock mismatch_mutex;
+  mismatches := [];
+  Mutex.unlock mismatch_mutex
+
+let mismatch_log () =
+  Mutex.lock mismatch_mutex;
+  let l = !mismatches in
+  Mutex.unlock mismatch_mutex;
+  List.rev l
+
+let par_map f xs =
+  Vmht_par.Parmap.map
+    (fun x ->
+      let local = ref [] in
+      let saved = Domain.DLS.get mismatch_sink in
+      Domain.DLS.set mismatch_sink (Some local);
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set mismatch_sink saved)
+          (fun () -> f x)
+      in
+      (r, List.rev !local))
+    xs
+  |> List.map (fun (r, ms) ->
+         merge_mismatches ms;
+         r)
 
 let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
     mode (w : Workload.t) ~size =
@@ -53,17 +108,16 @@ let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
     && instance.Workload.check load
   in
   if not correct then
-    mismatches :=
-      Printf.sprintf "%s/%s/size %d" w.Workload.name (mode_name mode) size
-      :: !mismatches;
+    record_mismatch
+      (Printf.sprintf "%s/%s/size %d" w.Workload.name (mode_name mode) size);
   { result; correct; soc; instance; hw = !hw }
 
 let cycles o = o.result.Launch.total_cycles
 
 let speedup ~baseline o = float_of_int (cycles baseline) /. float_of_int (cycles o)
 
-let synthesize ?(config = Config.default) style (w : Workload.t) =
-  Flow.synthesize config style (Workload.kernel w)
+let synthesize ?(config = Config.default) ?cache style (w : Workload.t) =
+  Flow.synthesize ?cache config style (Workload.kernel w)
 
 let source_lines (w : Workload.t) =
   String.split_on_char '\n' w.Workload.source

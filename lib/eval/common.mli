@@ -32,9 +32,17 @@ val run :
 
 val mismatch_log : unit -> string list
 (** Workload/mode/size identifiers of every incorrect run since the
-    last {!reset_mismatches}, oldest first. *)
+    last {!reset_mismatches}, oldest first.  Safe (and deterministic:
+    merged in submission order by {!par_map}) under parallel runs. *)
 
 val reset_mismatches : unit -> unit
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** {!Vmht_par.Parmap.map} with mismatch capture: each task records
+    into a private sink, and the sinks are merged into the caller's
+    log in submission order, so the mismatch log (like the returned
+    list) is independent of the parallel schedule.  Experiments use
+    this for every sweep; with jobs = 1 it is exactly [List.map]. *)
 
 val cycles : outcome -> int
 
@@ -43,11 +51,13 @@ val speedup : baseline:outcome -> outcome -> float
 
 val synthesize :
   ?config:Vmht.Config.t ->
+  ?cache:bool ->
   Vmht.Wrapper.style ->
   Vmht_workloads.Workload.t ->
   Vmht.Flow.hw_thread
 (** Synthesis only (no execution) — for the area and synthesis-time
-    experiments. *)
+    experiments.  [cache] is passed through to {!Vmht.Flow.synthesize}
+    (default: cached); pass [~cache:false] when *timing* synthesis. *)
 
 val source_lines : Vmht_workloads.Workload.t -> int
 (** Non-empty source lines of the workload's kernel. *)

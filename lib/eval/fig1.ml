@@ -13,7 +13,7 @@ let sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
    simply have no DMA point — which is itself part of the result. *)
 let series_for (w : Workload.t) mode =
   let points =
-    List.filter_map
+    Common.par_map
       (fun size ->
         match Common.run mode w ~size with
         | hw ->
@@ -22,6 +22,7 @@ let series_for (w : Workload.t) mode =
           Some (float_of_int size, Common.speedup ~baseline:sw hw)
         | exception Vmht.Launch.Window_overflow _ -> None)
       sizes
+    |> List.filter_map Fun.id
   in
   {
     Plot.label =
@@ -38,9 +39,11 @@ let run () =
        copy-based (dma) vs VM-enabled (vm); dma series end at the \
        scratchpad capacity cliff"
     ~xlabel:"elements" ~ylabel:"speedup"
-    [
-      series_for vecadd Common.Dma;
-      series_for vecadd Common.Vm;
-      series_for list_sum Common.Dma;
-      series_for list_sum Common.Vm;
-    ]
+    (Common.par_map
+       (fun (w, mode) -> series_for w mode)
+       [
+         (vecadd, Common.Dma);
+         (vecadd, Common.Vm);
+         (list_sum, Common.Dma);
+         (list_sum, Common.Vm);
+       ])

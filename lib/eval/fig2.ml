@@ -21,8 +21,8 @@ let run () =
     List.map Vmht_workloads.Registry.find [ "vecadd"; "spmv"; "list_sum" ]
   in
   let measurements =
-    List.map
-      (fun w -> (w, List.map (fun e -> (e, measure w e)) entry_counts))
+    Common.par_map
+      (fun w -> (w, Common.par_map (fun e -> (e, measure w e)) entry_counts))
       workloads
   in
   let series =

@@ -10,7 +10,7 @@ let entry_counts = [ 2; 4; 8; 16; 32 ]
 
 let series_for (w : Workload.t) ~hw_walk =
   let points =
-    List.map
+    Common.par_map
       (fun entries ->
         let base = Vmht.Config.with_tlb_entries Vmht.Config.default entries in
         let config =
@@ -36,9 +36,11 @@ let run () =
       "Figure 4: miss-handling style — hardware walker vs software TLB \
        refill, runtime vs TLB size"
     ~xlabel:"TLB entries" ~ylabel:"cycles"
-    [
-      series_for spmv ~hw_walk:true;
-      series_for spmv ~hw_walk:false;
-      series_for list_sum ~hw_walk:true;
-      series_for list_sum ~hw_walk:false;
-    ]
+    (Common.par_map
+       (fun (w, hw_walk) -> series_for w ~hw_walk)
+       [
+         (spmv, true);
+         (spmv, false);
+         (list_sum, true);
+         (list_sum, false);
+       ])

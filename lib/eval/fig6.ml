@@ -51,9 +51,9 @@ let run () =
     [ (Vmht_workloads.Registry.find "mmul", 16); (Vmht_workloads.Registry.find "vecadd", 2048) ]
   in
   let measurements =
-    List.map
+    Common.par_map
       (fun (w, size) ->
-        (w, size, List.map (fun n -> (n, measure w ~size n)) thread_counts))
+        (w, size, Common.par_map (fun n -> (n, measure w ~size n)) thread_counts))
       subjects
   in
   (* Aggregate speedup over the single-thread run of the same kernel:

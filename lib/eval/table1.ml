@@ -18,7 +18,7 @@ let run () =
           "dyn instrs"; "loads"; "stores"; "data words";
         ]
   in
-  List.iter
+  Common.par_map
     (fun (w : Workload.t) ->
       let hw = Common.synthesize Vmht.Wrapper.Vm_iface w in
       let stats = hw.Vmht.Flow.fsm.Fsm.stats in
@@ -33,19 +33,19 @@ let run () =
         | Some s -> (s.Vmht_hls.Accel.loads, s.Vmht_hls.Accel.stores)
         | None -> (0, 0)
       in
-      Table.add_row table
-        [
-          w.Workload.name;
-          w.Workload.pattern;
-          (if w.Workload.pointer_based then "yes" else "no");
-          string_of_int (Common.source_lines w);
-          string_of_int stats.Fsm.ir_instrs;
-          string_of_int stats.Fsm.blocks;
-          string_of_int stats.Fsm.states;
-          Table.fmt_int cpu_stats.Cpu.instructions;
-          Table.fmt_int accel_loads;
-          Table.fmt_int accel_stores;
-          Table.fmt_int outcome.Common.instance.Workload.data_words;
-        ])
-    Vmht_workloads.Registry.all;
+      [
+        w.Workload.name;
+        w.Workload.pattern;
+        (if w.Workload.pointer_based then "yes" else "no");
+        string_of_int (Common.source_lines w);
+        string_of_int stats.Fsm.ir_instrs;
+        string_of_int stats.Fsm.blocks;
+        string_of_int stats.Fsm.states;
+        Table.fmt_int cpu_stats.Cpu.instructions;
+        Table.fmt_int accel_loads;
+        Table.fmt_int accel_stores;
+        Table.fmt_int outcome.Common.instance.Workload.data_words;
+      ])
+    Vmht_workloads.Registry.all
+  |> List.iter (Table.add_row table);
   Table.render table

@@ -28,28 +28,28 @@ let run () =
           "DMA LUT"; "DMA FF"; "DMA BRAM"; "DMA ovh";
         ]
   in
-  List.iter
+  Common.par_map
     (fun (w : Workload.t) ->
       let vm = Common.synthesize ~config Vmht.Wrapper.Vm_iface w in
       let dma = Common.synthesize ~config Vmht.Wrapper.Dma_iface w in
       let bare = vm.Vmht.Flow.datapath_area in
       let vm_total = vm.Vmht.Flow.total_area in
       let dma_total = dma.Vmht.Flow.total_area in
-      Table.add_row table
-        ([ w.Workload.name ]
-        @ area_cells bare
-        @ [
-            string_of_int vm_total.Optypes.lut;
-            string_of_int vm_total.Optypes.ff;
-            pct
-              (float_of_int (bare.Optypes.lut + bare.Optypes.ff))
-              (float_of_int (vm_total.Optypes.lut + vm_total.Optypes.ff));
-            string_of_int dma_total.Optypes.lut;
-            string_of_int dma_total.Optypes.ff;
-            string_of_int dma_total.Optypes.bram;
-            pct
-              (float_of_int (bare.Optypes.lut + bare.Optypes.ff))
-              (float_of_int (dma_total.Optypes.lut + dma_total.Optypes.ff));
-          ]))
-    Vmht_workloads.Registry.all;
+      [ w.Workload.name ]
+      @ area_cells bare
+      @ [
+          string_of_int vm_total.Optypes.lut;
+          string_of_int vm_total.Optypes.ff;
+          pct
+            (float_of_int (bare.Optypes.lut + bare.Optypes.ff))
+            (float_of_int (vm_total.Optypes.lut + vm_total.Optypes.ff));
+          string_of_int dma_total.Optypes.lut;
+          string_of_int dma_total.Optypes.ff;
+          string_of_int dma_total.Optypes.bram;
+          pct
+            (float_of_int (bare.Optypes.lut + bare.Optypes.ff))
+            (float_of_int (dma_total.Optypes.lut + dma_total.Optypes.ff));
+        ])
+    Vmht_workloads.Registry.all
+  |> List.iter (Table.add_row table);
   Table.render table

@@ -17,24 +17,24 @@ let run () =
           "FUs"; "regs"; "synth ms";
         ]
   in
-  List.iter
+  Common.par_map
     (fun (w : Workload.t) ->
       let hw = Common.synthesize Vmht.Wrapper.Vm_iface w in
       let stats = hw.Vmht.Flow.fsm.Fsm.stats in
       let report = stats.Fsm.opt_report in
-      Table.add_row table
-        [
-          w.Workload.name;
-          string_of_int report.Passes.instrs_before;
-          string_of_int report.Passes.instrs_after;
-          string_of_int report.Passes.folds;
-          string_of_int report.Passes.cses;
-          string_of_int report.Passes.licms;
-          string_of_int report.Passes.dces;
-          string_of_int stats.Fsm.states;
-          string_of_int (Bind.total_fus hw.Vmht.Flow.fsm.Fsm.binding);
-          string_of_int stats.Fsm.reg_count;
-          Table.fmt_float (hw.Vmht.Flow.synthesis_seconds *. 1000.);
-        ])
-    Vmht_workloads.Registry.all;
+      [
+        w.Workload.name;
+        string_of_int report.Passes.instrs_before;
+        string_of_int report.Passes.instrs_after;
+        string_of_int report.Passes.folds;
+        string_of_int report.Passes.cses;
+        string_of_int report.Passes.licms;
+        string_of_int report.Passes.dces;
+        string_of_int stats.Fsm.states;
+        string_of_int (Bind.total_fus hw.Vmht.Flow.fsm.Fsm.binding);
+        string_of_int stats.Fsm.reg_count;
+        Table.fmt_float (hw.Vmht.Flow.synthesis_seconds *. 1000.);
+      ])
+    Vmht_workloads.Registry.all
+  |> List.iter (Table.add_row table);
   Table.render table

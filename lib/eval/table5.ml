@@ -32,19 +32,19 @@ let run () =
       ~headers:
         [ "kernel"; "kernel LoC"; "buffers"; "VM lines"; "DMA lines" ]
   in
-  List.iter
+  Common.par_map
     (fun (w : Workload.t) ->
       let soc = Vmht.Soc.create Vmht.Config.default in
       let instance =
         w.Workload.setup (Vmht.Soc.aspace soc) ~size:64 ~seed:1
       in
-      Table.add_row table
-        [
-          w.Workload.name;
-          string_of_int (Common.source_lines w);
-          string_of_int (List.length instance.Workload.buffers);
-          "1";
-          string_of_int (dma_effort_lines instance);
-        ])
-    Vmht_workloads.Registry.all;
+      [
+        w.Workload.name;
+        string_of_int (Common.source_lines w);
+        string_of_int (List.length instance.Workload.buffers);
+        "1";
+        string_of_int (dma_effort_lines instance);
+      ])
+    Vmht_workloads.Registry.all
+  |> List.iter (Table.add_row table);
   Table.render table

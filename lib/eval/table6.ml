@@ -23,7 +23,7 @@ let run () =
           "VM/DMA (7020)";
         ]
   in
-  List.iter
+  Common.par_map
     (fun (w : Workload.t) ->
       let vm = Common.synthesize ~config Vmht.Wrapper.Vm_iface w in
       let dma = Common.synthesize ~config Vmht.Wrapper.Dma_iface w in
@@ -31,16 +31,16 @@ let run () =
       let n_7020_dma = Vmht.Sysgen.max_instances ~device:Vmht.Sysgen.zynq_7020 dma in
       let n_7045_vm = Vmht.Sysgen.max_instances ~device:Vmht.Sysgen.zynq_7045 vm in
       let n_7045_dma = Vmht.Sysgen.max_instances ~device:Vmht.Sysgen.zynq_7045 dma in
-      Table.add_row table
-        [
-          w.Workload.name;
-          string_of_int n_7020_vm;
-          string_of_int n_7020_dma;
-          string_of_int n_7045_vm;
-          string_of_int n_7045_dma;
-          Table.fmt_float ~decimals:1
-            (float_of_int n_7020_vm /. float_of_int (max 1 n_7020_dma))
-          ^ "x";
-        ])
-    Vmht_workloads.Registry.all;
+      [
+        w.Workload.name;
+        string_of_int n_7020_vm;
+        string_of_int n_7020_dma;
+        string_of_int n_7045_vm;
+        string_of_int n_7045_dma;
+        Table.fmt_float ~decimals:1
+          (float_of_int n_7020_vm /. float_of_int (max 1 n_7020_dma))
+        ^ "x";
+      ])
+    Vmht_workloads.Registry.all
+  |> List.iter (Table.add_row table);
   Table.render table

@@ -1,0 +1,44 @@
+let m = Mutex.create ()
+
+let width = ref 1 (* guarded by [m]; read via [jobs] *)
+
+let pool : Pool.t option ref = ref None (* guarded by [m] *)
+
+let set_jobs n =
+  let n = max 1 n in
+  Mutex.lock m;
+  let old = !pool in
+  let changed = n <> !width in
+  width := n;
+  if changed then pool := None;
+  Mutex.unlock m;
+  if changed then Option.iter Pool.shutdown old
+
+let jobs () =
+  Mutex.lock m;
+  let n = !width in
+  Mutex.unlock m;
+  n
+
+let get_pool () =
+  Mutex.lock m;
+  let p =
+    match !pool with
+    | Some p -> p
+    | None ->
+      let p = Pool.create ~domains:!width in
+      pool := Some p;
+      p
+  in
+  Mutex.unlock m;
+  p
+
+let map f xs = if jobs () <= 1 then List.map f xs else Pool.map (get_pool ()) f xs
+
+let shutdown () =
+  Mutex.lock m;
+  let old = !pool in
+  pool := None;
+  width := 1;
+  Mutex.unlock m;
+  Option.iter Pool.shutdown old

@@ -1,0 +1,26 @@
+(** Process-wide parallelism knob and the ordered map built on it.
+
+    The benchmark harness (and anything else that wants "run this
+    sweep as wide as the machine allows") sets a job count once at
+    startup; every {!map} in the process then shares one lazily
+    created {!Pool}.  With [jobs = 1] (the initial state) {!map} is
+    exactly [List.map] — no pool, no domains, no synchronization —
+    which keeps single-threaded behaviour bit-for-bit identical to the
+    pre-parallel code. *)
+
+val set_jobs : int -> unit
+(** Set the parallel width (clamped below at 1).  Replaces (and shuts
+    down) any existing pool if the width changes.  Call from the main
+    domain before fanning work out — not from inside a {!map}. *)
+
+val jobs : unit -> int
+(** The current width. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** Ordered parallel map on the shared pool ([List.map] when
+    [jobs () = 1]).  Nesting is safe: inner maps help execute queued
+    tasks instead of blocking (see {!Pool.map}). *)
+
+val shutdown : unit -> unit
+(** Tear the shared pool down (joins its domains) and reset the width
+    to 1.  Mostly for tests; harnesses can simply exit. *)

@@ -17,8 +17,11 @@ type _ Effect.t +=
   | Now_eff : t -> time Effect.t
 
 (* The engine a running process belongs to.  Set for the dynamic extent
-   of each event dispatch; processes always run one at a time. *)
-let current : t option ref = ref None
+   of each event dispatch; within one domain processes run one at a
+   time.  Domain-local so independent simulations may run concurrently
+   on separate domains (the parallel evaluation harness does exactly
+   that) without clobbering each other's context. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create () =
   { now = 0; queue = Event_queue.create (); suspended = 0; executed = 0 }
@@ -70,19 +73,18 @@ and spawn t ~name:_ fn = schedule t ~at:t.now (fun () -> exec_process t fn)
 let run ?until ?(check_quiescent = false) t =
   let horizon = match until with None -> max_int | Some u -> u in
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | None -> ()
-    | Some at when at > horizon -> ()
-    | Some _ ->
-      (match Event_queue.pop t.queue with
-       | None -> ()
-       | Some (at, action) ->
-         t.now <- at;
-         t.executed <- t.executed + 1;
-         let saved = !current in
-         current := Some t;
-         Fun.protect ~finally:(fun () -> current := saved) action;
-         loop ())
+    if not (Event_queue.is_empty t.queue) then begin
+      let at = Event_queue.min_time_exn t.queue in
+      if at <= horizon then begin
+        let action = Event_queue.pop_payload_exn t.queue in
+        t.now <- at;
+        t.executed <- t.executed + 1;
+        let saved = Domain.DLS.get current in
+        Domain.DLS.set current (Some t);
+        Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) action;
+        loop ()
+      end
+    end
   in
   loop ();
   if check_quiescent && t.suspended > 0 then
@@ -96,7 +98,7 @@ let suspended_count t = t.suspended
 let events_executed t = t.executed
 
 let engine_of_context () =
-  match !current with None -> raise Not_in_process | Some t -> t
+  match Domain.DLS.get current with None -> raise Not_in_process | Some t -> t
 
 let wait n =
   assert (n >= 0);

@@ -1,25 +1,45 @@
-type 'a entry = { at : int; seq : int; payload : 'a }
+(* Binary min-heap on parallel arrays.
+
+   Keys (time, tie-breaking sequence number) live in plain [int array]s
+   so every comparison on the push/pop path is a monomorphic integer
+   compare — no entry records are allocated per push and no polymorphic
+   equality runs anywhere.  The payload array needs a value of type
+   ['a] to exist before it can be allocated, so it stays empty until
+   the first push, whose payload then doubles as the growth filler
+   (slots beyond [size] are dead storage; [pop] overwrites the vacated
+   root slot with the still-live last element, so no stale payload is
+   ever returned). *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable ats : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
-  mutable dummy : 'a entry option; (* template for array growth *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () =
+  { ats = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
-let precedes a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+(* precedes i j: does slot i's event fire before slot j's? *)
+let precedes t i j =
+  t.ats.(i) < t.ats.(j) || (t.ats.(i) = t.ats.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let a = t.ats.(i) in
+  t.ats.(i) <- t.ats.(j);
+  t.ats.(j) <- a;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if precedes t.heap.(i) t.heap.(parent) then begin
+    if precedes t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -28,44 +48,62 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && precedes t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && precedes t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && precedes t l !smallest then smallest := l;
+  if r < t.size && precedes t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let ensure_capacity t entry =
-  if t.size >= Array.length t.heap then begin
-    let cap = max 16 (2 * Array.length t.heap) in
-    let fresh = Array.make cap entry in
-    Array.blit t.heap 0 fresh 0 t.size;
-    t.heap <- fresh
-  end
+let grow t payload =
+  let cap = max 16 (2 * Array.length t.payloads) in
+  let ats = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap payload in
+  Array.blit t.ats 0 ats 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.ats <- ats;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
 let push t ~at payload =
-  let entry = { at; seq = t.next_seq; payload } in
+  if t.size >= Array.length t.payloads then grow t payload;
+  let i = t.size in
+  t.ats.(i) <- at;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.dummy = None then t.dummy <- Some entry;
-  ensure_capacity t entry;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let min_time_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.min_time_exn: empty queue";
+  t.ats.(0)
+
+let pop_payload_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_payload_exn: empty queue";
+  let payload = t.payloads.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    t.ats.(0) <- t.ats.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.payloads.(0) <- t.payloads.(last);
+    sift_down t 0
+  end;
+  payload
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    Some (top.at, top.payload)
+    let at = t.ats.(0) in
+    let payload = pop_payload_exn t in
+    Some (at, payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).at
-
-let length t = t.size
-
-let is_empty t = t.size = 0
+let peek_time t = if t.size = 0 then None else Some t.ats.(0)

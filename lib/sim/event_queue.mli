@@ -16,6 +16,20 @@ val pop : 'a t -> (int * 'a) option
 val peek_time : 'a t -> int option
 (** Timestamp of the earliest event without removing it. *)
 
+(** {2 Allocation-free variants}
+
+    The engine's dispatch loop pops millions of events per run; these
+    avoid the option/tuple boxing of {!pop} and {!peek_time}.  Both
+    raise [Invalid_argument] on an empty queue — guard with
+    {!is_empty}. *)
+
+val min_time_exn : 'a t -> int
+(** Timestamp of the earliest event. *)
+
+val pop_payload_exn : 'a t -> 'a
+(** Remove the earliest event and return just its payload (pair with
+    {!min_time_exn} to learn its time first). *)
+
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool

@@ -36,6 +36,8 @@ type t = {
   aspace : Addr_space.t;
   tlb : Tlb.t;
   ptw : Ptw.t;
+  page_shift : int; (* fixed at creation; cached off the page table *)
+  page_mask : int;
   mutable accesses : int;
   mutable tlb_hits : int;
   mutable tlb_misses : int;
@@ -45,6 +47,7 @@ type t = {
 }
 
 let create ?(asid = 0) config bus aspace =
+  let page_shift = Page_table.page_shift (Addr_space.page_table aspace) in
   {
     config;
     asid;
@@ -52,6 +55,8 @@ let create ?(asid = 0) config bus aspace =
     aspace;
     tlb = Tlb.create config.tlb;
     ptw = Ptw.create bus (Addr_space.page_table aspace);
+    page_shift;
+    page_mask = (1 lsl page_shift) - 1;
     accesses = 0;
     tlb_hits = 0;
     tlb_misses = 0;
@@ -67,7 +72,7 @@ let set_observer t f = t.observer <- Some f
 let emit t ?duration kind =
   match t.observer with Some f -> f ?duration kind | None -> ()
 
-let page_shift t = Page_table.page_shift (Addr_space.page_table t.aspace)
+let page_shift t = t.page_shift
 
 (* Walk the page table (timed), servicing a demand-page fault if the
    address space can repair the miss.  Recursion terminates because a
@@ -102,24 +107,36 @@ let rec refill t ~vaddr =
     if Addr_space.handle_fault t.aspace ~vaddr then refill t ~vaddr
     else raise (Mmu_fault vaddr)
 
+(* The translate fast path: a TLB hit must not touch the event queue
+   (no [Engine.wait 0] round-trip scheduling a continuation) and must
+   not allocate (no option from the lookup, no event payload unless an
+   observer is installed).  Nearly every simulated memory access of a
+   VM-enabled thread comes through here. *)
 let translate t ~vaddr =
   t.accesses <- t.accesses + 1;
-  Engine.wait t.config.tlb_hit_cycles;
-  let vpn = vaddr lsr page_shift t in
-  let offset = vaddr land ((1 lsl page_shift t) - 1) in
-  match Tlb.lookup ~asid:t.asid t.tlb ~vpn with
-  | Some { Tlb.frame; _ } ->
+  let hit_cycles = t.config.tlb_hit_cycles in
+  if hit_cycles > 0 then Engine.wait hit_cycles;
+  let vpn = vaddr lsr t.page_shift in
+  let offset = vaddr land t.page_mask in
+  let frame = Tlb.lookup_frame ~asid:t.asid t.tlb ~vpn in
+  if frame >= 0 then begin
     t.tlb_hits <- t.tlb_hits + 1;
-    emit t ~duration:t.config.tlb_hit_cycles
-      (Vmht_obs.Event.Tlb_hit { vaddr; asid = t.asid });
+    (match t.observer with
+     | None -> ()
+     | Some f ->
+       f ~duration:hit_cycles (Vmht_obs.Event.Tlb_hit { vaddr; asid = t.asid }));
     frame lor offset
-  | None ->
+  end
+  else begin
     t.tlb_misses <- t.tlb_misses + 1;
-    emit t (Vmht_obs.Event.Tlb_miss { vaddr; asid = t.asid });
+    (match t.observer with
+     | None -> ()
+     | Some f -> f (Vmht_obs.Event.Tlb_miss { vaddr; asid = t.asid }));
     let before = Engine.now_p () in
     let frame = refill t ~vaddr in
     t.walk_cycles <- t.walk_cycles + (Engine.now_p () - before);
     frame lor offset
+  end
 
 let load t vaddr =
   let paddr = translate t ~vaddr in

@@ -19,6 +19,8 @@ type slot = {
 type t = {
   config : config;
   sets : slot array array;
+  set_mask : int; (* n_sets - 1 when a power of two, else -1 (use mod) *)
+  lru : bool; (* policy = Lru, hoisted out of the lookup path *)
   mutable clock : int;
   mutable lookups : int;
   mutable hits : int;
@@ -41,53 +43,81 @@ let create config =
                 data = { frame = 0; writable = false };
                 stamp = 0;
               }));
+    set_mask = (if n_sets land (n_sets - 1) = 0 then n_sets - 1 else -1);
+    lru = config.policy = Lru;
     clock = 0;
     lookups = 0;
     hits = 0;
     evictions = 0;
   }
 
-let set_of t vpn = t.sets.(vpn mod Array.length t.sets)
+let set_of t vpn =
+  if t.set_mask >= 0 then t.sets.(vpn land t.set_mask)
+  else t.sets.(vpn mod Array.length t.sets)
+
+(* Index of the matching valid slot in [slots], or -1. *)
+let find_slot slots ~vpn ~asid =
+  let n = Array.length slots in
+  let rec go i =
+    if i >= n then -1
+    else
+      let s = Array.unsafe_get slots i in
+      if s.valid && s.vpn = vpn && s.asid = asid then i else go (i + 1)
+  in
+  go 0
 
 let lookup ?(asid = 0) t ~vpn =
   t.lookups <- t.lookups + 1;
   t.clock <- t.clock + 1;
   let slots = set_of t vpn in
-  let rec go i =
-    if i >= Array.length slots then None
-    else if slots.(i).valid && slots.(i).vpn = vpn && slots.(i).asid = asid
-    then begin
-      t.hits <- t.hits + 1;
-      if t.config.policy = Lru then slots.(i).stamp <- t.clock;
-      Some slots.(i).data
-    end
-    else go (i + 1)
-  in
-  go 0
+  let i = find_slot slots ~vpn ~asid in
+  if i < 0 then None
+  else begin
+    t.hits <- t.hits + 1;
+    let s = slots.(i) in
+    if t.lru then s.stamp <- t.clock;
+    Some s.data
+  end
+
+let lookup_frame ?(asid = 0) t ~vpn =
+  t.lookups <- t.lookups + 1;
+  t.clock <- t.clock + 1;
+  let slots = set_of t vpn in
+  let i = find_slot slots ~vpn ~asid in
+  if i < 0 then -1
+  else begin
+    t.hits <- t.hits + 1;
+    let s = slots.(i) in
+    if t.lru then s.stamp <- t.clock;
+    s.data.frame
+  end
 
 let insert ?(asid = 0) t ~vpn entry =
   t.clock <- t.clock + 1;
   let slots = set_of t vpn in
+  let n = Array.length slots in
   (* Reuse the slot if the page is already present; otherwise take an
      invalid slot, else evict the policy victim. *)
-  let existing =
-    Array.to_list slots
-    |> List.find_opt (fun s -> s.valid && s.vpn = vpn && s.asid = asid)
-  in
   let slot =
-    match existing with
-    | Some s -> s
-    | None -> (
-      match Array.to_list slots |> List.find_opt (fun s -> not s.valid) with
-      | Some s -> s
-      | None ->
-        let victim =
-          Array.fold_left
-            (fun best s -> if s.stamp < best.stamp then s else best)
-            slots.(0) slots
-        in
+    let i = find_slot slots ~vpn ~asid in
+    if i >= 0 then slots.(i)
+    else begin
+      let rec first_invalid i =
+        if i >= n then -1
+        else if not slots.(i).valid then i
+        else first_invalid (i + 1)
+      in
+      let j = first_invalid 0 in
+      if j >= 0 then slots.(j)
+      else begin
+        let victim = ref slots.(0) in
+        for k = 1 to n - 1 do
+          if slots.(k).stamp < !victim.stamp then victim := slots.(k)
+        done;
         t.evictions <- t.evictions + 1;
-        victim)
+        !victim
+      end
+    end
   in
   slot.valid <- true;
   slot.asid <- asid;

@@ -29,6 +29,11 @@ val lookup : ?asid:int -> t -> vpn:int -> entry option
     and the ASID to match, so one TLB can safely serve translations
     cached across context switches. *)
 
+val lookup_frame : ?asid:int -> t -> vpn:int -> int
+(** Allocation-free {!lookup} for the translate fast path: the hit's
+    frame base, or [-1] on a miss (frames are always non-negative).
+    Updates the same recency and hit/miss bookkeeping as {!lookup}. *)
+
 val insert : ?asid:int -> t -> vpn:int -> entry -> unit
 (** Insert after a refill, evicting per policy if the set is full. *)
 

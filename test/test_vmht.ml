@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("inline", Test_inline.suite);
@@ -16,4 +17,5 @@ let () =
       ("core", Test_core.suite);
       ("isolation", Test_isolation.suite);
       ("system", Test_system.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -314,24 +314,37 @@ let run_perf ~json () =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [-j N] [target]...\n\
+    "usage: main.exe [-j N] [--fault-rate R] [--seed S] [target]...\n\
      targets:\n\
-    \  all               every table, figure and ablation, then micro\n\
-    \  tables | figures  the corresponding subset\n\
+    \  all               every experiment, then micro\n\
+    \  tables | figures | ablations | sweeps\n\
+    \                    the corresponding registry subset\n\
     \  micro [name...]   micro-benchmarks (optionally only targets whose\n\
     \                    name contains one of the given substrings)\n\
     \  perf [--json F]   wall-clock per experiment + cache counters +\n\
     \                    micro estimates, optionally snapshotted to F\n\
-    \  %s\n\
-     options:\n\
+     experiments:\n";
+  List.iter
+    (fun (e : Vmht_eval.Experiment.t) ->
+      Printf.printf "  %-8s %-9s %s\n" e.Vmht_eval.Experiment.name
+        (Vmht_eval.Experiment.kind_name e.Vmht_eval.Experiment.kind)
+        e.Vmht_eval.Experiment.doc)
+    Vmht_eval.Experiment.all;
+  Printf.printf
+    "options:\n\
     \  -j N              domain-pool width (default: recommended domain\n\
     \                    count; 1 = sequential).  Output is byte-identical\n\
-    \                    at any width.\n"
-    (String.concat " | " Vmht_eval.All_experiments.names)
+    \                    at any width.\n\
+    \  --fault-rate R    enable fault injection at per-opportunity\n\
+    \                    probability R (the robust experiment then sweeps\n\
+    \                    exactly this plan)\n\
+    \  --seed S          base seed for the fault schedule\n"
 
 let () =
   let jobs = ref (Domain.recommended_domain_count ()) in
   let json_path = ref None in
+  let fault_rate = ref None in
+  let seed = ref None in
   let bad msg =
     Printf.eprintf "%s\n" msg;
     usage ();
@@ -350,6 +363,20 @@ let () =
       json_path := Some path;
       parse acc rest
     | [ "--json" ] -> bad "--json needs a file path"
+    | "--fault-rate" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some v when v >= 0. ->
+        fault_rate := Some v;
+        parse acc rest
+      | _ -> bad (Printf.sprintf "--fault-rate needs a probability, got '%s'" r))
+    | [ "--fault-rate" ] -> bad "--fault-rate needs a probability"
+    | "--seed" :: s :: rest -> (
+      match int_of_string_opt s with
+      | Some v ->
+        seed := Some v;
+        parse acc rest
+      | _ -> bad (Printf.sprintf "--seed needs an integer, got '%s'" s))
+    | [ "--seed" ] -> bad "--seed needs an integer"
     | arg :: rest
       when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
       match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
@@ -362,21 +389,39 @@ let () =
   let targets = parse [] (List.tl (Array.to_list Sys.argv)) in
   let targets = if targets = [] then [ "all" ] else targets in
   Vmht_par.Parmap.set_jobs !jobs;
+  let config = Vmht.Config.default in
+  let config =
+    match !seed with
+    | Some s -> Vmht.Config.with_seed config s
+    | None -> config
+  in
+  let config =
+    match !fault_rate with
+    | Some rate -> Vmht.Config.with_fault config (Vmht_fault.Plan.uniform ~rate)
+    | None -> config
+  in
+  let run_kind kind =
+    List.iter
+      (fun e -> print_string (Vmht_eval.Experiment.run ~config e ^ "\n"))
+      (Vmht_eval.Experiment.by_kind kind)
+  in
   let rec dispatch = function
     | [] -> ()
     | "all" :: rest ->
-      print_string (Vmht_eval.All_experiments.run_all ());
+      print_string (Vmht_eval.All_experiments.run_all ~config ());
       run_micro ();
       dispatch rest
     | "tables" :: rest ->
-      List.iter
-        (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
-        [ "table1"; "table2"; "table3"; "table4"; "table5" ];
+      run_kind Vmht_eval.Experiment.Table;
       dispatch rest
     | "figures" :: rest ->
-      List.iter
-        (fun n -> print_string (Vmht_eval.All_experiments.run n ^ "\n"))
-        [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ];
+      run_kind Vmht_eval.Experiment.Figure;
+      dispatch rest
+    | "ablations" :: rest ->
+      run_kind Vmht_eval.Experiment.Ablation;
+      dispatch rest
+    | "sweeps" :: rest ->
+      run_kind Vmht_eval.Experiment.Sweep;
       dispatch rest
     | "micro" :: filters ->
       (* everything after `micro` selects targets by substring *)
@@ -388,9 +433,9 @@ let () =
       usage ();
       dispatch rest
     | name :: rest ->
-      (match Vmht_eval.All_experiments.run name with
-       | output -> print_string (output ^ "\n")
-       | exception Not_found ->
+      (match Vmht_eval.Experiment.find name with
+       | Some e -> print_string (Vmht_eval.Experiment.run ~config e ^ "\n")
+       | None ->
          Printf.eprintf "unknown experiment '%s'\n" name;
          usage ();
          exit 1);

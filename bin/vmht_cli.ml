@@ -4,9 +4,17 @@
      vmht synth FILE [...]        full HLS + wrapper synthesis, dump report/RTL
      vmht run NAME [...]          run a benchmark workload on the simulated SoC
      vmht bench NAME|all|...      regenerate evaluation tables/figures
-     vmht list                    available workloads and experiments *)
+     vmht list                    available workloads and experiments
+
+   Exit codes: 0 success; 1 runtime failure (unknown name, wrong
+   result); 2 front-end (parse/type) error; 3 a requested output file
+   could not be written. *)
 
 open Cmdliner
+
+let exit_frontend = 2
+
+let exit_write_failed = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -14,12 +22,18 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let handle_frontend_errors f =
-  match f () with
-  | () -> 0
-  | exception Vmht_lang.Loc.Error (loc, msg) ->
-    Printf.eprintf "error at %s: %s\n" (Vmht_lang.Loc.to_string loc) msg;
-    1
+(* Front-end problems arrive as typed {!Vmht.Flow.error} results; this
+   is the one place they become a message and an exit code. *)
+let frontend_error err =
+  Printf.eprintf "error: %s\n" (Vmht.Flow.error_to_string err);
+  exit_frontend
+
+let with_program file f =
+  match Vmht.Flow.frontend_program (read_file file) with
+  | Error err -> frontend_error err
+  | Ok program ->
+    f program;
+    0
 
 (* ------------------------- compile -------------------------------- *)
 
@@ -31,10 +45,7 @@ let compile_cmd =
     Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimizer.")
   in
   let action file no_opt =
-    handle_frontend_errors (fun () ->
-        let program = Vmht_lang.Parser.parse_program (read_file file) in
-        Vmht_lang.Typecheck.check_program program;
-        let program = Vmht_lang.Inline.program program in
+    with_program file (fun program ->
         List.iter
           (fun kernel ->
             let func = Vmht_ir.Lower.lower_kernel kernel in
@@ -76,15 +87,12 @@ let synth_cmd =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
   let action file iface unroll emit_rtl pipeline =
-    handle_frontend_errors (fun () ->
+    with_program file (fun program ->
         let config =
           Vmht.Config.with_pipelining
             (Vmht.Config.with_unroll Vmht.Config.default unroll)
             pipeline
         in
-        let program = Vmht_lang.Parser.parse_program (read_file file) in
-        Vmht_lang.Typecheck.check_program program;
-        let program = Vmht_lang.Inline.program program in
         List.iter
           (fun kernel ->
             let hw = Vmht.Flow.synthesize config iface kernel in
@@ -151,11 +159,13 @@ let run_cmd =
   in
   let metrics_json =
     Arg.(
-      value & flag
-      & info [ "metrics-json" ]
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
           ~doc:
-            "Print the machine-readable report (metrics registry, phase \
-             attribution) as JSON on stdout, instead of the usual summary.")
+            "Emit the machine-readable report (metrics registry, phase \
+             attribution) as JSON: with no argument on stdout, replacing \
+             the usual summary; with $(docv), written there alongside it.")
   in
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
@@ -182,7 +192,7 @@ let run_cmd =
       let size =
         Option.value ~default:w.Vmht_workloads.Workload.default_size size
       in
-      let observe = Option.is_some trace_out || metrics_json in
+      let observe = Option.is_some trace_out || Option.is_some metrics_json in
       let o =
         Vmht_eval.Common.run ~config ?trace_events:trace_n ~observe mode w
           ~size
@@ -195,16 +205,31 @@ let run_cmd =
             (Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc))
         | None -> true
       in
-      if metrics_json then begin
-        (* Machine-readable mode: the report JSON is the only stdout. *)
+      let report_json () =
         let report =
           Vmht.Report.gather o.Vmht_eval.Common.soc ~workload:wname
             ~mode:(Vmht_eval.Common.mode_name mode)
             ~size r
         in
-        print_endline
-          (Vmht_obs.Json.to_string_pretty (Vmht.Report.to_json report))
-      end
+        Vmht_obs.Json.to_string_pretty (Vmht.Report.to_json report)
+      in
+      let metrics_ok =
+        match metrics_json with
+        | Some path when path <> "-" -> (
+          try
+            let oc = open_out path in
+            output_string oc (report_json ());
+            output_char oc '\n';
+            close_out oc;
+            true
+          with Sys_error msg ->
+            Printf.eprintf "cannot write metrics: %s\n" msg;
+            false)
+        | Some _ | None -> true
+      in
+      if metrics_json = Some "-" then
+        (* Machine-readable mode: the report JSON is the only stdout. *)
+        print_endline (report_json ())
       else begin
         Printf.printf "%s / %s / size %d: %s cycles (%s)\n" wname
           (Vmht_eval.Common.mode_name mode)
@@ -227,6 +252,10 @@ let run_cmd =
         (match trace_out with
          | Some path when trace_ok ->
            Printf.printf "  trace written to %s\n" path
+         | _ -> ());
+        (match metrics_json with
+         | Some path when path <> "-" && metrics_ok ->
+           Printf.printf "  metrics written to %s\n" path
          | _ -> ());
         (match trace_n with
          | Some n ->
@@ -252,7 +281,9 @@ let run_cmd =
           print_string (Vmht.Report.to_string report)
         end
       end;
-      if o.Vmht_eval.Common.correct && trace_ok then 0 else 1
+      if not o.Vmht_eval.Common.correct then 1
+      else if not (trace_ok && metrics_ok) then exit_write_failed
+      else 0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
@@ -345,7 +376,9 @@ let trace_cmd =
          if List.length events > limit then
            Printf.printf "... %d more events (raise --limit) ...\n"
              (List.length events - limit));
-      if o.Vmht_eval.Common.correct && !write_ok then 0 else 1
+      if not o.Vmht_eval.Common.correct then 1
+      else if not !write_ok then exit_write_failed
+      else 0
   in
   Cmd.v
     (Cmd.info "trace"
@@ -386,11 +419,8 @@ let system_cmd =
     Arg.(value & flag & info [ "top" ] ~doc:"Print the system-top RTL stub.")
   in
   let action file iface copies device emit_top =
-    handle_frontend_errors (fun () ->
+    with_program file (fun program ->
         let config = Vmht.Config.default in
-        let program = Vmht_lang.Parser.parse_program (read_file file) in
-        Vmht_lang.Typecheck.check_program program;
-        let program = Vmht_lang.Inline.program program in
         let threads =
           List.map
             (fun kernel -> (Vmht.Flow.synthesize config iface kernel, copies))
@@ -425,36 +455,134 @@ let bench_cmd =
              machine's recommended domain count; 1 = sequential).  \
              Output is byte-identical at any width.")
   in
-  let action jobs names =
+  let fault_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:
+            "Enable fault injection: every fault class fires with \
+             per-opportunity probability $(docv).  The robust experiment \
+             then sweeps exactly this plan instead of its defaults.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed for the deterministic fault schedule (and anything \
+             else the configuration seeds).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable run manifest (experiments run, \
+             output sizes, seed, fault plan, mismatches) to $(docv).")
+  in
+  let action jobs fault_rate seed metrics_json names =
     Vmht_par.Parmap.set_jobs
       (match jobs with
        | Some n -> n
        | None -> Domain.recommended_domain_count ());
     Vmht_eval.Common.reset_mismatches ();
+    let config = Vmht.Config.default in
+    let config =
+      match seed with
+      | Some s -> Vmht.Config.with_seed config s
+      | None -> config
+    in
+    let config =
+      match fault_rate with
+      | Some rate ->
+        Vmht.Config.with_fault config (Vmht_fault.Plan.uniform ~rate)
+      | None -> config
+    in
+    let ran = ref [] in
     let run_one = function
       | "all" ->
-        print_string (Vmht_eval.All_experiments.run_all ());
+        let out = Vmht_eval.All_experiments.run_all ~config () in
+        print_string out;
+        ran := ("all", String.length out) :: !ran;
         0
       | name -> (
-        match Vmht_eval.All_experiments.run name with
-        | output ->
-          print_string (output ^ "\n");
+        match Vmht_eval.Experiment.find name with
+        | Some e ->
+          let out = Vmht_eval.Experiment.run ~config e in
+          print_string (out ^ "\n");
+          ran := (name, String.length out) :: !ran;
           0
-        | exception Not_found ->
+        | None ->
           Printf.eprintf "unknown experiment '%s'\n" name;
           1)
     in
     let code = List.fold_left (fun acc n -> max acc (run_one n)) 0 names in
-    match Vmht_eval.Common.mismatch_log () with
-    | [] -> code
-    | bad ->
-      Printf.eprintf "result mismatches in %d run(s):\n" (List.length bad);
-      List.iter (Printf.eprintf "  %s\n") bad;
-      max code 1
+    let mismatches = Vmht_eval.Common.mismatch_log () in
+    let code =
+      match mismatches with
+      | [] -> code
+      | bad ->
+        Printf.eprintf "result mismatches in %d run(s):\n" (List.length bad);
+        List.iter (Printf.eprintf "  %s\n") bad;
+        max code 1
+    in
+    match metrics_json with
+    | None -> code
+    | Some path -> (
+      let module Json = Vmht_obs.Json in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "vmht-bench-run/1");
+            ("jobs", Json.Int (Vmht_par.Parmap.jobs ()));
+            ("seed", Json.Int config.Vmht.Config.seed);
+            ( "fault",
+              Json.String (Vmht_fault.Plan.to_string config.Vmht.Config.fault)
+            );
+            ( "experiments",
+              Json.List
+                (List.rev_map
+                   (fun (name, bytes) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ("output_bytes", Json.Int bytes);
+                       ])
+                   !ran) );
+            ( "mismatches",
+              Json.List (List.map (fun s -> Json.String s) mismatches) );
+            ("exit_code", Json.Int code);
+          ]
+      in
+      try
+        let oc = open_out path in
+        output_string oc (Json.to_string_pretty doc);
+        output_char oc '\n';
+        close_out oc;
+        code
+      with Sys_error msg ->
+        Printf.eprintf "cannot write manifest: %s\n" msg;
+        max code exit_write_failed)
+  in
+  let man =
+    `S Manpage.s_description
+    :: `P
+         "Run the named experiments — or $(b,all) — and print their \
+          rendered tables and figures.  Experiments (from the registry):"
+    :: List.map
+         (fun (e : Vmht_eval.Experiment.t) ->
+           `P
+             (Printf.sprintf "$(b,%s) (%s) — %s" e.Vmht_eval.Experiment.name
+                (Vmht_eval.Experiment.kind_name e.Vmht_eval.Experiment.kind)
+                e.Vmht_eval.Experiment.doc))
+         Vmht_eval.Experiment.all
   in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures.")
-    Term.(const action $ jobs $ names)
+    (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures." ~man)
+    Term.(const action $ jobs $ fault_rate $ seed $ metrics_json $ names)
 
 (* ------------------------- list ----------------------------------- *)
 
@@ -467,7 +595,12 @@ let list_cmd =
           w.Vmht_workloads.Workload.description)
       Vmht_workloads.Registry.all;
     print_endline "experiments:";
-    List.iter (Printf.printf "  %s\n") Vmht_eval.All_experiments.names;
+    List.iter
+      (fun (e : Vmht_eval.Experiment.t) ->
+        Printf.printf "  %-8s %-9s %s\n" e.Vmht_eval.Experiment.name
+          (Vmht_eval.Experiment.kind_name e.Vmht_eval.Experiment.kind)
+          e.Vmht_eval.Experiment.doc)
+      Vmht_eval.Experiment.all;
     0
   in
   Cmd.v

@@ -16,6 +16,7 @@ type t = {
   dma_burst_words : int;
   pin_cycles_per_page : int;
   cache_maintenance_cycles : int;
+  fault : Vmht_fault.Plan.t;
   seed : int;
 }
 
@@ -48,6 +49,7 @@ let default =
     dma_burst_words = 64;
     pin_cycles_per_page = 40;
     cache_maintenance_cycles = 64;
+    fault = Vmht_fault.Plan.none;
     seed = 1;
   }
 
@@ -65,6 +67,10 @@ let with_page_shift t page_shift = { t with page_shift }
 let with_unroll t unroll = { t with unroll }
 
 let with_pipelining t pipeline_loops = { t with pipeline_loops }
+
+let with_fault t fault = { t with fault }
+
+let with_seed t seed = { t with seed }
 
 (* Every field, spelled out: the fingerprint keys the synthesis cache,
    so forgetting a field here would let two configs that synthesize
@@ -119,6 +125,7 @@ let fingerprint (t : t) =
   i t.dma_burst_words;
   i t.pin_cycles_per_page;
   i t.cache_maintenance_cycles;
+  Buffer.add_string b (Vmht_fault.Plan.fingerprint t.fault);
   i t.seed;
   Buffer.contents b
 

@@ -30,6 +30,8 @@ type t = {
   (* --- misc --- *)
   cache_maintenance_cycles : int;
       (** CPU cache invalidate after a hardware thread completes *)
+  fault : Vmht_fault.Plan.t;
+      (** fault-injection plan; {!Vmht_fault.Plan.none} by default *)
   seed : int;
 }
 
@@ -43,6 +45,11 @@ val with_page_shift : t -> int -> t
 val with_unroll : t -> int -> t
 
 val with_pipelining : t -> bool -> t
+
+val with_fault : t -> Vmht_fault.Plan.t -> t
+
+val with_seed : t -> int -> t
+(** Seed for workload data and the fault schedule. *)
 
 val fingerprint : t -> string
 (** A compact, injective rendering of every field, used (with the

@@ -143,16 +143,59 @@ let synthesize ?(cache = true) ?(windows = 3) (config : Config.t) style kernel =
     acquire ()
   end
 
+(* --- typed front-end errors ---------------------------------------- *)
+
+type error =
+  | Frontend of { loc : Vmht_lang.Loc.t; msg : string }
+  | Unknown_kernel of string
+
+let error_to_string = function
+  | Frontend { loc; msg } ->
+    Printf.sprintf "line %d, col %d: %s" loc.Vmht_lang.Loc.line
+      loc.Vmht_lang.Loc.col msg
+  | Unknown_kernel name -> Printf.sprintf "no kernel named '%s'" name
+
+(* The front end reports lexical/syntactic/type/inlining problems by
+   raising [Loc.Error]; this is the one place that boundary is crossed
+   into typed results, so callers above (CLI, eval) never have to know
+   which exceptions the language layer uses. *)
+let capture_frontend f =
+  match f () with
+  | v -> Ok v
+  | exception Vmht_lang.Loc.Error (loc, msg) -> Error (Frontend { loc; msg })
+
+let frontend_program source =
+  capture_frontend (fun () ->
+      let program = Vmht_lang.Parser.parse_program source in
+      Vmht_lang.Typecheck.check_program program;
+      Vmht_lang.Inline.program program)
+
+let synthesize_source_result ?cache ?windows config style source =
+  Result.map
+    (synthesize ?cache ?windows config style)
+    (capture_frontend (fun () -> Vmht_lang.Parser.parse_kernel source))
+
+let synthesize_program_result ?cache ?windows config style source ~name =
+  Result.bind (frontend_program source) (fun program ->
+      match Vmht_lang.Ast.find_kernel program name with
+      | Some kernel -> Ok (synthesize ?cache ?windows config style kernel)
+      | None -> Error (Unknown_kernel name))
+
+(* Raising wrappers, kept for callers that predate the typed API. *)
+
+let raise_error = function
+  | Frontend { loc; msg } -> raise (Vmht_lang.Loc.Error (loc, msg))
+  | Unknown_kernel _ -> raise Not_found
+
 let synthesize_source ?cache ?windows config style source =
-  synthesize ?cache ?windows config style (Vmht_lang.Parser.parse_kernel source)
+  match synthesize_source_result ?cache ?windows config style source with
+  | Ok hw -> hw
+  | Error e -> raise_error e
 
 let synthesize_program ?cache ?windows config style source ~name =
-  let program = Vmht_lang.Parser.parse_program source in
-  Vmht_lang.Typecheck.check_program program;
-  let program = Vmht_lang.Inline.program program in
-  match Vmht_lang.Ast.find_kernel program name with
-  | Some kernel -> synthesize ?cache ?windows config style kernel
-  | None -> raise Not_found
+  match synthesize_program_result ?cache ?windows config style source ~name with
+  | Ok hw -> hw
+  | Error e -> raise_error e
 
 let compile_sw (config : Config.t) kernel =
   Vmht_lang.Typecheck.check_kernel kernel;

@@ -32,9 +32,51 @@ val synthesize :
     to force a fresh synthesis — benchmarks that *measure* synthesis
     must, or they time a table lookup. *)
 
+(** {2 Typed front-end errors}
+
+    Everything the flow can reject about user *input* is one of these —
+    the language layer's exceptions stop at this boundary, so callers
+    (the CLIs, the eval harness) can map errors to messages and exit
+    codes without knowing which exceptions the front end uses
+    internally. *)
+
+type error =
+  | Frontend of { loc : Vmht_lang.Loc.t; msg : string }
+      (** lexical / syntactic / type / inlining problem at [loc] *)
+  | Unknown_kernel of string
+      (** the program has no kernel with the requested name *)
+
+val error_to_string : error -> string
+
+val frontend_program : string -> (Vmht_lang.Ast.program, error) result
+(** Parse, typecheck and inline a multi-kernel source — the front-end
+    half of {!synthesize_program_result}, for callers that stop before
+    synthesis (e.g. [vmht compile]). *)
+
+val synthesize_source_result :
+  ?cache:bool ->
+  ?windows:int ->
+  Config.t ->
+  Wrapper.style ->
+  string ->
+  (hw_thread, error) result
+(** Parse a single-kernel source string, then {!synthesize}. *)
+
+val synthesize_program_result :
+  ?cache:bool ->
+  ?windows:int ->
+  Config.t ->
+  Wrapper.style ->
+  string ->
+  name:string ->
+  (hw_thread, error) result
+(** Parse a multi-kernel source, typecheck it as a program (kernel
+    calls allowed), inline every call, and synthesize the kernel
+    [name]. *)
+
 val synthesize_source :
   ?cache:bool -> ?windows:int -> Config.t -> Wrapper.style -> string -> hw_thread
-(** Convenience: parse a single-kernel source string first.  Raises
+(** Raising wrapper over {!synthesize_source_result}: raises
     {!Vmht_lang.Loc.Error} on bad input. *)
 
 val synthesize_program :
@@ -45,9 +87,9 @@ val synthesize_program :
   string ->
   name:string ->
   hw_thread
-(** Parse a multi-kernel source, typecheck it as a program (kernel
-    calls allowed), inline every call, and synthesize the kernel
-    [name].  Raises [Not_found] if no kernel has that name. *)
+(** Raising wrapper over {!synthesize_program_result}: raises
+    {!Vmht_lang.Loc.Error} on front-end errors and [Not_found] if no
+    kernel has that name. *)
 
 val compile_sw : Config.t -> Vmht_lang.Ast.kernel -> Vmht_ir.Ir.func
 (** The software path: the same front end and optimizer, no HLS.  Used

@@ -275,10 +275,49 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
     page_faults = 0;
   }
 
-let run_hw soc hw request =
+let run_hw_once soc hw request =
   match hw.Flow.style with
   | Wrapper.Vm_iface -> run_hw_vm soc hw request
   | Wrapper.Dma_iface -> run_hw_dma soc hw request
+
+(* Thread-level recovery: an [Injector.Abort] escaping a run means the
+   thread cannot continue in place (a DMA transfer abort), so the host
+   re-runs the whole copy-in/compute/copy-out.  The loop needs no
+   attempt cap: injector streams are shared across re-runs (see
+   [Soc.make_injector]), so the plan's injection budget bounds how
+   often the abort can re-fire.  Cycles lost to discarded attempts are
+   charged to the fault attribution bucket, keeping the partition
+   invariant (attribution sums to [total_cycles]) intact. *)
+let run_hw soc hw request =
+  let t_start = Engine.now_p () in
+  let rec go attempt ~last_abort =
+    match run_hw_once soc hw request with
+    | result -> (
+      match last_abort with
+      | None -> result
+      | Some (target, fault) ->
+        Soc.emit soc ~component:"launch"
+          (Vmht_obs.Event.Fault_recover { target; fault; attempt });
+        let total = Engine.now_p () - t_start in
+        let lost = total - result.total_cycles in
+        {
+          result with
+          total_cycles = total;
+          attribution =
+            {
+              result.attribution with
+              Vmht_obs.Attribution.fault =
+                result.attribution.Vmht_obs.Attribution.fault + lost;
+            };
+        })
+    | exception Vmht_fault.Injector.Abort { component; fault } ->
+      Soc.emit soc ~component:"launch"
+        (Vmht_obs.Event.Fault_abort { target = component; fault });
+      Vmht_obs.Metrics.incr
+        (Vmht_obs.Metrics.counter (Soc.metrics soc) "fault.thread_aborts");
+      go (attempt + 1) ~last_abort:(Some (component, fault))
+  in
+  go 1 ~last_abort:None
 
 let run_to_completion soc main =
   let outcome = ref None in

@@ -47,7 +47,13 @@ val run_hw_dma : Soc.t -> Flow.hw_thread -> request -> result
     the CPU cache. *)
 
 val run_hw : Soc.t -> Flow.hw_thread -> request -> result
-(** Dispatch on the thread's wrapper style. *)
+(** Dispatch on the thread's wrapper style, with thread-level fault
+    recovery: if an injected {!Vmht_fault.Injector.Abort} escapes the
+    run (a DMA transfer abort), the whole attempt is re-run until it
+    completes — termination is guaranteed by the plan's injection
+    budget.  Cycles lost to discarded attempts are added to
+    [total_cycles] and the [fault] attribution bucket, and the final
+    success emits a [Fault_recover] event. *)
 
 val run_to_completion : Soc.t -> (unit -> 'a) -> 'a
 (** Run [main] as the root process until the system quiesces and

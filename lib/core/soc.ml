@@ -14,6 +14,7 @@ module Accel = Vmht_hls.Accel
 module Cache = Vmht_mem.Cache
 module Event = Vmht_obs.Event
 module Metrics = Vmht_obs.Metrics
+module Fi = Vmht_fault.Injector
 
 type port_meter = {
   mutable translate_cycles : int;
@@ -36,6 +37,7 @@ type t = {
   mutable observing : bool;
   mutable dmas : Dma.t list;
   mutable stream_buffers : Cache.t list;
+  mutable injectors : Fi.t list;
 }
 
 let create (config : Config.t) =
@@ -61,23 +63,39 @@ let create (config : Config.t) =
       ~va_bits
   in
   let cpu = Cpu.create ~cache_config:config.Config.cache bus aspace in
-  {
-    config;
-    engine;
-    phys;
-    dram;
-    bus;
-    frames;
-    aspace;
-    cpu;
-    mmu_list = [];
-    next_asid = 1;
-    trace = Vmht_sim.Trace.create ();
-    metrics = Metrics.create ();
-    observing = false;
-    dmas = [];
-    stream_buffers = [];
-  }
+  let t =
+    {
+      config;
+      engine;
+      phys;
+      dram;
+      bus;
+      frames;
+      aspace;
+      cpu;
+      mmu_list = [];
+      next_asid = 1;
+      trace = Vmht_sim.Trace.create ();
+      metrics = Metrics.create ();
+      observing = false;
+      dmas = [];
+      stream_buffers = [];
+      injectors = [];
+    }
+  in
+  (if config.Config.fault.Vmht_fault.Plan.enabled then begin
+     let make component =
+       let inj =
+         Fi.create ~plan:config.Config.fault ~seed:config.Config.seed
+           ~component
+       in
+       t.injectors <- inj :: t.injectors;
+       inj
+     in
+     Bus.set_fault bus (make "bus");
+     Dram.set_fault dram (make "dram")
+   end);
+  t
 
 let config t = t.config
 
@@ -115,6 +133,8 @@ let feed_metrics t ~duration kind =
   | Event.Dma_burst { words; _ } ->
     observe "dma.burst_cycles" duration;
     observe "dma.burst_words" words
+  | Event.Fault_inject _ -> observe "fault.inject_cycles" duration
+  | Event.Fault_retry _ -> observe "fault.retry_cycles" duration
   | _ -> ()
 
 (* Events arrive when their span completes; stamping [at] back by the
@@ -127,6 +147,24 @@ let emitter t ~component : Event.emitter =
   feed_metrics t ~duration kind
 
 let emit t ~component ?duration kind = emitter t ~component ?duration kind
+
+(* One injector stream per component class, memoized by name: every
+   MMU shares "mmu", every DMA engine shares "dma".  Sharing is what
+   makes the injection budget global across a thread's re-runs — a
+   fresh engine created for attempt N+1 keeps drawing from (and
+   spending) the same stream, so an abort storm exhausts the budget
+   and recovery always terminates. *)
+let make_injector t ~component =
+  match List.find_opt (fun inj -> Fi.component inj = component) t.injectors with
+  | Some inj -> inj
+  | None ->
+    let inj =
+      Fi.create ~plan:t.config.Config.fault ~seed:t.config.Config.seed
+        ~component
+    in
+    t.injectors <- inj :: t.injectors;
+    if t.observing then Fi.set_observer inj (emitter t ~component);
+    inj
 
 let install_observers t =
   Bus.set_observer t.bus (emitter t ~component:"bus");
@@ -141,7 +179,10 @@ let install_observers t =
     t.dmas;
   List.iter
     (fun buf -> Cache.set_observer buf (emitter t ~component:"stream_buffer"))
-    t.stream_buffers
+    t.stream_buffers;
+  List.iter
+    (fun inj -> Fi.set_observer inj (emitter t ~component:(Fi.component inj)))
+    t.injectors
 
 let enable_tracing t =
   Vmht_sim.Trace.enable t.trace true;
@@ -154,6 +195,8 @@ let make_mmu ?aspace t =
   t.mmu_list <- mmu :: t.mmu_list;
   (* Late-created MMUs join an already-enabled trace. *)
   if t.observing then Mmu.set_observer mmu (emitter t ~component:"mmu");
+  if t.config.Config.fault.Vmht_fault.Plan.enabled then
+    Mmu.set_fault mmu (make_injector t ~component:"mmu");
   mmu
 
 let create_process t =
@@ -239,12 +282,19 @@ let make_scratchpad ?words t =
   in
   t.dmas <- dma :: t.dmas;
   if t.observing then Dma.set_observer dma (emitter t ~component:"dma");
+  if t.config.Config.fault.Vmht_fault.Plan.enabled then
+    Dma.set_fault dma (make_injector t ~component:"dma");
   (pad, dma)
 
 let scratchpad_port pad =
   { Accel.load = Scratchpad.load pad; Accel.store = Scratchpad.store pad }
 
 let mmus t = t.mmu_list
+
+let fault_stats t =
+  List.fold_left
+    (fun acc inj -> Fi.add_stats acc (Fi.stats inj))
+    Fi.zero_stats t.injectors
 
 let bus_stats t = Bus.stats t.bus
 
@@ -309,4 +359,11 @@ let sync_metrics t =
   c "cpu.mem_accesses" cs.Cpu.mem_accesses;
   c "cpu.faults" cs.Cpu.faults;
   c "cpu.mem_cycles" cs.Cpu.mem_cycles;
+  (if t.injectors <> [] then begin
+     let fs = fault_stats t in
+     c "fault.injected" fs.Fi.injected;
+     c "fault.stall_cycles" fs.Fi.stall_cycles;
+     c "fault.retries" fs.Fi.retries;
+     c "fault.aborts" fs.Fi.aborts
+   end);
   c "mem.mapped_pages" (Addr_space.mapped_pages t.aspace)

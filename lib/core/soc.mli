@@ -76,6 +76,18 @@ val scratchpad_port : Vmht_mem.Scratchpad.t -> Vmht_hls.Accel.port
 
 val mmus : t -> Vmht_vm.Mmu.t list
 
+val make_injector : t -> component:string -> Vmht_fault.Injector.t
+(** The fault-injector stream for one component class, drawn from
+    [(Config.seed, component)] and memoized by name — all MMUs share
+    "mmu", all DMA engines share "dma", so the per-stream injection
+    budget is global across a thread's re-runs (which is what bounds
+    abort storms).  When the config's plan is disabled the injector
+    never fires.  The SoC wires the shared bus and DRAM at {!create}
+    time, and each MMU and DMA engine as they are made. *)
+
+val fault_stats : t -> Vmht_fault.Injector.stats
+(** Aggregate injection counters over every injector created so far. *)
+
 val trace : t -> Vmht_sim.Trace.t
 (** The system trace.  Disabled (and free) by default; after
     {!enable_tracing} every component reports typed events (bus

@@ -12,15 +12,15 @@ let sizes_bytes = [ 32; 512; 1024; 4096; 16384 ]
 
 let label_of bytes = if bytes = 32 then "off (1 line)" else Printf.sprintf "%dB" bytes
 
-let config_with_buffer bytes =
+let config_with_buffer base bytes =
   let ways = if bytes <= 32 then 1 else 4 in
   {
-    Vmht.Config.default with
+    base with
     Vmht.Config.accel_stream_buffer =
       { Cache.size_bytes = bytes; line_bytes = 32; ways; hit_latency = 1 };
   }
 
-let run () =
+let run base =
   let workloads =
     List.map Vmht_workloads.Registry.find [ "vecadd"; "stencil3"; "list_sum" ]
   in
@@ -33,7 +33,7 @@ let run () =
   in
   Common.par_map
     (fun bytes ->
-      let config = config_with_buffer bytes in
+      let config = config_with_buffer base bytes in
       let cells =
         Common.par_map
           (fun w ->

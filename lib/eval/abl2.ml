@@ -17,12 +17,9 @@ let organizations =
     ("1-way", { Tlb.entries = 16; assoc = 1; policy = Tlb.Lru });
   ]
 
-let measure tlb (w : Workload.t) =
+let measure base tlb (w : Workload.t) =
   let config =
-    {
-      Vmht.Config.default with
-      Vmht.Config.mmu = { Vmht.Config.default.Vmht.Config.mmu with Mmu.tlb };
-    }
+    { base with Vmht.Config.mmu = { base.Vmht.Config.mmu with Mmu.tlb } }
   in
   let o = Common.run ~config Common.Vm w ~size:w.Workload.default_size in
   assert o.Common.correct;
@@ -31,7 +28,7 @@ let measure tlb (w : Workload.t) =
   in
   (Common.cycles o, hit_rate)
 
-let run () =
+let run base =
   let workloads =
     List.map Vmht_workloads.Registry.find [ "spmv"; "list_sum"; "tree_search" ]
   in
@@ -46,7 +43,7 @@ let run () =
       let cells =
         Common.par_map
           (fun w ->
-            let cycles, hr = measure tlb w in
+            let cycles, hr = measure base tlb w in
             Printf.sprintf "%s (%.3f)" (Table.fmt_int cycles) hr)
           workloads
       in

@@ -17,16 +17,15 @@ let unroll_factors = [ 1; 2; 4; 8 ]
 
 let port_counts = [ 1; 2; 4 ]
 
-let config_with ~unroll ~ports =
+let config_with base ~unroll ~ports =
   {
-    Vmht.Config.default with
+    base with
     Vmht.Config.unroll;
     accel_mem_ports = ports;
-    resources =
-      { Vmht.Config.default.Vmht.Config.resources with Schedule.mem_ports = ports };
+    resources = { base.Vmht.Config.resources with Schedule.mem_ports = ports };
   }
 
-let run () =
+let run base =
   let w = Vmht_workloads.Registry.find "vecadd" in
   let table =
     Table.create
@@ -43,7 +42,7 @@ let run () =
       let cells =
         Common.par_map
           (fun ports ->
-            let config = config_with ~unroll ~ports in
+            let config = config_with base ~unroll ~ports in
             let o = Common.run ~config Common.Dma w ~size:w.Workload.default_size in
             assert o.Common.correct;
             Table.fmt_int
@@ -52,7 +51,7 @@ let run () =
       in
       let area =
         (Common.synthesize
-           ~config:(config_with ~unroll ~ports:2)
+           ~config:(config_with base ~unroll ~ports:2)
            Vmht.Wrapper.Dma_iface w)
           .Vmht.Flow.datapath_area
       in

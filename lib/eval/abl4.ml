@@ -12,7 +12,7 @@ module Pipeliner = Vmht_hls.Pipeliner
 let subjects =
   [ "vecadd"; "saxpy"; "dotprod"; "mmul"; "histogram"; "list_sum" ]
 
-let run () =
+let run base =
   let table =
     Table.create
       ~title:
@@ -24,8 +24,8 @@ let run () =
     (fun name ->
       let w = Vmht_workloads.Registry.find name in
       let size = w.Workload.default_size in
-      let off = Common.run Common.Vm w ~size in
-      let config = Vmht.Config.with_pipelining Vmht.Config.default true in
+      let off = Common.run ~config:base Common.Vm w ~size in
+      let config = Vmht.Config.with_pipelining base true in
       let on = Common.run ~config Common.Vm w ~size in
       assert (off.Common.correct && on.Common.correct);
       let ii, iter =

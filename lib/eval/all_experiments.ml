@@ -1,34 +1,22 @@
-let experiments =
-  [
-    ("table1", Table1.run);
-    ("table2", Table2.run);
-    ("table3", Table3.run);
-    ("table4", Table4.run);
-    ("table5", Table5.run);
-    ("table6", Table6.run);
-    ("fig1", Fig1.run);
-    ("fig2", Fig2.run);
-    ("fig3", Fig3.run);
-    ("fig4", Fig4.run);
-    ("fig5", Fig5.run);
-    ("fig6", Fig6.run);
-    ("abl1", Abl1.run);
-    ("abl2", Abl2.run);
-    ("abl3", Abl3.run);
-    ("abl4", Abl4.run);
-  ]
+(* Thin compatibility shim over {!Experiment}: name-keyed dispatch for
+   callers that predate the registry (tests, mostly). *)
 
-let names = List.map fst experiments
+let names = Experiment.names
 
-let run name = (List.assoc name experiments) ()
+let run ?config name =
+  match Experiment.find name with
+  | Some e -> Experiment.run ?config e
+  | None -> raise Not_found
 
 (* Experiments fan out across the domain pool (and, inside each, their
    sweep points fan out again — [Common.par_map] nests safely).  The
    rendered sections come back in registry order and mismatches merge
    in submission order, so the output is byte-identical to a
    sequential run. *)
-let run_all () =
+let run_all ?(config = Vmht.Config.default) () =
   String.concat "\n"
     (Common.par_map
-       (fun (name, f) -> Printf.sprintf "===== %s =====\n%s" name (f ()))
-       experiments)
+       (fun (e : Experiment.t) ->
+         Printf.sprintf "===== %s =====\n%s" e.Experiment.name
+           (Experiment.run ~config e))
+       Experiment.all)

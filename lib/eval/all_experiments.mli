@@ -1,12 +1,13 @@
-(** Registry of every table and figure the benchmark harness can
-    regenerate. *)
+(** Name-keyed dispatch over the {!Experiment} registry — kept as the
+    stable entry point for tests and older callers. *)
 
 val names : string list
-(** In report order: table1..table5, fig1..fig6. *)
+(** In report order: table1..table6, fig1..fig6, abl1..abl4, robust. *)
 
-val run : string -> string
-(** Run one experiment by name and return its rendered output.
+val run : ?config:Vmht.Config.t -> string -> string
+(** Run one experiment by name against [config] (default
+    {!Vmht.Config.default}) and return its rendered output.
     Raises [Not_found] for unknown names. *)
 
-val run_all : unit -> string
+val run_all : ?config:Vmht.Config.t -> unit -> string
 (** Every experiment, concatenated — the full evaluation section. *)

@@ -11,14 +11,14 @@ let sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
 
 (* Copy-based runs stop at the scratchpad capacity cliff; those sizes
    simply have no DMA point — which is itself part of the result. *)
-let series_for (w : Workload.t) mode =
+let series_for base (w : Workload.t) mode =
   let points =
     Common.par_map
       (fun size ->
-        match Common.run mode w ~size with
+        match Common.run ~config:base mode w ~size with
         | hw ->
           assert hw.Common.correct;
-          let sw = Common.run Common.Sw w ~size in
+          let sw = Common.run ~config:base Common.Sw w ~size in
           Some (float_of_int size, Common.speedup ~baseline:sw hw)
         | exception Vmht.Launch.Window_overflow _ -> None)
       sizes
@@ -30,7 +30,7 @@ let series_for (w : Workload.t) mode =
     points;
   }
 
-let run () =
+let run base =
   let vecadd = Vmht_workloads.Registry.find "vecadd" in
   let list_sum = Vmht_workloads.Registry.find "list_sum" in
   Plot.render ~logx:true
@@ -40,7 +40,7 @@ let run () =
        scratchpad capacity cliff"
     ~xlabel:"elements" ~ylabel:"speedup"
     (Common.par_map
-       (fun (w, mode) -> series_for w mode)
+       (fun (w, mode) -> series_for base w mode)
        [
          (vecadd, Common.Dma);
          (vecadd, Common.Vm);

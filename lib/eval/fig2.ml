@@ -9,20 +9,21 @@ module Mmu = Vmht_vm.Mmu
 
 let entry_counts = [ 2; 4; 8; 16; 32; 64; 128 ]
 
-let measure (w : Workload.t) entries =
-  let config = Vmht.Config.with_tlb_entries Vmht.Config.default entries in
+let measure base (w : Workload.t) entries =
+  let config = Vmht.Config.with_tlb_entries base entries in
   let o = Common.run ~config Common.Vm w ~size:w.Workload.default_size in
   assert o.Common.correct;
   let hit_rate = Option.value ~default:0. o.Common.result.Vmht.Launch.tlb_hit_rate in
   (Common.cycles o, hit_rate)
 
-let run () =
+let run base =
   let workloads =
     List.map Vmht_workloads.Registry.find [ "vecadd"; "spmv"; "list_sum" ]
   in
   let measurements =
     Common.par_map
-      (fun w -> (w, Common.par_map (fun e -> (e, measure w e)) entry_counts))
+      (fun w ->
+        (w, Common.par_map (fun e -> (e, measure base w e)) entry_counts))
       workloads
   in
   let series =

@@ -8,11 +8,11 @@ module Workload = Vmht_workloads.Workload
 
 let page_shifts = [ 10; 11; 12; 13; 14; 15; 16 ]
 
-let series_for (w : Workload.t) =
+let series_for base (w : Workload.t) =
   let points =
     Common.par_map
       (fun shift ->
-        let config = Vmht.Config.with_page_shift Vmht.Config.default shift in
+        let config = Vmht.Config.with_page_shift base shift in
         let o = Common.run ~config Common.Vm w ~size:w.Workload.default_size in
         assert o.Common.correct;
         (float_of_int (1 lsl shift), float_of_int (Common.cycles o)))
@@ -20,10 +20,10 @@ let series_for (w : Workload.t) =
   in
   { Plot.label = w.Workload.name; points }
 
-let run () =
+let run base =
   Plot.render ~logx:true
     ~title:"Figure 3: VM-thread runtime vs page size (bytes)"
     ~xlabel:"page bytes" ~ylabel:"cycles"
     (Common.par_map
-       (fun name -> series_for (Vmht_workloads.Registry.find name))
+       (fun name -> series_for base (Vmht_workloads.Registry.find name))
        [ "list_sum"; "mmul"; "spmv" ])

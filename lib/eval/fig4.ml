@@ -8,13 +8,16 @@ module Mmu = Vmht_vm.Mmu
 
 let entry_counts = [ 2; 4; 8; 16; 32 ]
 
-let series_for (w : Workload.t) ~hw_walk =
+let series_for base (w : Workload.t) ~hw_walk =
   let points =
     Common.par_map
       (fun entries ->
-        let base = Vmht.Config.with_tlb_entries Vmht.Config.default entries in
+        let sized = Vmht.Config.with_tlb_entries base entries in
         let config =
-          { base with Vmht.Config.mmu = { base.Vmht.Config.mmu with Mmu.hw_walk } }
+          {
+            sized with
+            Vmht.Config.mmu = { sized.Vmht.Config.mmu with Mmu.hw_walk };
+          }
         in
         let o = Common.run ~config Common.Vm w ~size:w.Workload.default_size in
         assert o.Common.correct;
@@ -28,7 +31,7 @@ let series_for (w : Workload.t) ~hw_walk =
     points;
   }
 
-let run () =
+let run base =
   let spmv = Vmht_workloads.Registry.find "spmv" in
   let list_sum = Vmht_workloads.Registry.find "list_sum" in
   Plot.render ~logx:true ~logy:true
@@ -37,7 +40,7 @@ let run () =
        refill, runtime vs TLB size"
     ~xlabel:"TLB entries" ~ylabel:"cycles"
     (Common.par_map
-       (fun (w, hw_walk) -> series_for w ~hw_walk)
+       (fun (w, hw_walk) -> series_for base w ~hw_walk)
        [
          (spmv, true);
          (spmv, false);

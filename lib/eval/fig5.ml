@@ -13,19 +13,19 @@ let unroll_factors = [ 1; 2; 4; 8; 16 ]
    lookups; the one honest number is the wall time of the single real
    synthesis the cache performed — which is also what keeps this figure
    byte-identical between -j 1 and -j 4 runs in one process. *)
-let measure (w : Workload.t) unroll =
-  let config = Vmht.Config.with_unroll Vmht.Config.default unroll in
+let measure base (w : Workload.t) unroll =
+  let config = Vmht.Config.with_unroll base unroll in
   let hw = Common.synthesize ~config Vmht.Wrapper.Vm_iface w in
   (hw.Vmht.Flow.synthesis_seconds *. 1000., hw.Vmht.Flow.fsm.Fsm.stats.Fsm.states)
 
-let run () =
+let run base =
   let workloads =
     List.map Vmht_workloads.Registry.find [ "vecadd"; "mmul"; "spmv" ]
   in
   let measurements =
     Common.par_map
       (fun w ->
-        (w, Common.par_map (fun u -> (u, measure w u)) unroll_factors))
+        (w, Common.par_map (fun u -> (u, measure base w u)) unroll_factors))
       workloads
   in
   let plot =

@@ -19,8 +19,7 @@ let thread_counts = [ 1; 2; 3; 4; 6; 8 ]
 
 type point = { span : int; utilization : float }
 
-let measure (w : Workload.t) ~size n =
-  let config = Config.default in
+let measure config (w : Workload.t) ~size n =
   let soc = Soc.create config in
   let instances =
     List.init n (fun i -> w.Workload.setup (Soc.aspace soc) ~size ~seed:(i + 1))
@@ -46,14 +45,17 @@ let measure (w : Workload.t) ~size n =
     instances;
   { span; utilization = Vmht_mem.Bus.utilization (Soc.bus soc) ~total_cycles:span }
 
-let run () =
+let run base =
   let subjects =
     [ (Vmht_workloads.Registry.find "mmul", 16); (Vmht_workloads.Registry.find "vecadd", 2048) ]
   in
   let measurements =
     Common.par_map
       (fun (w, size) ->
-        (w, size, Common.par_map (fun n -> (n, measure w ~size n)) thread_counts))
+        ( w,
+          size,
+          Common.par_map (fun n -> (n, measure base w ~size n)) thread_counts
+        ))
       subjects
   in
   (* Aggregate speedup over the single-thread run of the same kernel:

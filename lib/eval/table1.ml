@@ -7,7 +7,7 @@ module Workload = Vmht_workloads.Workload
 module Fsm = Vmht_hls.Fsm
 module Cpu = Vmht_cpu.Cpu
 
-let run () =
+let run base =
   let table =
     Table.create
       ~title:
@@ -20,15 +20,19 @@ let run () =
   in
   Common.par_map
     (fun (w : Workload.t) ->
-      let hw = Common.synthesize Vmht.Wrapper.Vm_iface w in
+      let hw = Common.synthesize ~config:base Vmht.Wrapper.Vm_iface w in
       let stats = hw.Vmht.Flow.fsm.Fsm.stats in
-      let outcome = Common.run Common.Sw w ~size:w.Workload.default_size in
+      let outcome =
+        Common.run ~config:base Common.Sw w ~size:w.Workload.default_size
+      in
       let cpu_stats = Cpu.stats (Vmht.Soc.cpu outcome.Common.soc) in
       let accel_loads, accel_stores =
         (* Count loads/stores from the software profile: the CPU's
            memory accesses split by re-running is overkill; report the
            combined count and the split from the accel run instead. *)
-        let o = Common.run Common.Vm w ~size:w.Workload.default_size in
+        let o =
+          Common.run ~config:base Common.Vm w ~size:w.Workload.default_size
+        in
         match o.Common.result.Vmht.Launch.accel_stats with
         | Some s -> (s.Vmht_hls.Accel.loads, s.Vmht_hls.Accel.stores)
         | None -> (0, 0)

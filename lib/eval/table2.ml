@@ -12,10 +12,8 @@ let area_cells (a : Optypes.area) =
 
 let pct base v = Printf.sprintf "+%.0f%%" (Vmht_util.Stats.percent_delta base v)
 
-let run () =
-  let config =
-    { Vmht.Config.default with Vmht.Config.scratchpad_words = 16384 }
-  in
+let run base =
+  let config = { base with Vmht.Config.scratchpad_words = 16384 } in
   let table =
     Table.create
       ~title:

@@ -5,7 +5,7 @@ module Table = Vmht_util.Table
 module Stats = Vmht_util.Stats
 module Workload = Vmht_workloads.Workload
 
-let run () =
+let run base =
   let table =
     Table.create
       ~title:
@@ -20,9 +20,9 @@ let run () =
     Common.par_map
       (fun (w : Workload.t) ->
         let size = w.Workload.default_size in
-        let sw = Common.run Common.Sw w ~size in
-        let dma = Common.run Common.Dma w ~size in
-        let vm = Common.run Common.Vm w ~size in
+        let sw = Common.run ~config:base Common.Sw w ~size in
+        let dma = Common.run ~config:base Common.Dma w ~size in
+        let vm = Common.run ~config:base Common.Vm w ~size in
         let s_dma = Common.speedup ~baseline:sw dma in
         let s_vm = Common.speedup ~baseline:sw vm in
         let row =

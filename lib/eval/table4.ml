@@ -7,7 +7,7 @@ module Fsm = Vmht_hls.Fsm
 module Bind = Vmht_hls.Bind
 module Passes = Vmht_ir.Passes
 
-let run () =
+let run base =
   let table =
     Table.create
       ~title:"Table 4: synthesis flow statistics per kernel"
@@ -19,7 +19,7 @@ let run () =
   in
   Common.par_map
     (fun (w : Workload.t) ->
-      let hw = Common.synthesize Vmht.Wrapper.Vm_iface w in
+      let hw = Common.synthesize ~config:base Vmht.Wrapper.Vm_iface w in
       let stats = hw.Vmht.Flow.fsm.Fsm.stats in
       let report = stats.Fsm.opt_report in
       [

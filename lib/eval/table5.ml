@@ -23,7 +23,7 @@ let dma_effort_lines (instance : Workload.instance) =
   in
   1 + windows + stages
 
-let run () =
+let run base =
   let table =
     Table.create
       ~title:
@@ -34,7 +34,7 @@ let run () =
   in
   Common.par_map
     (fun (w : Workload.t) ->
-      let soc = Vmht.Soc.create Vmht.Config.default in
+      let soc = Vmht.Soc.create base in
       let instance =
         w.Workload.setup (Vmht.Soc.aspace soc) ~size:64 ~seed:1
       in

@@ -8,10 +8,8 @@
 module Table = Vmht_util.Table
 module Workload = Vmht_workloads.Workload
 
-let run () =
-  let config =
-    { Vmht.Config.default with Vmht.Config.scratchpad_words = 16384 }
-  in
+let run base =
+  let config = { base with Vmht.Config.scratchpad_words = 16384 } in
   let table =
     Table.create
       ~title:

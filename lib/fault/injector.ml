@@ -1,0 +1,97 @@
+module Rng = Vmht_util.Rng
+module Event = Vmht_obs.Event
+
+exception Abort of { component : string; fault : string }
+
+type stats = {
+  injected : int;
+  stall_cycles : int;
+  retries : int;
+  aborts : int;
+}
+
+let zero_stats = { injected = 0; stall_cycles = 0; retries = 0; aborts = 0 }
+
+let add_stats a b =
+  {
+    injected = a.injected + b.injected;
+    stall_cycles = a.stall_cycles + b.stall_cycles;
+    retries = a.retries + b.retries;
+    aborts = a.aborts + b.aborts;
+  }
+
+type t = {
+  plan : Plan.t;
+  component : string;
+  rng : Rng.t;
+  mutable injected : int;
+  mutable stall_cycles : int;
+  mutable retries : int;
+  mutable aborts : int;
+  mutable observer : Event.emitter option;
+}
+
+(* Each component owns an independent stream derived from (seed,
+   component name), so the schedule one component sees never depends on
+   how many draws its neighbours made — and creation order (how many
+   MMUs or DMA engines the run instantiated before this one) cannot
+   shift anyone else's faults. *)
+let stream ~seed ~component =
+  let h = Hashtbl.hash component in
+  Rng.split (Rng.create (seed lxor (h * 0x1000193)))
+
+let create ~plan ~seed ~component =
+  {
+    plan;
+    component;
+    rng = stream ~seed ~component;
+    injected = 0;
+    stall_cycles = 0;
+    retries = 0;
+    aborts = 0;
+    observer = None;
+  }
+
+let plan t = t.plan
+
+let component t = t.component
+
+let set_observer t f = t.observer <- Some f
+
+let emit t ?duration kind =
+  match t.observer with Some f -> f ?duration kind | None -> ()
+
+let budget_left t = t.injected < t.plan.Plan.max_injections
+
+let fires t ~rate =
+  t.plan.Plan.enabled && rate > 0. && budget_left t
+  && Rng.float t.rng 1.0 < rate
+
+let coin t = Rng.bool t.rng
+
+let draw t bound = Rng.int t.rng bound
+
+let injected t ~fault ~cycles =
+  t.injected <- t.injected + 1;
+  t.stall_cycles <- t.stall_cycles + cycles;
+  emit t ~duration:cycles (Event.Fault_inject { target = t.component; fault })
+
+let retry t ~fault ~attempt ~cycles =
+  t.retries <- t.retries + 1;
+  t.stall_cycles <- t.stall_cycles + cycles;
+  emit t ~duration:cycles
+    (Event.Fault_retry { target = t.component; fault; attempt })
+
+let abort t ~fault =
+  t.injected <- t.injected + 1;
+  t.aborts <- t.aborts + 1;
+  emit t (Event.Fault_abort { target = t.component; fault });
+  raise (Abort { component = t.component; fault })
+
+let stats t =
+  {
+    injected = t.injected;
+    stall_cycles = t.stall_cycles;
+    retries = t.retries;
+    aborts = t.aborts;
+  }

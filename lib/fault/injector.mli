@@ -1,0 +1,62 @@
+(** Per-component fault injector: draws {!Plan} decisions from an
+    independent deterministic stream, counts what it did, and reports
+    every injection as a typed {!Vmht_obs.Event}.
+
+    Components consult their injector at each opportunity point
+    ([fires]), charge the stall themselves (they own the simulation
+    clock), then record it ([injected] / [retry]).  Unrecoverable
+    faults go through [abort], which raises {!Abort} for the runtime's
+    retry machinery to catch. *)
+
+exception Abort of { component : string; fault : string }
+(** An injected fault the component cannot absorb locally (a DMA
+    transfer abort).  [Vmht.Launch] and [Vmht_rt.Hthreads] catch it
+    and re-run the victim thread. *)
+
+type stats = {
+  injected : int;  (** faults fired (including aborts) *)
+  stall_cycles : int;  (** extra cycles charged by injections *)
+  retries : int;  (** bounded-retry rounds (transient walk failures) *)
+  aborts : int;  (** thread-level aborts raised *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+type t
+
+val create : plan:Plan.t -> seed:int -> component:string -> t
+(** The injector's stream is a {!Vmht_util.Rng.split} of a generator
+    derived from [(seed, component)], so distinct components never
+    share draws and creation order is irrelevant. *)
+
+val plan : t -> Plan.t
+
+val component : t -> string
+
+val set_observer : t -> Vmht_obs.Event.emitter -> unit
+
+val fires : t -> rate:float -> bool
+(** One Bernoulli draw at [rate].  Never fires when the plan is
+    disabled, the rate is zero, or the injection budget is spent —
+    and in the first two cases draws nothing, so a disabled plan
+    perturbs nothing. *)
+
+val coin : t -> bool
+(** Secondary decision draw (e.g. full shootdown vs single entry). *)
+
+val draw : t -> int -> int
+(** Uniform in [\[0, bound)] — e.g. picking the TLB slot to kill. *)
+
+val injected : t -> fault:string -> cycles:int -> unit
+(** Count one injection of class [fault] that cost [cycles], and emit
+    a [Fault_inject] event spanning it. *)
+
+val retry : t -> fault:string -> attempt:int -> cycles:int -> unit
+(** Count one bounded-retry round and emit [Fault_retry]. *)
+
+val abort : t -> fault:string -> 'a
+(** Count the abort, emit [Fault_abort], raise {!Abort}. *)
+
+val stats : t -> stats

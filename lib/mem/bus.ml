@@ -1,5 +1,7 @@
 module Resource = Vmht_sim.Resource
 module Event = Vmht_obs.Event
+module Fi = Vmht_fault.Injector
+module Fp = Vmht_fault.Plan
 
 type stats = {
   reads : int;
@@ -17,6 +19,7 @@ type t = {
   mutable writes : int;
   mutable words_moved : int;
   mutable observer : Event.emitter option;
+  mutable fault : Fi.t option;
 }
 
 let create ?(arbitration_cycles = 2) mem dram =
@@ -29,40 +32,79 @@ let create ?(arbitration_cycles = 2) mem dram =
     writes = 0;
     words_moved = 0;
     observer = None;
+    fault = None;
   }
 
 let phys t = t.mem
 
 let set_observer t f = t.observer <- Some f
 
+let set_fault t inj = t.fault <- Some inj
+
 let emit t ~duration kind =
   match t.observer with Some f -> f ~duration kind | None -> ()
 
+(* Stretch one transaction's latency when the injector fires: a slave
+   error costs the error turnaround plus a full re-issue (fresh
+   arbitration + DRAM access); a contention window just holds the bus
+   longer.  The injection is recorded after the wait so the emitted
+   event spans cycles the transaction actually paid. *)
+let with_fault t ~addr latency =
+  match t.fault with
+  | None -> (latency, None)
+  | Some inj ->
+    let plan = Fi.plan inj in
+    if Fi.fires inj ~rate:plan.Fp.bus_error_rate then begin
+      let extra =
+        plan.Fp.bus_error_cycles + t.arbitration_cycles
+        + Dram.access_latency t.dram ~addr
+      in
+      (latency + extra, Some ("bus_error", extra))
+    end
+    else if Fi.fires inj ~rate:plan.Fp.bus_contention_rate then
+      let extra = plan.Fp.bus_contention_cycles in
+      (latency + extra, Some ("bus_contention", extra))
+    else (latency, None)
+
+let record_fault t = function
+  | None -> ()
+  | Some (fault, cycles) -> (
+    match t.fault with
+    | Some inj -> Fi.injected inj ~fault ~cycles
+    | None -> ())
+
 let read_word t addr =
   Resource.acquire t.resource;
-  let latency = t.arbitration_cycles + Dram.access_latency t.dram ~addr in
+  let latency, fault =
+    with_fault t ~addr (t.arbitration_cycles + Dram.access_latency t.dram ~addr)
+  in
   Vmht_sim.Engine.wait latency;
   let v = Phys_mem.read t.mem addr in
   Resource.release t.resource;
   t.reads <- t.reads + 1;
   t.words_moved <- t.words_moved + 1;
+  record_fault t fault;
   emit t ~duration:latency (Event.Bus_txn { op = Event.Read; addr; words = 1 });
   v
 
 let write_word t addr value =
   Resource.acquire t.resource;
-  let latency = t.arbitration_cycles + Dram.access_latency t.dram ~addr in
+  let latency, fault =
+    with_fault t ~addr (t.arbitration_cycles + Dram.access_latency t.dram ~addr)
+  in
   Vmht_sim.Engine.wait latency;
   Phys_mem.write t.mem addr value;
   Resource.release t.resource;
   t.writes <- t.writes + 1;
   t.words_moved <- t.words_moved + 1;
+  record_fault t fault;
   emit t ~duration:latency (Event.Bus_txn { op = Event.Write; addr; words = 1 })
 
 let read_burst t ~addr ~words =
   Resource.acquire t.resource;
-  let latency =
-    t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words
+  let latency, fault =
+    with_fault t ~addr
+      (t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words)
   in
   Vmht_sim.Engine.wait latency;
   let data =
@@ -72,14 +114,16 @@ let read_burst t ~addr ~words =
   Resource.release t.resource;
   t.reads <- t.reads + 1;
   t.words_moved <- t.words_moved + words;
+  record_fault t fault;
   emit t ~duration:latency (Event.Bus_txn { op = Event.Read; addr; words });
   data
 
 let write_burst t ~addr data =
   let words = Array.length data in
   Resource.acquire t.resource;
-  let latency =
-    t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words
+  let latency, fault =
+    with_fault t ~addr
+      (t.arbitration_cycles + Dram.burst_latency t.dram ~addr ~words)
   in
   Vmht_sim.Engine.wait latency;
   Array.iteri
@@ -88,6 +132,7 @@ let write_burst t ~addr data =
   Resource.release t.resource;
   t.writes <- t.writes + 1;
   t.words_moved <- t.words_moved + words;
+  record_fault t fault;
   emit t ~duration:latency (Event.Bus_txn { op = Event.Write; addr; words })
 
 let stats (t : t) : stats =

@@ -38,6 +38,12 @@ val set_observer : t -> Vmht_obs.Event.emitter -> unit
     carrying the transaction's latency — the hook the SoC's
     observability layer uses. *)
 
+val set_fault : t -> Vmht_fault.Injector.t -> unit
+(** Attach a fault injector: a transaction may suffer a slave error
+    ([bus_error]; error turnaround plus a full re-issue) or an extra
+    contention window ([bus_contention]).  Both stretch the
+    transaction in place — masters never observe a failure. *)
+
 val stats : t -> stats
 
 val utilization : t -> total_cycles:int -> float

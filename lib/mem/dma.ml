@@ -1,3 +1,6 @@
+module Fi = Vmht_fault.Injector
+module Fp = Vmht_fault.Plan
+
 type stats = { transfers : int; words_in : int; words_out : int }
 
 type t = {
@@ -8,6 +11,7 @@ type t = {
   mutable words_in : int;
   mutable words_out : int;
   mutable observer : Vmht_obs.Event.emitter option;
+  mutable fault : Fi.t option;
 }
 
 let create ?(setup_cycles = 120) ?(burst_words = 64) bus =
@@ -19,9 +23,12 @@ let create ?(setup_cycles = 120) ?(burst_words = 64) bus =
     words_in = 0;
     words_out = 0;
     observer = None;
+    fault = None;
   }
 
 let set_observer t f = t.observer <- Some f
+
+let set_fault t inj = t.fault <- Some inj
 
 (* Run [body], then emit a [Dma_burst] spanning its measured duration.
    [op] is the direction seen from DRAM: [Read] stages in, [Write]
@@ -35,11 +42,23 @@ let observed t ~op ~words body =
     let duration = Vmht_sim.Engine.now_p () - t0 in
     f ~duration (Vmht_obs.Event.Dma_burst { op; words })
 
+(* Transfer aborts are injected on staging (copy-in) bursts only: a
+   re-run after an abort re-stages everything from DRAM, which is only
+   idempotent if the abort never happened mid-drain with outputs half
+   written back over live inputs. *)
+let maybe_abort t =
+  match t.fault with
+  | Some inj when Fi.fires inj ~rate:(Fi.plan inj).Fp.dma_abort_rate ->
+    Vmht_sim.Engine.wait (Fi.plan inj).Fp.dma_abort_cycles;
+    Fi.abort inj ~fault:"dma_abort"
+  | _ -> ()
+
 (* Move [words] from DRAM at [src_phys] into the scratchpad, in bus
    bursts of at most [burst_words].  No setup cost: callers charge it. *)
 let burst_in_raw t pad ~src_phys ~dst_word ~words =
   let rec go offset =
     if offset < words then begin
+      maybe_abort t;
       let chunk = min t.burst_words (words - offset) in
       let data =
         Bus.read_burst t.bus

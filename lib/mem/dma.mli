@@ -34,4 +34,11 @@ val set_observer : t -> Vmht_obs.Event.emitter -> unit
     the whole transfer (setup + bursts); [op] is the direction seen
     from DRAM ([Read] stages in, [Write] drains out). *)
 
+val set_fault : t -> Vmht_fault.Injector.t -> unit
+(** Attach a fault injector: each staging (copy-in) burst may abort
+    the whole transfer — after a detection delay the injector raises
+    {!Vmht_fault.Injector.Abort}, and the owning thread must re-run
+    its copy-in/compute/copy-out.  Drain bursts are never aborted, so
+    a re-run always restages pristine DRAM state. *)
+
 val stats : t -> stats

@@ -9,6 +9,9 @@ type config = {
 let default_config =
   { t_cas = 14; t_rcd = 14; t_rp = 14; row_bytes = 2048; banks = 8 }
 
+module Fi = Vmht_fault.Injector
+module Fp = Vmht_fault.Plan
+
 type stats = { accesses : int; row_hits : int; row_misses : int }
 
 type t = {
@@ -18,6 +21,7 @@ type t = {
   mutable row_hits : int;
   mutable row_misses : int;
   mutable observer : Vmht_obs.Event.emitter option;
+  mutable fault : Fi.t option;
 }
 
 
@@ -31,9 +35,12 @@ let create ?(config = default_config) () =
     row_hits = 0;
     row_misses = 0;
     observer = None;
+    fault = None;
   }
 
 let set_observer t f = t.observer <- Some f
+
+let set_fault t inj = t.fault <- Some inj
 
 let emit t kind = match t.observer with Some f -> f kind | None -> ()
 
@@ -45,21 +52,32 @@ let access_latency t ~addr =
   t.accesses <- t.accesses + 1;
   let row = row_of t addr in
   let bank = bank_of t addr in
-  if t.open_rows.(bank) = row then begin
-    t.row_hits <- t.row_hits + 1;
-    emit t (Vmht_obs.Event.Dram_row_hit { bank });
-    t.config.t_cas
-  end
-  else begin
-    t.row_misses <- t.row_misses + 1;
-    emit t (Vmht_obs.Event.Dram_row_miss { bank });
-    let penalty =
-      if t.open_rows.(bank) = -1 then t.config.t_rcd + t.config.t_cas
-      else t.config.t_rp + t.config.t_rcd + t.config.t_cas
-    in
-    t.open_rows.(bank) <- row;
-    penalty
-  end
+  let base =
+    if t.open_rows.(bank) = row then begin
+      t.row_hits <- t.row_hits + 1;
+      emit t (Vmht_obs.Event.Dram_row_hit { bank });
+      t.config.t_cas
+    end
+    else begin
+      t.row_misses <- t.row_misses + 1;
+      emit t (Vmht_obs.Event.Dram_row_miss { bank });
+      let penalty =
+        if t.open_rows.(bank) = -1 then t.config.t_rcd + t.config.t_cas
+        else t.config.t_rp + t.config.t_rcd + t.config.t_cas
+      in
+      t.open_rows.(bank) <- row;
+      penalty
+    end
+  in
+  match t.fault with
+  | Some inj when Fi.fires inj ~rate:(Fi.plan inj).Fp.dram_row_failure_rate ->
+    (* The activation glitches: pay the spike and leave the row closed,
+       so the next access to this bank re-activates. *)
+    let cycles = (Fi.plan inj).Fp.dram_row_failure_cycles in
+    t.open_rows.(bank) <- -1;
+    Fi.injected inj ~fault:"dram_row_failure" ~cycles;
+    base + cycles
+  | _ -> base
 
 let burst_latency t ~addr ~words =
   if words <= 0 then 0

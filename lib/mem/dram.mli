@@ -38,6 +38,11 @@ val set_observer : t -> Vmht_obs.Event.emitter -> unit
     latency computation.  Inner beats of a burst that stay within an
     open row are counted as hits in {!stats} but do not emit events. *)
 
+val set_fault : t -> Vmht_fault.Injector.t -> unit
+(** Attach a fault injector: each latency computation may suffer a row
+    activation failure ([dram_row_failure]) — a latency spike, after
+    which the bank's row is left closed. *)
+
 val stats : t -> stats
 
 val row_hit_rate : t -> float

@@ -16,6 +16,10 @@ type kind =
   | Phase_end of { phase : string }
   | Thread_spawn of { thread : string }
   | Thread_join of { thread : string }
+  | Fault_inject of { target : string; fault : string }
+  | Fault_retry of { target : string; fault : string; attempt : int }
+  | Fault_abort of { target : string; fault : string }
+  | Fault_recover of { target : string; fault : string; attempt : int }
   | Note of string
 
 type t = { at : int; duration : int; component : string; kind : kind }
@@ -40,6 +44,10 @@ let label = function
   | Phase_end _ -> "phase_end"
   | Thread_spawn _ -> "thread_spawn"
   | Thread_join _ -> "thread_join"
+  | Fault_inject _ -> "fault_inject"
+  | Fault_retry _ -> "fault_retry"
+  | Fault_abort _ -> "fault_abort"
+  | Fault_recover _ -> "fault_recover"
   | Note _ -> "note"
 
 let args = function
@@ -66,6 +74,15 @@ let args = function
     [ ("phase", Json.String phase) ]
   | Thread_spawn { thread } | Thread_join { thread } ->
     [ ("thread", Json.String thread) ]
+  | Fault_inject { target; fault } | Fault_abort { target; fault } ->
+    [ ("target", Json.String target); ("fault", Json.String fault) ]
+  | Fault_retry { target; fault; attempt }
+  | Fault_recover { target; fault; attempt } ->
+    [
+      ("target", Json.String target);
+      ("fault", Json.String fault);
+      ("attempt", Json.Int attempt);
+    ]
   | Note s -> [ ("note", Json.String s) ]
 
 let kind_to_string = function
@@ -92,6 +109,14 @@ let kind_to_string = function
   | Phase_end { phase } -> Printf.sprintf "phase_end %s" phase
   | Thread_spawn { thread } -> Printf.sprintf "thread_spawn %s" thread
   | Thread_join { thread } -> Printf.sprintf "thread_join %s" thread
+  | Fault_inject { target; fault } ->
+    Printf.sprintf "fault_inject %s@%s" fault target
+  | Fault_retry { target; fault; attempt } ->
+    Printf.sprintf "fault_retry %s@%s (attempt %d)" fault target attempt
+  | Fault_abort { target; fault } ->
+    Printf.sprintf "fault_abort %s@%s" fault target
+  | Fault_recover { target; fault; attempt } ->
+    Printf.sprintf "fault_recover %s@%s (attempt %d)" fault target attempt
   | Note s -> s
 
 let to_string e =

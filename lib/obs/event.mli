@@ -28,6 +28,15 @@ type kind =
   | Phase_end of { phase : string }
   | Thread_spawn of { thread : string }
   | Thread_join of { thread : string }
+  | Fault_inject of { target : string; fault : string }
+      (** an injected perturbation absorbed locally; the duration is
+          the stall it cost *)
+  | Fault_retry of { target : string; fault : string; attempt : int }
+      (** one bounded-retry round recovering from a transient fault *)
+  | Fault_abort of { target : string; fault : string }
+      (** unrecoverable at component level; the owning thread re-runs *)
+  | Fault_recover of { target : string; fault : string; attempt : int }
+      (** thread-level recovery completed after [attempt] re-runs *)
   | Note of string  (** escape hatch for ad-hoc annotations *)
 
 type t = {

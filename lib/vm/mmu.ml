@@ -1,4 +1,6 @@
 module Engine = Vmht_sim.Engine
+module Fi = Vmht_fault.Injector
+module Fp = Vmht_fault.Plan
 
 type config = {
   tlb : Tlb.config;
@@ -44,6 +46,7 @@ type t = {
   mutable page_faults : int;
   mutable walk_cycles : int;
   mutable observer : Vmht_obs.Event.emitter option;
+  mutable fault : Fi.t option;
 }
 
 let create ?(asid = 0) config bus aspace =
@@ -63,9 +66,14 @@ let create ?(asid = 0) config bus aspace =
     page_faults = 0;
     walk_cycles = 0;
     observer = None;
+    fault = None;
   }
 
 let asid t = t.asid
+
+let set_fault t inj =
+  t.fault <- Some inj;
+  Ptw.set_fault t.ptw inj
 
 let set_observer t f = t.observer <- Some f
 
@@ -112,8 +120,25 @@ let rec refill t ~vaddr =
    not allocate (no option from the lookup, no event payload unless an
    observer is installed).  Nearly every simulated memory access of a
    VM-enabled thread comes through here. *)
+(* TLB shootdowns arrive asynchronously (another core remapping a
+   shared region); the injector models them as instantaneous entry
+   kills whose cost shows up downstream as extra misses and walks. *)
+let maybe_shootdown t inj =
+  if Fi.fires inj ~rate:(Fi.plan inj).Fp.tlb_shootdown_rate then
+    if Fi.coin inj then begin
+      Tlb.invalidate_all t.tlb;
+      Fi.injected inj ~fault:"tlb_shootdown" ~cycles:0
+    end
+    else begin
+      Tlb.invalidate_slot t.tlb ~n:(Fi.draw inj t.config.tlb.Tlb.entries);
+      Fi.injected inj ~fault:"tlb_invalidate" ~cycles:0
+    end
+
 let translate t ~vaddr =
   t.accesses <- t.accesses + 1;
+  (match t.fault with
+  | Some inj -> maybe_shootdown t inj
+  | None -> ());
   let hit_cycles = t.config.tlb_hit_cycles in
   if hit_cycles > 0 then Engine.wait hit_cycles;
   let vpn = vaddr lsr t.page_shift in

@@ -53,6 +53,13 @@ val load : t -> int -> int
 
 val store : t -> int -> int -> unit
 
+val set_fault : t -> Vmht_fault.Injector.t -> unit
+(** Attach a fault injector to this MMU and its walker.  Before each
+    translation the injector may fire a TLB shootdown: a coin picks a
+    full flush ([tlb_shootdown]) or a single random slot kill
+    ([tlb_invalidate]); the walker additionally suffers per-level
+    stalls and transient walk failures. *)
+
 val set_observer : t -> Vmht_obs.Event.emitter -> unit
 (** Observer for translation events: typed
     {!Vmht_obs.Event.kind.Tlb_hit} / [Tlb_miss] / [Ptw_walk] (duration

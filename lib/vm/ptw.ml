@@ -1,3 +1,6 @@
+module Fi = Vmht_fault.Injector
+module Fp = Vmht_fault.Plan
+
 type stats = { walks : int; level_reads : int; failed_walks : int }
 
 type t = {
@@ -7,23 +10,63 @@ type t = {
   mutable walks : int;
   mutable level_reads : int;
   mutable failed_walks : int;
+  mutable fault : Fi.t option;
 }
 
 let create ?(per_level_overhead = 2) bus pt =
-  { bus; pt; per_level_overhead; walks = 0; level_reads = 0; failed_walks = 0 }
+  {
+    bus;
+    pt;
+    per_level_overhead;
+    walks = 0;
+    level_reads = 0;
+    failed_walks = 0;
+    fault = None;
+  }
 
-let walk t ~vaddr =
-  t.walks <- t.walks + 1;
-  (* Issue the level reads over the bus for timing; the table decode
-     itself is delegated to the functional page-table lookup, which
-     reads the same physical words. *)
-  let addrs = Page_table.walk_addrs t.pt ~vaddr in
+let set_fault t inj = t.fault <- Some inj
+
+(* Issue the level reads over the bus for timing; the table decode
+   itself is delegated to the functional page-table lookup, which
+   reads the same physical words. *)
+let read_levels t addrs =
   List.iter
     (fun addr ->
       Vmht_sim.Engine.wait t.per_level_overhead;
+      (match t.fault with
+      | Some inj when Fi.fires inj ~rate:(Fi.plan inj).Fp.walk_stall_rate ->
+        let cycles = (Fi.plan inj).Fp.walk_stall_cycles in
+        Vmht_sim.Engine.wait cycles;
+        Fi.injected inj ~fault:"walk_stall" ~cycles
+      | _ -> ());
       ignore (Vmht_mem.Bus.read_word t.bus addr);
       t.level_reads <- t.level_reads + 1)
-    addrs;
+    addrs
+
+let walk t ~vaddr =
+  t.walks <- t.walks + 1;
+  let addrs = Page_table.walk_addrs t.pt ~vaddr in
+  read_levels t addrs;
+  (* A transient walk failure throws away the walk just issued: the
+     walker stalls for the retry turnaround, re-reads every level, and
+     tries again — at most [walk_retry_limit] rounds. *)
+  (match t.fault with
+  | Some inj ->
+    let plan = Fi.plan inj in
+    let rec transient attempt =
+      if
+        attempt <= plan.Fp.walk_retry_limit
+        && Fi.fires inj ~rate:plan.Fp.walk_transient_rate
+      then begin
+        Vmht_sim.Engine.wait plan.Fp.walk_retry_cycles;
+        Fi.retry inj ~fault:"walk_transient" ~attempt
+          ~cycles:plan.Fp.walk_retry_cycles;
+        read_levels t addrs;
+        transient (attempt + 1)
+      end
+    in
+    transient 1
+  | None -> ());
   match Page_table.lookup t.pt ~vaddr with
   | Some entry -> Some entry
   | None ->

@@ -12,6 +12,10 @@ val create :
   ?per_level_overhead:int -> Vmht_mem.Bus.t -> Page_table.t -> t
 (** Default per-level overhead: 2 cycles. *)
 
+val set_fault : t -> Vmht_fault.Injector.t -> unit
+(** Attach a fault injector: per-level stalls ([walk_stall]) and
+    transient walk failures with bounded retry ([walk_transient]). *)
+
 val walk : t -> vaddr:int -> Page_table.entry option
 (** Timed walk.  [None] means the translation is absent (page fault). *)
 

@@ -139,6 +139,16 @@ let invalidate_asid t ~asid =
 let invalidate_all t =
   Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.sets
 
+let invalidate_slot t ~n =
+  let total =
+    Array.length t.sets * Array.length t.sets.(0)
+  in
+  if total > 0 then begin
+    let n = ((n mod total) + total) mod total in
+    let ways = Array.length t.sets.(0) in
+    t.sets.(n / ways).(n mod ways).valid <- false
+  end
+
 let stats (t : t) : stats =
   { lookups = t.lookups; hits = t.hits; evictions = t.evictions }
 

@@ -44,6 +44,11 @@ val invalidate_asid : t -> asid:int -> unit
 
 val invalidate_all : t -> unit
 
+val invalidate_slot : t -> n:int -> unit
+(** Drop the [n]-th physical slot (mod capacity), whatever it holds —
+    the fault injector's single-entry invalidation.  A no-op when the
+    slot is already empty. *)
+
 val stats : t -> stats
 
 val hit_rate : t -> float

@@ -14,22 +14,23 @@ paths a user hits first.
     list_sum     sum of a sparse linked list scattered through a fragmented heap
     tree_search  sparse lookups in a large scattered binary search tree
   experiments:
-    table1
-    table2
-    table3
-    table4
-    table5
-    table6
-    fig1
-    fig2
-    fig3
-    fig4
-    fig5
-    fig6
-    abl1
-    abl2
-    abl3
-    abl4
+    table1   table     kernel suite: cycles and speedups, sw vs dma vs vm
+    table2   table     capacity cliff: copy-based fails where VM threads keep going
+    table3   table     cycle attribution: where the time goes in each style
+    table4   table     synthesized wrapper area: dma vs vm interface logic
+    table5   table     design productivity: source lines vs handled VM machinery
+    table6   table     sharing & protection: two processes, one accelerator
+    fig1     figure    speedup vs data size: the copy-based capacity cliff
+    fig2     figure    runtime and hit rate vs TLB entries
+    fig3     figure    runtime vs page size
+    fig4     figure    miss handling: hardware walker vs software refill
+    fig5     figure    synthesis time and FSM size vs unroll factor
+    fig6     figure    multi-thread scaling on the shared bus
+    abl1     ablation  wrapper stream-buffer size sweep
+    abl2     ablation  TLB organization: associativity and replacement
+    abl3     ablation  datapath parallelism: unroll x memory ports
+    abl4     ablation  loop pipelining on vs off, achieved II
+    robust   sweep     fault injection: recovery overhead, vm vs copy-based
 
 Compile a kernel and show the optimized IR:
 
@@ -66,7 +67,7 @@ Compile a kernel and show the optimized IR:
     ret
   
 
-Syntax errors carry positions:
+Syntax errors carry positions and exit with the front-end code (2):
 
   $ cat > bad.htl <<'EOF'
   > kernel broken(x: int) {
@@ -74,8 +75,8 @@ Syntax errors carry positions:
   > }
   > EOF
   $ vmht compile bad.htl
-  error at 2:16: expected expression but found ';'
-  [1]
+  error: line 2, col 16: expected expression but found ';'
+  [2]
 
 Type errors too:
 
@@ -85,8 +86,8 @@ Type errors too:
   > }
   > EOF
   $ vmht compile illtyped.htl
-  error at 0:0: arithmetic '+' between int* and int (cast pointers explicitly)
-  [1]
+  error: line 0, col 0: arithmetic '+' between int* and int (cast pointers explicitly)
+  [2]
 
 Unknown workloads are reported:
 
@@ -147,6 +148,23 @@ summary, and emit the whole report as machine-readable JSON:
     "total_cycles": 1875,
   $ vmht run vecadd --mode vm --size 64 --metrics-json | grep -c '"tlb.lookups"\|"bus.reads"\|"dram.accesses"'
   3
+
+With an argument, the report goes to a file alongside the summary;
+an unwritable destination is its own failure, exit code 3:
+
+  $ vmht run vecadd --mode vm --size 64 --metrics-json=report.json
+  vecadd / vm / size 64: 1,875 cycles (correct)
+    phases: stage=0 compute=1507 drain=368
+    mmu: 192 accesses, 189 hits, 3 misses, 0 faults, hit rate 0.984
+    metrics written to report.json
+  $ grep -c '"workload"' report.json
+  1
+  $ vmht run vecadd --mode vm --size 64 --trace-out missing/trace.json
+  vecadd / vm / size 64: 1,875 cycles (correct)
+    phases: stage=0 compute=1507 drain=368
+    mmu: 192 accesses, 189 hits, 3 misses, 0 faults, hit rate 0.984
+  cannot write trace: missing/trace.json: No such file or directory
+  [3]
 
 The trace subcommand replays a workload with tracing on and filters
 the typed event stream:

@@ -18,4 +18,5 @@ let () =
       ("isolation", Test_isolation.suite);
       ("system", Test_system.suite);
       ("determinism", Test_determinism.suite);
+      ("fault", Test_fault.suite);
     ]

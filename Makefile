@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean fmt
+.PHONY: all build test check bench examples clean fmt
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Build everything, then run the full test suite — the pre-push gate.
+check: build test
+
+fmt:
+	dune fmt
 
 # Regenerate every evaluation table and figure (EXPERIMENTS.md's data).
 bench:

@@ -55,7 +55,7 @@ let run_small mode w () =
 
 let optimize_pipeline () =
   let f = Vmht_ir.Lower.lower_kernel (Workload.kernel (Lazy.force spmv)) in
-  ignore (Vmht_ir.Passes.optimize f)
+  ignore (Vmht_ir.Pass_manager.optimize f)
 
 let tlb_churn () =
   let tlb =
@@ -252,6 +252,7 @@ let run_perf ~json () =
   let cache = Vmht.Flow.cache_stats () in
   let metrics = Vmht_obs.Metrics.create () in
   Vmht.Flow.sync_cache_metrics metrics;
+  Vmht.Flow.sync_pass_metrics metrics;
   print_string
     (Vmht_obs.Metrics.snapshot_to_string (Vmht_obs.Metrics.snapshot metrics));
   Printf.printf "total: %.3f s\n%!" total_seconds;
@@ -338,13 +339,17 @@ let usage () =
     \  --fault-rate R    enable fault injection at per-opportunity\n\
     \                    probability R (the robust experiment then sweeps\n\
     \                    exactly this plan)\n\
-    \  --seed S          base seed for the fault schedule\n"
+    \  --seed S          base seed for the fault schedule\n\
+    \  --opt-level N     pass-schedule preset (0, 1 or 2; default 2)\n\
+    \  --passes a,b,c    explicit pass schedule overriding --opt-level\n"
 
 let () =
   let jobs = ref (Domain.recommended_domain_count ()) in
   let json_path = ref None in
   let fault_rate = ref None in
   let seed = ref None in
+  let opt_level = ref None in
+  let passes = ref None in
   let bad msg =
     Printf.eprintf "%s\n" msg;
     usage ();
@@ -377,6 +382,18 @@ let () =
         parse acc rest
       | _ -> bad (Printf.sprintf "--seed needs an integer, got '%s'" s))
     | [ "--seed" ] -> bad "--seed needs an integer"
+    | "--opt-level" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v ->
+        opt_level := Some v;
+        parse acc rest
+      | None -> bad (Printf.sprintf "--opt-level needs an integer, got '%s'" n))
+    | [ "--opt-level" ] -> bad "--opt-level needs an integer"
+    | "--passes" :: list :: rest ->
+      passes :=
+        Some (List.filter (fun s -> s <> "") (String.split_on_char ',' list));
+      parse acc rest
+    | [ "--passes" ] -> bad "--passes needs a comma-separated pass list"
     | arg :: rest
       when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
       match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
@@ -400,6 +417,17 @@ let () =
     | Some rate -> Vmht.Config.with_fault config (Vmht_fault.Plan.uniform ~rate)
     | None -> config
   in
+  let config =
+    match !opt_level with
+    | Some n -> Vmht.Config.with_opt_level config n
+    | None -> config
+  in
+  let config = Vmht.Config.with_passes config !passes in
+  (match Vmht.Config.schedule config with
+   | (_ : Vmht_ir.Pass_manager.schedule) -> ()
+   | exception Invalid_argument msg ->
+     Printf.eprintf "%s\n" msg;
+     exit 1);
   let run_kind kind =
     List.iter
       (fun e -> print_string (Vmht_eval.Experiment.run ~config e ^ "\n"))

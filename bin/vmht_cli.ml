@@ -35,6 +35,50 @@ let with_program file f =
     f program;
     0
 
+(* Optimizer selection, shared by every command that synthesizes:
+   [--opt-level N] picks a preset schedule, [--passes a,b,c] overrides
+   it with an explicit pass list.  Unknown pass names are rejected up
+   front with the registry listing in the message. *)
+
+let opt_level_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "opt-level" ] ~docv:"N"
+        ~doc:"Optimization level: 0, 1 or 2 (default 2; see $(b,vmht passes)).")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"LIST"
+        ~doc:
+          "Explicit comma-separated pass schedule, overriding            $(b,--opt-level) (see $(b,vmht passes) for the registry).")
+
+let config_with_opt config opt_level passes =
+  let config =
+    match opt_level with
+    | Some n -> Vmht.Config.with_opt_level config n
+    | None -> config
+  in
+  match passes with
+  | Some list ->
+    Vmht.Config.with_passes config
+      (Some
+         (List.filter
+            (fun s -> s <> "")
+            (String.split_on_char ',' list)))
+  | None -> config
+
+(* Resolve eagerly so a typo'd pass name fails with exit 1 before any
+   work happens, whatever command carried the flag. *)
+let with_schedule config f =
+  match Vmht.Config.schedule config with
+  | sched -> f sched
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
 (* ------------------------- compile -------------------------------- *)
 
 let compile_cmd =
@@ -44,22 +88,26 @@ let compile_cmd =
   let no_opt =
     Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimizer.")
   in
-  let action file no_opt =
-    with_program file (fun program ->
-        List.iter
-          (fun kernel ->
-            let func = Vmht_ir.Lower.lower_kernel kernel in
-            if not no_opt then begin
-              let report = Vmht_ir.Passes.optimize func in
-              Printf.printf "; %s\n" (Vmht_ir.Passes.report_to_string report)
-            end;
-            print_string (Vmht_ir.Ir.func_to_string func);
-            print_newline ())
-          program)
+  let action file no_opt opt_level passes =
+    with_schedule
+      (config_with_opt Vmht.Config.default opt_level passes)
+      (fun sched ->
+        with_program file (fun program ->
+            List.iter
+              (fun kernel ->
+                let func = Vmht_ir.Lower.lower_kernel kernel in
+                if not no_opt then begin
+                  let report = Vmht_ir.Pass_manager.run sched func in
+                  Printf.printf "; %s\n"
+                    (Vmht_ir.Pass_manager.report_to_string report)
+                end;
+                print_string (Vmht_ir.Ir.func_to_string func);
+                print_newline ())
+              program))
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Parse, typecheck, lower and optimize kernels.")
-    Term.(const action $ file $ no_opt)
+    Term.(const action $ file $ no_opt $ opt_level_arg $ passes_arg)
 
 (* ------------------------- synth ---------------------------------- *)
 
@@ -86,27 +134,31 @@ let synth_cmd =
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
-  let action file iface unroll emit_rtl pipeline =
-    with_program file (fun program ->
-        let config =
-          Vmht.Config.with_pipelining
-            (Vmht.Config.with_unroll Vmht.Config.default unroll)
-            pipeline
-        in
-        List.iter
-          (fun kernel ->
-            let hw = Vmht.Flow.synthesize config iface kernel in
-            print_endline (Vmht.Flow.summary hw);
-            if emit_rtl then begin
-              print_newline ();
-              print_string hw.Vmht.Flow.verilog
-            end)
-          program)
+  let action file iface unroll emit_rtl pipeline opt_level passes =
+    let config =
+      Vmht.Config.with_pipelining
+        (Vmht.Config.with_unroll Vmht.Config.default unroll)
+        pipeline
+    in
+    let config = config_with_opt config opt_level passes in
+    with_schedule config (fun _sched ->
+        with_program file (fun program ->
+            List.iter
+              (fun kernel ->
+                let hw = Vmht.Flow.synthesize config iface kernel in
+                print_endline (Vmht.Flow.summary hw);
+                if emit_rtl then begin
+                  print_newline ();
+                  print_string hw.Vmht.Flow.verilog
+                end)
+              program))
   in
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize hardware threads (HLS + interface wrapper).")
-    Term.(const action $ file $ iface $ unroll $ emit_rtl $ pipeline)
+    Term.(
+      const action $ file $ iface $ unroll $ emit_rtl $ pipeline
+      $ opt_level_arg $ passes_arg)
 
 (* ------------------------- run ------------------------------------ *)
 
@@ -171,13 +223,13 @@ let run_cmd =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
   let action wname mode size tlb page_shift stats trace_n trace_out
-      metrics_json pipeline =
+      metrics_json pipeline opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
       1
     | w ->
-      let config = Vmht.Config.default in
+      let config = config_with_opt Vmht.Config.default opt_level passes in
       let config =
         match tlb with
         | Some entries -> Vmht.Config.with_tlb_entries config entries
@@ -189,6 +241,7 @@ let run_cmd =
         | None -> config
       in
       let config = Vmht.Config.with_pipelining config pipeline in
+      with_schedule config @@ fun _sched ->
       let size =
         Option.value ~default:w.Vmht_workloads.Workload.default_size size
       in
@@ -289,7 +342,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ page_shift $ stats
-      $ trace_n $ trace_out $ metrics_json $ pipeline)
+      $ trace_n $ trace_out $ metrics_json $ pipeline $ opt_level_arg
+      $ passes_arg)
 
 (* ------------------------- trace ---------------------------------- *)
 
@@ -483,7 +537,7 @@ let bench_cmd =
             "Write a machine-readable run manifest (experiments run, \
              output sizes, seed, fault plan, mismatches) to $(docv).")
   in
-  let action jobs fault_rate seed metrics_json names =
+  let action jobs fault_rate seed metrics_json opt_level passes names =
     Vmht_par.Parmap.set_jobs
       (match jobs with
        | Some n -> n
@@ -501,6 +555,9 @@ let bench_cmd =
         Vmht.Config.with_fault config (Vmht_fault.Plan.uniform ~rate)
       | None -> config
     in
+    let config = config_with_opt config opt_level passes in
+    with_schedule config @@ fun sched ->
+    Vmht_ir.Pass_manager.reset_totals ();
     let ran = ref [] in
     let run_one = function
       | "all" ->
@@ -552,6 +609,29 @@ let bench_cmd =
                          ("output_bytes", Json.Int bytes);
                        ])
                    !ran) );
+            ( "passes",
+              Json.Obj
+                [
+                  ( "schedule",
+                    Json.String sched.Vmht_ir.Pass_manager.sname );
+                  ( "order",
+                    Json.List
+                      (List.map
+                         (fun (p : Vmht_ir.Pass.t) ->
+                           Json.String p.Vmht_ir.Pass.name)
+                         sched.Vmht_ir.Pass_manager.passes) );
+                ] );
+            ( "pass_stats",
+              Json.List
+                (List.map
+                   (fun (pass, runs, rewrites) ->
+                     Json.Obj
+                       [
+                         ("pass", Json.String pass);
+                         ("runs", Json.Int runs);
+                         ("rewrites", Json.Int rewrites);
+                       ])
+                   (Vmht_ir.Pass_manager.totals ())) );
             ( "mismatches",
               Json.List (List.map (fun s -> Json.String s) mismatches) );
             ("exit_code", Json.Int code);
@@ -582,7 +662,42 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures." ~man)
-    Term.(const action $ jobs $ fault_rate $ seed $ metrics_json $ names)
+    Term.(
+      const action $ jobs $ fault_rate $ seed $ metrics_json $ opt_level_arg
+      $ passes_arg $ names)
+
+(* ------------------------- passes --------------------------------- *)
+
+let passes_cmd =
+  let action () =
+    print_endline "passes:";
+    List.iter
+      (fun (p : Vmht_ir.Pass.t) ->
+        Printf.printf "  %-16s %-8s %s\n" p.Vmht_ir.Pass.name
+          (Vmht_ir.Pass.kind_name p.Vmht_ir.Pass.kind)
+          p.Vmht_ir.Pass.doc)
+      (Vmht_ir.Pass.all ());
+    print_endline "presets:";
+    List.iter
+      (fun (s : Vmht_ir.Pass_manager.schedule) ->
+        Printf.printf "  -%-4s %s\n" s.Vmht_ir.Pass_manager.sname
+          (match s.Vmht_ir.Pass_manager.passes with
+           | [] -> "(none)"
+           | ps ->
+             String.concat ", "
+               (List.map (fun (p : Vmht_ir.Pass.t) -> p.Vmht_ir.Pass.name) ps)))
+      [
+        Vmht_ir.Pass_manager.o0 ();
+        Vmht_ir.Pass_manager.o1 ();
+        Vmht_ir.Pass_manager.o2 ();
+      ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:
+         "List the registered optimization passes and the -O0/-O1/-O2           preset schedules.")
+    Term.(const action $ const ())
 
 (* ------------------------- list ----------------------------------- *)
 
@@ -620,5 +735,6 @@ let () =
             trace_cmd;
             system_cmd;
             bench_cmd;
+            passes_cmd;
             list_cmd;
           ]))

@@ -15,6 +15,8 @@ type t = {
   dma_setup_cycles : int;
   dma_burst_words : int;
   pin_cycles_per_page : int;
+  opt_level : int;
+  passes : string list option;
   cache_maintenance_cycles : int;
   fault : Vmht_fault.Plan.t;
   seed : int;
@@ -48,6 +50,8 @@ let default =
     dma_setup_cycles = 120;
     dma_burst_words = 64;
     pin_cycles_per_page = 40;
+    opt_level = 2;
+    passes = None;
     cache_maintenance_cycles = 64;
     fault = Vmht_fault.Plan.none;
     seed = 1;
@@ -71,6 +75,20 @@ let with_pipelining t pipeline_loops = { t with pipeline_loops }
 let with_fault t fault = { t with fault }
 
 let with_seed t seed = { t with seed }
+
+let with_opt_level t opt_level = { t with opt_level }
+
+let with_passes t passes = { t with passes }
+
+(* The active schedule: an explicit pass list overrides the preset.
+   Unknown pass names are a configuration error, reported eagerly. *)
+let schedule t =
+  match t.passes with
+  | None -> Vmht_ir.Pass_manager.of_opt_level t.opt_level
+  | Some names -> (
+    match Vmht_ir.Pass_manager.of_names names with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Config.schedule: " ^ msg))
 
 (* Every field, spelled out: the fingerprint keys the synthesis cache,
    so forgetting a field here would let two configs that synthesize
@@ -126,6 +144,13 @@ let fingerprint (t : t) =
   i t.pin_cycles_per_page;
   i t.cache_maintenance_cycles;
   Buffer.add_string b (Vmht_fault.Plan.fingerprint t.fault);
+  (* The pass schedule changes the synthesized datapath, so it must key
+     the cache: [-O1] and [-O2] results can never be conflated. *)
+  i t.opt_level;
+  Buffer.add_string b
+    (match t.passes with
+     | None -> "preset;"
+     | Some names -> "passes:" ^ String.concat "," names ^ ";");
   i t.seed;
   Buffer.contents b
 

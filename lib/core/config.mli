@@ -27,6 +27,12 @@ type t = {
   dma_burst_words : int;
   pin_cycles_per_page : int;
       (** CPU cost to pin + translate one page when staging a DMA *)
+  (* --- optimizer --- *)
+  opt_level : int;
+      (** [-O0]/[-O1]/[-O2] preset selecting the pass schedule
+          (clamped; default 2) *)
+  passes : string list option;
+      (** explicit pass schedule overriding [opt_level] when [Some] *)
   (* --- misc --- *)
   cache_maintenance_cycles : int;
       (** CPU cache invalidate after a hardware thread completes *)
@@ -50,6 +56,15 @@ val with_fault : t -> Vmht_fault.Plan.t -> t
 
 val with_seed : t -> int -> t
 (** Seed for workload data and the fault schedule. *)
+
+val with_opt_level : t -> int -> t
+
+val with_passes : t -> string list option -> t
+
+val schedule : t -> Vmht_ir.Pass_manager.schedule
+(** The pass schedule this config selects: the explicit [passes] list
+    if set, else the [opt_level] preset.  Raises [Invalid_argument] on
+    unknown pass names. *)
 
 val fingerprint : t -> string
 (** A compact, injective rendering of every field, used (with the

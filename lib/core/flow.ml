@@ -19,7 +19,8 @@ let synthesize_uncached ~windows (config : Config.t) style kernel =
   let fsm =
     Fsm.synthesize ~resources:config.Config.resources
       ~unroll:config.Config.unroll
-      ~pipeline:config.Config.pipeline_loops kernel
+      ~pipeline:config.Config.pipeline_loops
+      ~schedule:(Config.schedule config) kernel
   in
   let wrapper_area = Wrapper.area config style ~windows in
   let verilog =
@@ -99,6 +100,20 @@ let sync_cache_metrics m =
   Vmht_obs.Metrics.set_counter
     (Vmht_obs.Metrics.counter m "flow.synth_cache_entries")
     s.cache_entries
+
+(* Process-wide per-pass totals (every synthesis since startup), for
+   the bench manifest's pass statistics — same pull model as the cache
+   counters above. *)
+let sync_pass_metrics m =
+  List.iter
+    (fun (pass, runs, rewrites) ->
+      Vmht_obs.Metrics.set_counter
+        (Vmht_obs.Metrics.counter m (Printf.sprintf "pass.%s.runs" pass))
+        runs;
+      Vmht_obs.Metrics.set_counter
+        (Vmht_obs.Metrics.counter m (Printf.sprintf "pass.%s.rewrites" pass))
+        rewrites)
+    (Vmht_ir.Pass_manager.totals ())
 
 let synthesize ?(cache = true) ?(windows = 3) (config : Config.t) style kernel =
   if not cache then synthesize_uncached ~windows config style kernel
@@ -199,11 +214,11 @@ let synthesize_program ?cache ?windows config style source ~name =
 
 let compile_sw (config : Config.t) kernel =
   Vmht_lang.Typecheck.check_kernel kernel;
-  (* Software threads get the same optimizer but no unrolling: the
+  (* Software threads get the same pass schedule but no unrolling: the
      scalar CPU gains nothing from wider loop bodies. *)
-  ignore config;
   let func = Vmht_ir.Lower.lower_kernel kernel in
-  ignore (Vmht_ir.Passes.optimize func);
+  ignore
+    (Vmht_ir.Pass_manager.optimize ~schedule:(Config.schedule config) func);
   func
 
 let summary t =

@@ -288,7 +288,30 @@ let run_hw_once soc hw request =
    often the abort can re-fire.  Cycles lost to discarded attempts are
    charged to the fault attribution bucket, keeping the partition
    invariant (attribution sums to [total_cycles]) intact. *)
+(* Surface what the optimizer did to this thread's datapath in the
+   trace and metrics: one [Pass_run] event per scheduled pass, and
+   cumulative [pass.*] counters over every launch on this SoC. *)
+let observe_passes soc (hw : Flow.hw_thread) =
+  let report = hw.Flow.fsm.Vmht_hls.Fsm.stats.Vmht_hls.Fsm.opt_report in
+  let kernel = hw.Flow.kernel.Vmht_lang.Ast.kname in
+  List.iter
+    (fun (s : Vmht_ir.Pass_manager.pass_stat) ->
+      if Soc.observing soc then
+        Soc.emit soc ~component:"hls"
+          (Vmht_obs.Event.Pass_run
+             {
+               pass = s.Vmht_ir.Pass_manager.pass;
+               rewrites = s.Vmht_ir.Pass_manager.rewrites;
+               kernel;
+             });
+      Vmht_obs.Metrics.incr
+        ~by:s.Vmht_ir.Pass_manager.rewrites
+        (Vmht_obs.Metrics.counter (Soc.metrics soc)
+           (Printf.sprintf "pass.%s.rewrites" s.Vmht_ir.Pass_manager.pass)))
+    report.Vmht_ir.Pass_manager.stats
+
 let run_hw soc hw request =
+  observe_passes soc hw;
   let t_start = Engine.now_p () in
   let rec go attempt ~last_abort =
     match run_hw_once soc hw request with

@@ -2,7 +2,7 @@
     stable entry point for tests and older callers. *)
 
 val names : string list
-(** In report order: table1..table6, fig1..fig6, abl1..abl4, robust. *)
+(** In report order: table1..table6, fig1..fig6, abl1..abl5, robust. *)
 
 val run : ?config:Vmht.Config.t -> string -> string
 (** Run one experiment by name against [config] (default

@@ -114,6 +114,12 @@ let all =
       run = Abl4.run;
     };
     {
+      name = "abl5";
+      doc = "optimization level: -O0/-O1/-O2 pass schedules";
+      kind = Ablation;
+      run = Abl5.run;
+    };
+    {
       name = "robust";
       doc = "fault injection: recovery overhead, vm vs copy-based";
       kind = Sweep;

@@ -20,7 +20,7 @@ type t = {
 }
 
 val all : t list
-(** In report order: table1..table6, fig1..fig6, abl1..abl4, robust. *)
+(** In report order: table1..table6, fig1..fig6, abl1..abl5, robust. *)
 
 val names : string list
 

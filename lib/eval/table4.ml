@@ -5,7 +5,7 @@ module Table = Vmht_util.Table
 module Workload = Vmht_workloads.Workload
 module Fsm = Vmht_hls.Fsm
 module Bind = Vmht_hls.Bind
-module Passes = Vmht_ir.Passes
+module Pm = Vmht_ir.Pass_manager
 
 let run base =
   let table =
@@ -13,8 +13,8 @@ let run base =
       ~title:"Table 4: synthesis flow statistics per kernel"
       ~headers:
         [
-          "kernel"; "IR in"; "IR out"; "folds"; "cse"; "licm"; "dce"; "states";
-          "FUs"; "regs"; "synth ms";
+          "kernel"; "IR in"; "IR out"; "folds"; "cse"; "st fwd"; "str red";
+          "licm"; "dce"; "states"; "FUs"; "regs"; "synth ms";
         ]
   in
   Common.par_map
@@ -22,14 +22,17 @@ let run base =
       let hw = Common.synthesize ~config:base Vmht.Wrapper.Vm_iface w in
       let stats = hw.Vmht.Flow.fsm.Fsm.stats in
       let report = stats.Fsm.opt_report in
+      let rw pass = string_of_int (Pm.rewrites report pass) in
       [
         w.Workload.name;
-        string_of_int report.Passes.instrs_before;
-        string_of_int report.Passes.instrs_after;
-        string_of_int report.Passes.folds;
-        string_of_int report.Passes.cses;
-        string_of_int report.Passes.licms;
-        string_of_int report.Passes.dces;
+        string_of_int report.Pm.instrs_before;
+        string_of_int report.Pm.instrs_after;
+        rw "const_fold";
+        rw "cse";
+        rw "store_forward";
+        rw "strength_reduce";
+        rw "licm";
+        rw "dce";
         string_of_int stats.Fsm.states;
         string_of_int (Bind.total_fus hw.Vmht.Flow.fsm.Fsm.binding);
         string_of_int stats.Fsm.reg_count;

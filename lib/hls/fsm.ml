@@ -2,7 +2,7 @@ module Ast = Vmht_lang.Ast
 module Typecheck = Vmht_lang.Typecheck
 module Ir = Vmht_ir.Ir
 module Lower = Vmht_ir.Lower
-module Passes = Vmht_ir.Passes
+module Pass_manager = Vmht_ir.Pass_manager
 module Ast_unroll = Vmht_ir.Ast_unroll
 
 type stats = {
@@ -10,7 +10,7 @@ type stats = {
   blocks : int;
   states : int;
   reg_count : int;
-  opt_report : Passes.pipeline_report;
+  opt_report : Pass_manager.report;
   unrolled_loops : int;
   pipelined_loops : int;
 }
@@ -38,11 +38,11 @@ let datapath_area (binding : Bind.t) ~states =
        (Optypes.fsm_area ~states))
 
 let synthesize ?(resources = Schedule.default_resources) ?(unroll = 1)
-    ?(pipeline = false) kernel =
+    ?(pipeline = false) ?schedule:opt_schedule kernel =
   Typecheck.check_kernel kernel;
   let kernel', unrolled_loops = Ast_unroll.unroll_kernel ~factor:unroll kernel in
   let func = Lower.lower_kernel kernel' in
-  let opt_report = Passes.optimize func in
+  let opt_report = Pass_manager.optimize ?schedule:opt_schedule func in
   let schedule = Schedule.schedule_func ~resources func in
   let binding = Bind.bind schedule in
   let states = Schedule.total_states schedule in
@@ -87,4 +87,4 @@ let stats_to_string s =
      unrolled, %d pipelined; %s"
     s.ir_instrs s.blocks s.states s.reg_count s.unrolled_loops
     s.pipelined_loops
-    (Passes.report_to_string s.opt_report)
+    (Pass_manager.report_to_string s.opt_report)

@@ -10,7 +10,7 @@ type stats = {
   blocks : int;
   states : int;
   reg_count : int;
-  opt_report : Vmht_ir.Passes.pipeline_report;
+  opt_report : Vmht_ir.Pass_manager.report;
   unrolled_loops : int;
   pipelined_loops : int;
 }
@@ -31,11 +31,13 @@ val synthesize :
   ?resources:Schedule.resources ->
   ?unroll:int ->
   ?pipeline:bool ->
+  ?schedule:Vmht_ir.Pass_manager.schedule ->
   Vmht_lang.Ast.kernel ->
   t
-(** The HLS flow: typecheck, (optionally) unroll, lower, optimize,
-    schedule, bind, and estimate datapath area.  Raises
-    {!Vmht_lang.Loc.Error} on ill-typed input. *)
+(** The HLS flow: typecheck, (optionally) unroll, lower, optimize under
+    [schedule] (default {!Vmht_ir.Pass_manager.o2}), schedule, bind,
+    and estimate datapath area.  Raises {!Vmht_lang.Loc.Error} on
+    ill-typed input. *)
 
 val datapath_area : Bind.t -> states:int -> Optypes.area
 (** FU area + register file + controller; no memory interface. *)

@@ -3,17 +3,33 @@ module Labelset = Set.Make (Int)
 type t = { doms : (Ir.label, Labelset.t) Hashtbl.t }
 
 let compute (f : Ir.func) =
+  (* The dataflow runs over the reachable subgraph only: an edge from
+     an unreachable block must not take part in a meet, or it would
+     empty the dominator set of its (reachable) target.  Unreachable
+     blocks get the singleton {b} — nothing dominates code no path
+     executes, and no spurious back edge appears from them. *)
+  let entry_label = (Ir.entry f).Ir.label in
+  let reach = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reach l) then begin
+      Hashtbl.replace reach l ();
+      List.iter visit (Ir.successors (Ir.find_block f l).term)
+    end
+  in
+  visit entry_label;
   let all =
     List.fold_left
-      (fun acc b -> Labelset.add b.Ir.label acc)
+      (fun acc (b : Ir.block) ->
+        if Hashtbl.mem reach b.label then Labelset.add b.label acc else acc)
       Labelset.empty f.blocks
   in
-  let entry_label = (Ir.entry f).Ir.label in
   let doms = Hashtbl.create 16 in
   List.iter
     (fun (b : Ir.block) ->
       Hashtbl.replace doms b.label
         (if b.label = entry_label then Labelset.singleton entry_label
+         else if not (Hashtbl.mem reach b.label) then
+           Labelset.singleton b.label
          else all))
     f.blocks;
   let preds = Ir.predecessors f in
@@ -22,13 +38,14 @@ let compute (f : Ir.func) =
     changed := false;
     List.iter
       (fun (b : Ir.block) ->
-        if b.label <> entry_label then begin
+        if b.label <> entry_label && Hashtbl.mem reach b.label then begin
           let pred_labels =
-            Option.value ~default:[] (Hashtbl.find_opt preds b.label)
+            List.filter (Hashtbl.mem reach)
+              (Option.value ~default:[] (Hashtbl.find_opt preds b.label))
           in
           let meet =
             match pred_labels with
-            | [] -> Labelset.singleton b.label (* unreachable *)
+            | [] -> Labelset.empty (* cannot happen: b is reachable *)
             | p :: rest ->
               List.fold_left
                 (fun acc q -> Labelset.inter acc (Hashtbl.find doms q))

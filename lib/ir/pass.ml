@@ -1,0 +1,26 @@
+type kind = Scalar | Memory | Loop | Cfg | Cleanup
+
+type t = { name : string; doc : string; kind : kind; run : Ir.func -> int }
+
+let kind_name = function
+  | Scalar -> "scalar"
+  | Memory -> "memory"
+  | Loop -> "loop"
+  | Cfg -> "cfg"
+  | Cleanup -> "cleanup"
+
+(* Registration order is the presentation order in listings, so keep a
+   list rather than a table.  Registration happens at module-init time
+   (single-domain), so no locking is needed. *)
+let registry : t list ref = ref []
+
+let register p =
+  if List.exists (fun q -> q.name = p.name) !registry then
+    invalid_arg (Printf.sprintf "Pass.register: duplicate pass %S" p.name);
+  registry := !registry @ [ p ]
+
+let all () = !registry
+
+let find name = List.find_opt (fun p -> p.name = name) !registry
+
+let names () = List.map (fun p -> p.name) !registry

@@ -336,67 +336,295 @@ let simplify_cfg (f : Ir.func) =
   let c3 = merge_chains f in
   c1 + c2 + c3
 
+
 (* ------------------------------------------------------------------ *)
-(* Pipeline                                                            *)
+(* Store-to-load forwarding                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Block-local: remember, per address operand, the last value known to
+   be in memory at that address (from a store, or from a prior load).
+   A later load from the same operand becomes a [Mov].  Any store
+   clobbers the whole table first — two syntactically different address
+   operands may alias — and any redefinition drops entries that mention
+   the redefined register on either side. *)
+let store_forward (f : Ir.func) =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let table : (Ir.operand, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate d =
+        let mentions = function
+          | Ir.Reg r -> r = d
+          | Ir.Imm _ -> false
+        in
+        let stale =
+          Hashtbl.fold
+            (fun a v acc -> if mentions a || mentions v then a :: acc else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      b.instrs <-
+        List.map
+          (fun instr ->
+            let instr' =
+              match instr with
+              | Ir.Load (d, a) -> (
+                match Hashtbl.find_opt table a with
+                | Some v when v <> Ir.Reg d ->
+                  incr changed;
+                  Ir.Mov (d, v)
+                | Some _ | None -> instr)
+              | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Store _ -> instr
+            in
+            (match Ir.def_of instr' with
+             | Some d -> invalidate d
+             | None -> ());
+            (match instr' with
+             | Ir.Store (a, v) ->
+               Hashtbl.reset table;
+               Hashtbl.replace table a v
+             | Ir.Load (d, a) -> Hashtbl.replace table a (Ir.Reg d)
+             | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> ());
+            instr')
+          b.instrs)
+    f.blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction / addressing-mode simplification                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Collapse add/subtract-immediate chains so pointer-increment address
+   arithmetic reads straight off the base pointer: with [s = base + k]
+   known, [d = s + n] becomes [d = base + (k+n)].  Entries resolve to
+   the chain root when recorded, so every rewrite jumps directly to the
+   root and the pass converges in one application per chain. *)
+let fold_offsets (f : Ir.func) =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      (* reg -> (base operand, constant offset) with reg = base + offset *)
+      let table : (Ir.reg, Ir.operand * int) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate d =
+        Hashtbl.remove table d;
+        let stale =
+          Hashtbl.fold
+            (fun r (base, _) acc -> if base = Ir.Reg d then r :: acc else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      b.instrs <-
+        List.map
+          (fun instr ->
+            let base_offset = function
+              | Ir.Reg s -> (
+                match Hashtbl.find_opt table s with
+                | Some entry -> Some entry
+                | None -> Some (Ir.Reg s, 0))
+              | Ir.Imm _ -> None
+            in
+            let instr' =
+              match instr with
+              | Ir.Bin (Vmht_lang.Ast.Add, d, Ir.Reg s, Ir.Imm n)
+              | Ir.Bin (Vmht_lang.Ast.Add, d, Ir.Imm n, Ir.Reg s) -> (
+                match Hashtbl.find_opt table s with
+                | Some (base, k) ->
+                  incr changed;
+                  Ir.Bin (Vmht_lang.Ast.Add, d, base, Ir.Imm (k + n))
+                | None -> instr)
+              | Ir.Bin (Vmht_lang.Ast.Sub, d, Ir.Reg s, Ir.Imm n) -> (
+                match Hashtbl.find_opt table s with
+                | Some (base, k) ->
+                  incr changed;
+                  Ir.Bin (Vmht_lang.Ast.Sub, d, base, Ir.Imm (n - k))
+                | None -> instr)
+              | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Load _ | Ir.Store _ ->
+                instr
+            in
+            (match Ir.def_of instr' with
+             | Some d -> invalidate d
+             | None -> ());
+            (match instr' with
+             | Ir.Bin (Vmht_lang.Ast.Add, d, a, Ir.Imm n)
+             | Ir.Bin (Vmht_lang.Ast.Add, d, Ir.Imm n, a) -> (
+               match base_offset a with
+               (* [d = d + n] must not be recorded: the base refers to
+                  the pre-redefinition value of [d]. *)
+               | Some (base, k) when base <> Ir.Reg d ->
+                 Hashtbl.replace table d (base, k + n)
+               | Some _ | None -> ())
+             | Ir.Bin (Vmht_lang.Ast.Sub, d, a, Ir.Imm n) -> (
+               match base_offset a with
+               | Some (base, k) when base <> Ir.Reg d ->
+                 Hashtbl.replace table d (base, k - n)
+               | Some _ | None -> ())
+             | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Load _ | Ir.Store _ -> ());
+            instr')
+          b.instrs)
+    f.blocks;
+  !changed
+
+(* Multiplications by [2^k +- 1] become a shift plus an add/sub; the
+   power-of-two case is already handled by {!const_fold}. *)
+let shift_add_constant n =
+  if n < 3 then None
+  else
+    let k = Vmht_util.Bits.log2 n in
+    if n = (1 lsl k) + 1 then Some (k, Ast.Add)
+    else if k + 1 <= 62 && n = (1 lsl (k + 1)) - 1 then Some (k + 1, Ast.Sub)
+    else None
+
+let reduce_muls (f : Ir.func) =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.instrs <-
+        List.concat_map
+          (fun instr ->
+            match instr with
+            | Ir.Bin (Ast.Mul, d, x, Ir.Imm n)
+            | Ir.Bin (Ast.Mul, d, Ir.Imm n, x) -> (
+              match shift_add_constant n with
+              | Some (k, op) ->
+                incr changed;
+                let t = Ir.fresh_reg f in
+                [
+                  Ir.Bin (Ast.Shl, t, x, Ir.Imm k);
+                  Ir.Bin (op, d, Ir.Reg t, x);
+                ]
+              | None -> [ instr ])
+            | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Load _ | Ir.Store _ ->
+              [ instr ])
+          b.instrs)
+    f.blocks;
+  !changed
+
+let strength_reduce (f : Ir.func) = fold_offsets f + reduce_muls f
+
+(* ------------------------------------------------------------------ *)
+(* Copy coalescing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite [t = op ...; d = t] (adjacent, t dead afterwards) so the
+   operation defines [d] directly.  Loop bodies lower every mutable
+   variable through such a temporary ([s = s + x] becomes [t = s + x;
+   s = t]), so each coalesced pair removes one datapath operation per
+   iteration — on a latency-bound pointer chase, the only fat there
+   is. *)
+let with_def instr d =
+  match instr with
+  | Ir.Bin (op, _, a, c) -> Ir.Bin (op, d, a, c)
+  | Ir.Un (op, _, a) -> Ir.Un (op, d, a)
+  | Ir.Mov (_, a) -> Ir.Mov (d, a)
+  | Ir.Load (_, a) -> Ir.Load (d, a)
+  | Ir.Store _ -> invalid_arg "with_def: Store defines nothing"
+
+let coalesce (f : Ir.func) =
+  let changed = ref 0 in
+  let info = Liveness.compute f in
+  List.iter
+    (fun (b : Ir.block) ->
+      (* Cross-block liveness of [b] is unaffected by the rewrites (the
+         pair defines [d] in [b] either way and [t] never escapes), so
+         [live_out] stays valid while the block mutates. *)
+      let live_out = Liveness.live_out info b.Ir.label in
+      let used_after rest t =
+        List.exists (fun i -> List.mem t (Ir.uses_of i)) rest
+        || List.mem t (Ir.term_uses b.term)
+        || Liveness.Regset.mem t live_out
+      in
+      let rec rewrite = function
+        | instr :: Ir.Mov (d, Ir.Reg t) :: rest
+          when Ir.def_of instr = Some t && t <> d && not (used_after rest t)
+          ->
+          incr changed;
+          rewrite (with_def instr d :: rest)
+        | instr :: rest -> instr :: rewrite rest
+        | [] -> []
+      in
+      b.instrs <- rewrite b.instrs)
+    f.blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let licm = Licm.run
 
-type pipeline_report = {
-  iterations : int;
-  folds : int;
-  copies : int;
-  cses : int;
-  licms : int;
-  dces : int;
-  cfg_simplifications : int;
-  instrs_before : int;
-  instrs_after : int;
-}
+let registered = ref false
 
-let optimize (f : Ir.func) =
-  let instrs_before = Ir.instr_count f in
-  let folds = ref 0 in
-  let copies = ref 0 in
-  let cses = ref 0 in
-  let licms = ref 0 in
-  let dces = ref 0 in
-  let cfgs = ref 0 in
-  let iterations = ref 0 in
-  let max_iterations = 20 in
-  let rec go () =
-    incr iterations;
-    let c1 = const_fold f in
-    let c2 = copy_prop f in
-    let c3 = cse f in
-    let c6 = licm f in
-    let c4 = dce f in
-    let c5 = simplify_cfg f in
-    Ir.validate f;
-    folds := !folds + c1;
-    copies := !copies + c2;
-    cses := !cses + c3;
-    licms := !licms + c6;
-    dces := !dces + c4;
-    cfgs := !cfgs + c5;
-    if c1 + c2 + c3 + c4 + c5 + c6 > 0 && !iterations < max_iterations then go ()
-  in
-  go ();
-  {
-    iterations = !iterations;
-    folds = !folds;
-    copies = !copies;
-    cses = !cses;
-    licms = !licms;
-    dces = !dces;
-    cfg_simplifications = !cfgs;
-    instrs_before;
-    instrs_after = Ir.instr_count f;
-  }
-
-let report_to_string r =
-  Printf.sprintf
-    "opt: %d iter(s), fold=%d copy=%d cse=%d licm=%d dce=%d cfg=%d, instrs %d \
-     -> %d"
-    r.iterations r.folds r.copies r.cses r.licms r.dces r.cfg_simplifications
-    r.instrs_before r.instrs_after
+let register_builtins () =
+  if not !registered then begin
+    registered := true;
+    List.iter Pass.register
+      [
+        {
+          Pass.name = "const_fold";
+          doc =
+            "fold constant operations, algebraic identities, and \
+             constant branches";
+          kind = Pass.Scalar;
+          run = const_fold;
+        };
+        {
+          Pass.name = "copy_prop";
+          doc = "propagate Mov sources into later uses (block-local)";
+          kind = Pass.Scalar;
+          run = copy_prop;
+        };
+        {
+          Pass.name = "cse";
+          doc =
+            "share repeated pure computations and repeated loads \
+             (block-local value numbering)";
+          kind = Pass.Scalar;
+          run = cse;
+        };
+        {
+          Pass.name = "store_forward";
+          doc =
+            "forward stored values to later loads from the same \
+             address, skipping the memory port";
+          kind = Pass.Memory;
+          run = store_forward;
+        };
+        {
+          Pass.name = "strength_reduce";
+          doc =
+            "collapse add-immediate address chains; multiply by 2^k+-1 \
+             via shift and add/sub";
+          kind = Pass.Memory;
+          run = strength_reduce;
+        };
+        {
+          Pass.name = "licm";
+          doc = "hoist loop-invariant computations into a preheader";
+          kind = Pass.Loop;
+          run = licm;
+        };
+        {
+          Pass.name = "coalesce";
+          doc =
+            "fold [t = op; d = t] pairs so the operation writes its destination directly";
+          kind = Pass.Cleanup;
+          run = coalesce;
+        };
+        {
+          Pass.name = "dce";
+          doc = "delete pure instructions whose results are never used";
+          kind = Pass.Cleanup;
+          run = dce;
+        };
+        {
+          Pass.name = "simplify_cfg";
+          doc =
+            "thread trivial jumps, drop unreachable blocks, merge \
+             single-predecessor chains";
+          kind = Pass.Cfg;
+          run = simplify_cfg;
+        };
+      ]
+  end

@@ -2,8 +2,12 @@
 
     Every pass preserves observable semantics (the property test suite
     checks each one against the IR interpreter on random programs) and
-    returns how many rewrites it performed, so the pipeline can iterate
-    to a fixpoint and report per-pass statistics. *)
+    returns how many rewrites it performed, so {!Pass_manager} can
+    iterate a schedule to a fixpoint and report per-pass statistics.
+
+    The functions below are also exposed directly for tests; production
+    callers go through the {!Pass} registry ({!register_builtins}) and
+    {!Pass_manager}. *)
 
 val const_fold : Ir.func -> int
 (** Fold constant operations and algebraic identities:
@@ -19,31 +23,39 @@ val cse : Ir.func -> int
 (** Block-local value numbering over pure operations; identical loads
     from the same address are shared until a store intervenes. *)
 
+val store_forward : Ir.func -> int
+(** Block-local store-to-load forwarding: a [Load] from an address a
+    preceding [Store] wrote (with no intervening store and no
+    redefinition of the registers involved) becomes a [Mov] of the
+    stored value, removing a round trip through the memory port — under
+    virtual memory, potentially a TLB miss and a page walk. *)
+
+val strength_reduce : Ir.func -> int
+(** Strength reduction and addressing-mode simplification for
+    pointer-chase address arithmetic: collapse chains of
+    add/subtract-immediate address computations ([(p+8)+8 -> p+16]) so
+    each access needs one addition from the base pointer, and rewrite
+    multiplications by [2^k +- 1] into a shift and an add/sub. *)
+
+val coalesce : Ir.func -> int
+(** Fold adjacent [t = op ...; d = t] pairs (with [t] dead afterwards)
+    into a single operation defining [d] — undoes the per-assignment
+    temporaries lowering introduces in loop bodies. *)
+
 val licm : Ir.func -> int
 (** Loop-invariant code motion (see {!Licm}); returns hoisted count. *)
 
 val dce : Ir.func -> int
 (** Global liveness-based dead-code elimination of pure instructions
-    (iterated internally to a fixpoint). *)
+    (iterated internally to a fixpoint).  [Load]s are pure here: the
+    memories have no read side effects, so a load whose result is dead
+    is deleted. *)
 
 val simplify_cfg : Ir.func -> int
 (** Delete unreachable blocks, thread trivial jumps, and merge blocks
     joined by an unconditional edge with a unique predecessor. *)
 
-type pipeline_report = {
-  iterations : int;
-  folds : int;
-  copies : int;
-  cses : int;
-  licms : int;
-  dces : int;
-  cfg_simplifications : int;
-  instrs_before : int;
-  instrs_after : int;
-}
-
-val optimize : Ir.func -> pipeline_report
-(** Run all passes to a joint fixpoint (bounded), validating the IR
-    after each iteration. *)
-
-val report_to_string : pipeline_report -> string
+val register_builtins : unit -> unit
+(** Register every pass above in the {!Pass} registry.  Idempotent;
+    invoked from {!Pass_manager}'s module initializer so linking any
+    pass-manager consumer populates the registry. *)

@@ -20,6 +20,7 @@ type kind =
   | Fault_retry of { target : string; fault : string; attempt : int }
   | Fault_abort of { target : string; fault : string }
   | Fault_recover of { target : string; fault : string; attempt : int }
+  | Pass_run of { pass : string; rewrites : int; kernel : string }
   | Note of string
 
 type t = { at : int; duration : int; component : string; kind : kind }
@@ -48,6 +49,7 @@ let label = function
   | Fault_retry _ -> "fault_retry"
   | Fault_abort _ -> "fault_abort"
   | Fault_recover _ -> "fault_recover"
+  | Pass_run _ -> "pass_run"
   | Note _ -> "note"
 
 let args = function
@@ -83,6 +85,12 @@ let args = function
       ("fault", Json.String fault);
       ("attempt", Json.Int attempt);
     ]
+  | Pass_run { pass; rewrites; kernel } ->
+    [
+      ("pass", Json.String pass);
+      ("rewrites", Json.Int rewrites);
+      ("kernel", Json.String kernel);
+    ]
   | Note s -> [ ("note", Json.String s) ]
 
 let kind_to_string = function
@@ -117,6 +125,8 @@ let kind_to_string = function
     Printf.sprintf "fault_abort %s@%s" fault target
   | Fault_recover { target; fault; attempt } ->
     Printf.sprintf "fault_recover %s@%s (attempt %d)" fault target attempt
+  | Pass_run { pass; rewrites; kernel } ->
+    Printf.sprintf "pass_run %s on %s (%d rewrites)" pass kernel rewrites
   | Note s -> s
 
 let to_string e =

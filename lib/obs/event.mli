@@ -37,6 +37,9 @@ type kind =
       (** unrecoverable at component level; the owning thread re-runs *)
   | Fault_recover of { target : string; fault : string; attempt : int }
       (** thread-level recovery completed after [attempt] re-runs *)
+  | Pass_run of { pass : string; rewrites : int; kernel : string }
+      (** one optimizer pass applied during synthesis of [kernel];
+          reported when the synthesized thread is launched *)
   | Note of string  (** escape hatch for ad-hoc annotations *)
 
 type t = {

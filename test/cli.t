@@ -30,6 +30,7 @@ paths a user hits first.
     abl2     ablation  TLB organization: associativity and replacement
     abl3     ablation  datapath parallelism: unroll x memory ports
     abl4     ablation  loop pipelining on vs off, achieved II
+    abl5     ablation  optimization level: -O0/-O1/-O2 pass schedules
     robust   sweep     fault injection: recovery overhead, vm vs copy-based
 
 Compile a kernel and show the optimized IR:
@@ -43,7 +44,7 @@ Compile a kernel and show the optimized IR:
   > }
   > EOF
   $ vmht compile vecadd.htl
-  ; opt: 3 iter(s), fold=0 copy=2 cse=2 licm=0 dce=3 cfg=0, instrs 15 -> 12
+  ; opt[O2]: 3 iter(s), const_fold=0 copy_prop=2 cse=2 store_forward=0 strength_reduce=0 licm=0 dce=3 coalesce=1 simplify_cfg=0, instrs 15 -> 11
   func vecadd(r0, r1, r2, r3)
   L0:
     r4 = 0
@@ -60,12 +61,52 @@ Compile a kernel and show the optimized IR:
     r13 = mem[r12]
     r14 = r10 + r13
     mem[r7] = r14
-    r15 = r4 + 1
-    r4 = r15
+    r4 = r4 + 1
     jmp L1
   L3:
     ret
   
+
+The pass registry is user-visible: every optimization is listed with
+its kind and documentation, plus the -O presets:
+
+  $ vmht passes
+  passes:
+    const_fold       scalar   fold constant operations, algebraic identities, and constant branches
+    copy_prop        scalar   propagate Mov sources into later uses (block-local)
+    cse              scalar   share repeated pure computations and repeated loads (block-local value numbering)
+    store_forward    memory   forward stored values to later loads from the same address, skipping the memory port
+    strength_reduce  memory   collapse add-immediate address chains; multiply by 2^k+-1 via shift and add/sub
+    licm             loop     hoist loop-invariant computations into a preheader
+    coalesce         cleanup  fold [t = op; d = t] pairs so the operation writes its destination directly
+    dce              cleanup  delete pure instructions whose results are never used
+    simplify_cfg     cfg      thread trivial jumps, drop unreachable blocks, merge single-predecessor chains
+  presets:
+    -O0   (none)
+    -O1   const_fold, copy_prop, dce, simplify_cfg
+    -O2   const_fold, copy_prop, cse, store_forward, strength_reduce, licm, dce, coalesce, simplify_cfg
+
+-O0 skips the optimizer entirely (note the duplicated init the
+frontend emits):
+
+  $ vmht compile vecadd.htl --opt-level 0 | head -6
+  ; opt[O0]: 0 iter(s), no passes, instrs 15 -> 15
+  func vecadd(r0, r1, r2, r3)
+  L0:
+    r4 = 0
+    r4 = 0
+    jmp L1
+
+A custom schedule runs exactly the passes named, in order:
+
+  $ vmht compile vecadd.htl --passes const_fold,dce | head -1
+  ; opt[custom:const_fold,dce]: 2 iter(s), const_fold=0 dce=1, instrs 15 -> 14
+
+Unknown pass names are rejected up front:
+
+  $ vmht compile vecadd.htl --passes nope
+  error: Config.schedule: unknown pass "nope" (known: const_fold, copy_prop, cse, store_forward, strength_reduce, licm, coalesce, dce, simplify_cfg)
+  [1]
 
 Syntax errors carry positions and exit with the front-end code (2):
 
@@ -118,10 +159,10 @@ System composition against a device budget:
   $ vmht system pair.htl --copies 2
   system design on zynq-7020: FITS
     2x square         [vm]  LUT=1691 FF=2332 DSP=16 BRAM=2 each, MMIO from 0x40000000
-    2x sumsq          [vm]  LUT=2289 FF=2740 DSP=16 BRAM=2 each, MMIO from 0x40002000
+    2x sumsq          [vm]  LUT=2376 FF=2740 DSP=16 BRAM=2 each, MMIO from 0x40002000
     static infrastructure: LUT=2100 FF=2600 DSP=0 BRAM=4
-    total: LUT=10060 FF=12744 DSP=64 BRAM=12
-    LUT    18.9%
+    total: LUT=10234 FF=12744 DSP=64 BRAM=12
+    LUT    19.2%
     FF     12.0%
     DSP    29.1%
     BRAM    4.3%
@@ -175,4 +216,4 @@ the typed event stream:
   [     973] dma          dma_write x64 (+213)
 
   $ vmht trace vecadd --mode vm --size 64 --out t2.json
-  662 events written to t2.json
+  671 events written to t2.json

@@ -31,7 +31,7 @@ let vecadd_kernel =
 
 let schedule_of ?resources kernel =
   let f = Vmht_ir.Lower.lower_kernel kernel in
-  ignore (Vmht_ir.Passes.optimize f);
+  ignore (Vmht_ir.Pass_manager.optimize f);
   Schedule.schedule_func ?resources f
 
 let test_schedule_valid () =
@@ -222,7 +222,7 @@ let prop_schedule_always_valid =
     seed_arb (fun seed ->
       let kernel = Gen_prog.gen_kernel seed in
       let f = Vmht_ir.Lower.lower_kernel kernel in
-      ignore (Vmht_ir.Passes.optimize f);
+      ignore (Vmht_ir.Pass_manager.optimize f);
       let s = Schedule.schedule_func f in
       match Schedule.validate s with () -> true | exception Failure _ -> false)
 

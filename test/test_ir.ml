@@ -101,8 +101,8 @@ let test_const_fold_keeps_div_by_zero () =
 
 let test_const_fold_branch () =
   let f = compile "kernel f() : int { if (1 < 2) { return 5; } return 6; }" in
-  let r = Passes.optimize f in
-  check_bool "branch folded away" true (r.Passes.folds > 0);
+  let r = Pass_manager.optimize f in
+  check_bool "branch folded away" true (Pass_manager.rewrites r "const_fold" > 0);
   let data = [| 0 |] in
   check_bool "returns 5" true (ir_run f ~data ~args:[] = Some 5)
 
@@ -111,7 +111,7 @@ let test_cse_shares_loads () =
     compile "kernel f(p: int*) : int { return p[3] + p[3]; }"
   in
   let before = Ir.instr_count f in
-  ignore (Passes.optimize f);
+  ignore (Pass_manager.optimize f);
   let after = Ir.instr_count f in
   check_bool "fewer instructions" true (after < before);
   let data = Array.init 8 (fun i -> 10 * i) in
@@ -122,7 +122,7 @@ let test_cse_respects_stores () =
     compile
       "kernel f(p: int*) : int { var x: int = p[0]; p[0] = x + 1; return x + p[0]; }"
   in
-  ignore (Passes.optimize f);
+  ignore (Pass_manager.optimize f);
   let data = [| 5 |] in
   check_bool "load not shared across store" true
     (ir_run f ~data ~args:[ 0 ] = Some 11)
@@ -161,9 +161,10 @@ let test_optimize_pipeline_report () =
           return s;
         }|}
   in
-  let r = Passes.optimize f in
-  check_bool "some folds" true (r.Passes.folds > 0);
-  check_bool "instrs reduced" true (r.Passes.instrs_after < r.Passes.instrs_before);
+  let r = Pass_manager.optimize f in
+  check_bool "some folds" true (Pass_manager.rewrites r "const_fold" > 0);
+  check_bool "instrs reduced" true
+    (r.Pass_manager.instrs_after < r.Pass_manager.instrs_before);
   let data = Array.init 8 (fun i -> i + 1) in
   check_bool "sum preserved" true (ir_run f ~data ~args:[ 0; 8 ] = Some 36)
 
@@ -260,7 +261,7 @@ let prop_optimization_preserves_semantics =
       let a = seed mod 23 and b = seed mod 19 in
       let f_plain = Lower.lower_kernel kernel in
       let f_opt = Lower.lower_kernel kernel in
-      ignore (Passes.optimize f_opt);
+      ignore (Pass_manager.optimize f_opt);
       let data1 = Array.init Gen_prog.mem_words (fun i -> (i * 37) mod 101) in
       let data2 = Array.copy data1 in
       let r1 = ir_run f_plain ~data:data1 ~args:[ 0; a; b ] in
@@ -282,7 +283,7 @@ let prop_validate_after_optimize =
     seed_arb (fun seed ->
       let kernel = Gen_prog.gen_kernel seed in
       let f = Lower.lower_kernel kernel in
-      ignore (Passes.optimize f);
+      ignore (Pass_manager.optimize f);
       match Ir.validate f with () -> true | exception Failure _ -> false)
 
 let suite =

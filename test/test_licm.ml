@@ -143,11 +143,11 @@ let test_licm_improves_mmul_schedule () =
   let src = (Vmht_workloads.Registry.find "mmul").Vmht_workloads.Workload.source in
   let without = compile src in
   let with_licm = compile src in
-  ignore (Passes.optimize with_licm);
+  ignore (Pass_manager.optimize with_licm);
   (* optimize includes licm; compare dynamic cycles through the accel. *)
   ignore without;
-  let report = Passes.optimize (compile src) in
-  check_bool "licm fired on mmul" true (report.Passes.licms > 0)
+  let report = Pass_manager.optimize (compile src) in
+  check_bool "licm fired on mmul" true (Pass_manager.rewrites report "licm" > 0)
 
 let prop_licm_preserves_semantics =
   QCheck.Test.make ~count:150 ~name:"LICM preserves semantics"
@@ -170,7 +170,7 @@ let prop_licm_then_pipeline_valid =
     (fun seed ->
       let kernel = Gen_prog.gen_kernel seed in
       let f = Lower.lower_kernel kernel in
-      ignore (Passes.optimize f);
+      ignore (Pass_manager.optimize f);
       match Ir.validate f with () -> true | exception Failure _ -> false)
 
 let suite =

@@ -1,0 +1,373 @@
+open Vmht_ir
+module Ast_interp = Vmht_lang.Ast_interp
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let ir_run f ~data ~args = Ir_interp.run (Ast_interp.array_memory data) f ~args
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+(* ---------------------- registry ----------------------------------- *)
+
+let test_registry_populated () =
+  let names = Pass.names () in
+  List.iter
+    (fun n ->
+      check_bool (n ^ " registered") true (List.mem n names);
+      match Pass.find n with
+      | Some p -> check_bool (n ^ " documented") true (p.Pass.doc <> "")
+      | None -> Alcotest.fail (n ^ " not found"))
+    [
+      "const_fold"; "copy_prop"; "cse"; "store_forward"; "strength_reduce";
+      "licm"; "dce"; "coalesce"; "simplify_cfg";
+    ]
+
+let test_register_rejects_duplicates () =
+  match
+    Pass.register
+      { Pass.name = "dce"; doc = "dup"; kind = Pass.Cleanup; run = (fun _ -> 0) }
+  with
+  | () -> Alcotest.fail "duplicate registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_of_names_round_trip () =
+  match Pass_manager.of_names [ "dce"; "const_fold" ] with
+  | Ok sched ->
+    check_bool "order kept" true
+      (List.map (fun (p : Pass.t) -> p.Pass.name) sched.Pass_manager.passes
+      = [ "dce"; "const_fold" ]);
+    check_bool "named" true
+      (sched.Pass_manager.sname = "custom:dce,const_fold")
+  | Error msg -> Alcotest.fail msg
+
+let test_of_names_unknown () =
+  match Pass_manager.of_names [ "const_fold"; "nope" ] with
+  | Ok _ -> Alcotest.fail "unknown pass accepted"
+  | Error msg ->
+    check_bool "names the culprit" true (contains ~sub:"nope" msg)
+
+let test_fingerprint_tracks_schedule () =
+  let base = Vmht.Config.default in
+  let fp c = Vmht.Config.fingerprint c in
+  check_bool "opt level changes fingerprint" true
+    (fp (Vmht.Config.with_opt_level base 0) <> fp base);
+  check_bool "custom passes change fingerprint" true
+    (fp (Vmht.Config.with_passes base (Some [ "dce" ])) <> fp base);
+  check_bool "pass order changes fingerprint" true
+    (fp (Vmht.Config.with_passes base (Some [ "dce"; "cse" ]))
+    <> fp (Vmht.Config.with_passes base (Some [ "cse"; "dce" ])))
+
+(* ---------------------- verifier ----------------------------------- *)
+
+let block_with f label instrs term =
+  let b = Ir.add_block f label in
+  b.Ir.instrs <- instrs;
+  b.Ir.term <- term;
+  b
+
+let test_verify_accepts_lowered () =
+  let f =
+    Lower.lower_kernel
+      (Vmht_lang.Parser.parse_kernel
+         "kernel f(x: int) : int { return x + 1; }")
+  in
+  Verify.run f
+
+let test_verify_rejects_undefined_reg () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r = Ir.fresh_reg f in
+  (* r2 is never defined anywhere. *)
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [ Ir.Mov (r, Ir.Reg 2) ]
+       (Ir.Ret (Some (Ir.Reg r))));
+  f.Ir.next_reg <- 3;
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "use of undefined register accepted"
+  | Error _ -> ()
+
+let test_verify_rejects_dangling_target () =
+  let f = Ir.create_func ~name:"f" ~arg_count:0 ~returns_value:false in
+  ignore (block_with f (Ir.fresh_label f) [] (Ir.Jmp 99));
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "jump to missing block accepted"
+  | Error _ -> ()
+
+let test_verify_rejects_ret_arity () =
+  let f = Ir.create_func ~name:"f" ~arg_count:0 ~returns_value:true in
+  ignore (block_with f (Ir.fresh_label f) [] (Ir.Ret None));
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "bare ret from value-returning function accepted"
+  | Error _ -> ()
+
+(* ---------------------- simplify_cfg edge cases -------------------- *)
+
+let test_cfg_unreachable_self_loop () =
+  let f = Ir.create_func ~name:"f" ~arg_count:0 ~returns_value:false in
+  let l0 = Ir.fresh_label f in
+  let l1 = Ir.fresh_label f in
+  ignore (block_with f l0 [] (Ir.Ret None));
+  (* Unreachable block that is its own predecessor: the "has a unique
+     predecessor" and "no predecessors" heuristics both miss it; only
+     reachability can delete it. *)
+  ignore (block_with f l1 [] (Ir.Jmp l1));
+  let n = Passes.simplify_cfg f in
+  check_bool "rewrote" true (n > 0);
+  check_int "self-loop removed" 1 (Ir.block_count f);
+  Verify.run f
+
+let test_cfg_thread_into_merged () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  let r2 = Ir.fresh_reg f in
+  let l0 = Ir.fresh_label f in
+  let l1 = Ir.fresh_label f in
+  let l2 = Ir.fresh_label f in
+  (* l0 -> l1 (empty forwarder) -> l2: threading the jump gives l2 a
+     unique predecessor, which lets the chain merge into one block. *)
+  ignore (block_with f l0 [ Ir.Mov (r1, Ir.Imm 5) ] (Ir.Jmp l1));
+  ignore (block_with f l1 [] (Ir.Jmp l2));
+  ignore
+    (block_with f l2
+       [ Ir.Bin (Vmht_lang.Ast.Add, r2, Ir.Reg r1, Ir.Reg 0) ]
+       (Ir.Ret (Some (Ir.Reg r2))));
+  let rec fix () = if Passes.simplify_cfg f > 0 then fix () in
+  fix ();
+  Verify.run f;
+  check_int "merged to one block" 1 (Ir.block_count f);
+  check_bool "semantics kept" true
+    (ir_run f ~data:[| 0 |] ~args:[ 37 ] = Some 42)
+
+(* ---------------------- dce on loads ------------------------------- *)
+
+let test_dce_deletes_dead_load () =
+  let f = Ir.create_func ~name:"f" ~arg_count:0 ~returns_value:false in
+  let r = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f) [ Ir.Load (r, Ir.Imm 0) ] (Ir.Ret None));
+  check_bool "rewrote" true (Passes.dce f > 0);
+  check_int "dead load removed" 0 (Ir.instr_count f);
+  Verify.run f
+
+let test_dce_keeps_load_feeding_store () =
+  let f = Ir.create_func ~name:"f" ~arg_count:0 ~returns_value:false in
+  let r = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [ Ir.Load (r, Ir.Imm 0); Ir.Store (Ir.Imm 8, Ir.Reg r) ]
+       (Ir.Ret None));
+  check_int "nothing removed" 0 (Passes.dce f);
+  check_int "both instrs kept" 2 (Ir.instr_count f)
+
+(* ---------------------- memory / scalar pass units ----------------- *)
+
+let test_store_forward_hit () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [ Ir.Store (Ir.Reg 0, Ir.Imm 42); Ir.Load (r1, Ir.Reg 0) ]
+       (Ir.Ret (Some (Ir.Reg r1))));
+  check_int "one forward" 1 (Passes.store_forward f);
+  (match (Ir.entry f).Ir.instrs with
+  | [ Ir.Store _; Ir.Mov (d, Ir.Imm 42) ] -> check_int "dest" r1 d
+  | _ -> Alcotest.fail "load not rewritten to mov");
+  Verify.run f;
+  check_bool "still stores and returns 42" true
+    (let data = [| 0 |] in
+     ir_run f ~data ~args:[ 0 ] = Some 42 && data.(0) = 42)
+
+let test_store_forward_blocked_by_store () =
+  let f = Ir.create_func ~name:"f" ~arg_count:2 ~returns_value:true in
+  let r2 = Ir.fresh_reg f in
+  (* The second store may alias the first address, so the load must
+     stay a load. *)
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [
+         Ir.Store (Ir.Reg 0, Ir.Imm 1);
+         Ir.Store (Ir.Reg 1, Ir.Imm 2);
+         Ir.Load (r2, Ir.Reg 0);
+       ]
+       (Ir.Ret (Some (Ir.Reg r2))));
+  check_int "no forward" 0 (Passes.store_forward f);
+  check_bool "aliasing store wins" true
+    (ir_run f ~data:[| 0; 0 |] ~args:[ 0; 0 ] = Some 2)
+
+let test_strength_reduce_mul () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [ Ir.Bin (Vmht_lang.Ast.Mul, r1, Ir.Reg 0, Ir.Imm 5) ]
+       (Ir.Ret (Some (Ir.Reg r1))));
+  check_bool "rewrote" true (Passes.strength_reduce f > 0);
+  Verify.run f;
+  check_bool "no multiply left" true
+    (List.for_all
+       (function Ir.Bin (Vmht_lang.Ast.Mul, _, _, _) -> false | _ -> true)
+       (Ir.entry f).Ir.instrs);
+  check_bool "x*5 = 35" true (ir_run f ~data:[| 0 |] ~args:[ 7 ] = Some 35)
+
+let test_strength_reduce_offset_chain () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  let r2 = Ir.fresh_reg f in
+  let r3 = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [
+         Ir.Bin (Vmht_lang.Ast.Add, r1, Ir.Reg 0, Ir.Imm 8);
+         Ir.Bin (Vmht_lang.Ast.Add, r2, Ir.Reg r1, Ir.Imm 8);
+         Ir.Load (r3, Ir.Reg r2);
+       ]
+       (Ir.Ret (Some (Ir.Reg r3))));
+  check_bool "rewrote" true (Passes.strength_reduce f > 0);
+  Verify.run f;
+  check_bool "chain folded to base+16" true
+    (List.exists
+       (function
+         | Ir.Bin (Vmht_lang.Ast.Add, d, Ir.Reg 0, Ir.Imm 16) -> d = r2
+         | _ -> false)
+       (Ir.entry f).Ir.instrs);
+  check_bool "loads m[2]" true
+    (ir_run f ~data:[| 0; 0; 99 |] ~args:[ 0 ] = Some 99)
+
+let test_coalesce_folds_pair () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  let r2 = Ir.fresh_reg f in
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [
+         Ir.Bin (Vmht_lang.Ast.Add, r1, Ir.Reg 0, Ir.Imm 1);
+         Ir.Mov (r2, Ir.Reg r1);
+       ]
+       (Ir.Ret (Some (Ir.Reg r2))));
+  check_int "one fold" 1 (Passes.coalesce f);
+  Verify.run f;
+  (match (Ir.entry f).Ir.instrs with
+  | [ Ir.Bin (Vmht_lang.Ast.Add, d, Ir.Reg 0, Ir.Imm 1) ] ->
+    check_int "op writes mov dest" r2 d
+  | _ -> Alcotest.fail "pair not folded");
+  check_bool "x+1" true (ir_run f ~data:[| 0 |] ~args:[ 6 ] = Some 7)
+
+let test_coalesce_keeps_live_temp () =
+  let f = Ir.create_func ~name:"f" ~arg_count:1 ~returns_value:true in
+  let r1 = Ir.fresh_reg f in
+  let r2 = Ir.fresh_reg f in
+  let r3 = Ir.fresh_reg f in
+  (* r1 is read again after the mov, so the pair must survive. *)
+  ignore
+    (block_with f (Ir.fresh_label f)
+       [
+         Ir.Bin (Vmht_lang.Ast.Add, r1, Ir.Reg 0, Ir.Imm 1);
+         Ir.Mov (r2, Ir.Reg r1);
+         Ir.Bin (Vmht_lang.Ast.Add, r3, Ir.Reg r1, Ir.Reg r2);
+       ]
+       (Ir.Ret (Some (Ir.Reg r3))));
+  check_int "no fold" 0 (Passes.coalesce f);
+  check_bool "2*(x+1)" true (ir_run f ~data:[| 0 |] ~args:[ 4 ] = Some 10)
+
+(* ---------------------- qcheck: differential ----------------------- *)
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000)
+
+let fresh_data () = Array.init Gen_prog.mem_words (fun i -> (i * 37) mod 101)
+
+let differential kernel ~args transform =
+  let f_plain = Lower.lower_kernel kernel in
+  let f_opt = Lower.lower_kernel kernel in
+  transform f_opt;
+  Verify.run f_opt;
+  let d1 = fresh_data () and d2 = fresh_data () in
+  let r1 = ir_run f_plain ~data:d1 ~args in
+  let r2 = ir_run f_opt ~data:d2 ~args in
+  r1 = r2 && d1 = d2
+
+let prop_each_pass_preserves_semantics =
+  QCheck.Test.make ~count:150
+    ~name:"every registered pass preserves interpreter results" seed_arb
+    (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let args = [ 0; seed mod 23; seed mod 19 ] in
+      List.for_all
+        (fun (p : Pass.t) ->
+          differential kernel ~args (fun f -> ignore (p.Pass.run f)))
+        (Pass.all ()))
+
+let prop_each_preset_preserves_semantics =
+  QCheck.Test.make ~count:150
+    ~name:"-O0/-O1/-O2 schedules preserve interpreter results" seed_arb
+    (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let args = [ 0; seed mod 29; seed mod 31 ] in
+      List.for_all
+        (fun level ->
+          differential kernel ~args (fun f ->
+              ignore
+                (Pass_manager.optimize
+                   ~schedule:(Pass_manager.of_opt_level level)
+                   f)))
+        [ 0; 1; 2 ])
+
+let prop_verifier_accepts_all_pass_output =
+  (* [Pass_manager.run] re-verifies after every single pass application
+     (and raises on failure), so one full -O2 run checks the verifier
+     against each intermediate IR, not just the final one. *)
+  QCheck.Test.make ~count:1000
+    ~name:"verifier accepts IR after every pass (1000 programs)" seed_arb
+    (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let f = Lower.lower_kernel kernel in
+      Verify.run f;
+      match Pass_manager.optimize f with
+      | (_ : Pass_manager.report) -> true
+      | exception Failure _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "registry: builtins present" `Quick
+      test_registry_populated;
+    Alcotest.test_case "registry: duplicate rejected" `Quick
+      test_register_rejects_duplicates;
+    Alcotest.test_case "schedule: of_names round trip" `Quick
+      test_of_names_round_trip;
+    Alcotest.test_case "schedule: unknown pass error" `Quick
+      test_of_names_unknown;
+    Alcotest.test_case "schedule: in config fingerprint" `Quick
+      test_fingerprint_tracks_schedule;
+    Alcotest.test_case "verify: accepts lowered IR" `Quick
+      test_verify_accepts_lowered;
+    Alcotest.test_case "verify: undefined register" `Quick
+      test_verify_rejects_undefined_reg;
+    Alcotest.test_case "verify: dangling branch target" `Quick
+      test_verify_rejects_dangling_target;
+    Alcotest.test_case "verify: ret arity" `Quick test_verify_rejects_ret_arity;
+    Alcotest.test_case "cfg: unreachable self-loop" `Quick
+      test_cfg_unreachable_self_loop;
+    Alcotest.test_case "cfg: thread into merged block" `Quick
+      test_cfg_thread_into_merged;
+    Alcotest.test_case "dce: deletes dead load" `Quick
+      test_dce_deletes_dead_load;
+    Alcotest.test_case "dce: keeps load feeding store" `Quick
+      test_dce_keeps_load_feeding_store;
+    Alcotest.test_case "store_forward: forwards" `Quick test_store_forward_hit;
+    Alcotest.test_case "store_forward: aliasing store blocks" `Quick
+      test_store_forward_blocked_by_store;
+    Alcotest.test_case "strength_reduce: mul by 5" `Quick
+      test_strength_reduce_mul;
+    Alcotest.test_case "strength_reduce: offset chain" `Quick
+      test_strength_reduce_offset_chain;
+    Alcotest.test_case "coalesce: folds pair" `Quick test_coalesce_folds_pair;
+    Alcotest.test_case "coalesce: keeps live temp" `Quick
+      test_coalesce_keeps_live_temp;
+    QCheck_alcotest.to_alcotest prop_each_pass_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_each_preset_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_verifier_accepts_all_pass_output;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("lang", Test_lang.suite);
       ("inline", Test_inline.suite);
       ("ir", Test_ir.suite);
+      ("passes", Test_passes.suite);
       ("licm", Test_licm.suite);
       ("hls", Test_hls.suite);
       ("pipeliner", Test_pipeliner.suite);

@@ -1,0 +1,19 @@
+open Vmht_ir
+
+let () =
+  (* f(p) = let p' = mem[p]; x = mem[p']; return x  — written with a
+     self-load: p = load p; x = load p; ret x *)
+  let f = Ir.create_func ~name:"chase" ~arg_count:1 ~returns_value:true in
+  let x = Ir.fresh_reg f in
+  let b = { Ir.label = 0; instrs = [ Ir.Load (0, Ir.Reg 0); Ir.Load (x, Ir.Reg 0) ];
+            term = Ir.Ret (Some (Ir.Reg x)) } in
+  f.Ir.blocks <- [ b ];
+  f.Ir.next_label <- 1;
+  let mem () = Vmht_lang.Ast_interp.array_memory (Array.of_list [ 2; 99; 7; 42 ]) in
+  let before = Ir_interp.run (mem ()) f ~args:[ 0 ] in
+  let n = Passes.store_forward f in
+  let after = Ir_interp.run (mem ()) f ~args:[ 0 ] in
+  Printf.printf "rewrites=%d before=%s after=%s\n" n
+    (match before with Some v -> string_of_int v | None -> "none")
+    (match after with Some v -> string_of_int v | None -> "none");
+  print_string (Ir.func_to_string f)

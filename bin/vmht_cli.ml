@@ -189,6 +189,24 @@ let run_cmd =
   in
   let size = Arg.(value & opt (some int) None & info [ "size" ]) in
   let tlb = Arg.(value & opt (some int) None & info [ "tlb" ]) in
+  let tlb2 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tlb2" ] ~docv:"ENTRIES"
+          ~doc:
+            "Enable the SoC-shared second-level TLB with $(docv) entries \
+             (4-way, LRU, 2-cycle probe).")
+  in
+  let walk_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "walk-cache" ] ~docv:"ENTRIES"
+          ~doc:
+            "Give each MMU's walker a $(docv)-slot page-walk cache (0 \
+             disables).")
+  in
   let page_shift = Arg.(value & opt (some int) None & info [ "page-shift" ]) in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print the full system report.")
@@ -222,8 +240,8 @@ let run_cmd =
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
-  let action wname mode size tlb page_shift stats trace_n trace_out
-      metrics_json pipeline opt_level passes =
+  let action wname mode size tlb tlb2 walk_cache page_shift stats trace_n
+      trace_out metrics_json pipeline opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
@@ -233,6 +251,18 @@ let run_cmd =
       let config =
         match tlb with
         | Some entries -> Vmht.Config.with_tlb_entries config entries
+        | None -> config
+      in
+      let config =
+        match tlb2 with
+        | Some entries ->
+          Vmht.Config.with_tlb2 config
+            { Vmht_vm.Tlb2.default_config with Vmht_vm.Tlb2.enabled = true; entries }
+        | None -> config
+      in
+      let config =
+        match walk_cache with
+        | Some entries -> Vmht.Config.with_walk_cache config entries
         | None -> config
       in
       let config =
@@ -341,8 +371,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
     Term.(
-      const action $ workload_arg $ mode $ size $ tlb $ page_shift $ stats
-      $ trace_n $ trace_out $ metrics_json $ pipeline $ opt_level_arg
+      const action $ workload_arg $ mode $ size $ tlb $ tlb2 $ walk_cache
+      $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ pipeline
+      $ opt_level_arg
       $ passes_arg)
 
 (* ------------------------- trace ---------------------------------- *)
@@ -387,7 +418,21 @@ let trace_cmd =
             "Write the (filtered) events as Chrome-trace JSON instead of \
              text.")
   in
-  let action wname mode size component kind limit out =
+  let tlb2 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tlb2" ] ~docv:"ENTRIES"
+          ~doc:"Enable the shared second-level TLB with $(docv) entries.")
+  in
+  let walk_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "walk-cache" ] ~docv:"ENTRIES"
+          ~doc:"Give each page-table walker a $(docv)-entry walk cache.")
+  in
+  let action wname mode size tlb2 walk_cache component kind limit out =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
@@ -396,7 +441,23 @@ let trace_cmd =
       let size =
         Option.value ~default:w.Vmht_workloads.Workload.default_size size
       in
-      let o = Vmht_eval.Common.run ~observe:true mode w ~size in
+      let config =
+        match tlb2 with
+        | Some entries ->
+          Vmht.Config.with_tlb2 Vmht.Config.default
+            {
+              Vmht_vm.Tlb2.default_config with
+              Vmht_vm.Tlb2.enabled = true;
+              entries;
+            }
+        | None -> Vmht.Config.default
+      in
+      let config =
+        match walk_cache with
+        | Some entries -> Vmht.Config.with_walk_cache config entries
+        | None -> config
+      in
+      let o = Vmht_eval.Common.run ~config ~observe:true mode w ~size in
       let tr = Vmht.Soc.trace o.Vmht_eval.Common.soc in
       let keep (e : Vmht_obs.Event.t) =
         (match component with
@@ -440,8 +501,8 @@ let trace_cmd =
          "Run a workload with event observation on and dump or export its \
           typed trace.")
     Term.(
-      const action $ workload_arg $ mode $ size $ component $ kind $ limit
-      $ out)
+      const action $ workload_arg $ mode $ size $ tlb2 $ walk_cache
+      $ component $ kind $ limit $ out)
 
 (* ------------------------- system --------------------------------- *)
 
@@ -558,6 +619,7 @@ let bench_cmd =
     let config = config_with_opt config opt_level passes in
     with_schedule config @@ fun sched ->
     Vmht_ir.Pass_manager.reset_totals ();
+    Vmht_vm.Vm_totals.reset ();
     let ran = ref [] in
     let run_one = function
       | "all" ->
@@ -632,6 +694,23 @@ let bench_cmd =
                          ("rewrites", Json.Int rewrites);
                        ])
                    (Vmht_ir.Pass_manager.totals ())) );
+            ( "vm",
+              let tot = Vmht_vm.Vm_totals.totals () in
+              Json.Obj
+                [
+                  ("tlb2.lookups", Json.Int tot.Vmht_vm.Vm_totals.tlb2_lookups);
+                  ("tlb2.hits", Json.Int tot.Vmht_vm.Vm_totals.tlb2_hits);
+                  ( "tlb2.misses",
+                    Json.Int
+                      (tot.Vmht_vm.Vm_totals.tlb2_lookups
+                     - tot.Vmht_vm.Vm_totals.tlb2_hits) );
+                  ( "tlb2.evictions",
+                    Json.Int tot.Vmht_vm.Vm_totals.tlb2_evictions );
+                  ( "walk_cache.hits",
+                    Json.Int tot.Vmht_vm.Vm_totals.walk_cache_hits );
+                  ( "walk_cache.misses",
+                    Json.Int tot.Vmht_vm.Vm_totals.walk_cache_misses );
+                ] );
             ( "mismatches",
               Json.List (List.map (fun s -> Json.String s) mismatches) );
             ("exit_code", Json.Int code);

@@ -10,6 +10,7 @@ type t = {
   pipeline_loops : bool;
   accel_mem_ports : int;
   mmu : Vmht_vm.Mmu.config;
+  tlb2 : Vmht_vm.Tlb2.config;
   accel_stream_buffer : Vmht_mem.Cache.config;
   scratchpad_words : int;
   dma_setup_cycles : int;
@@ -36,6 +37,7 @@ let default =
     pipeline_loops = false;
     accel_mem_ports = 2;
     mmu = Vmht_vm.Mmu.default_config;
+    tlb2 = Vmht_vm.Tlb2.default_config;
     (* The VM wrapper's stream buffer: a small write-back cache that
        turns streaming word accesses into bus bursts.  Copy-based
        wrappers get the same effect from their scratchpad. *)
@@ -65,6 +67,11 @@ let with_tlb_entries t entries =
     }
   in
   { t with mmu }
+
+let with_tlb2 t tlb2 = { t with tlb2 }
+
+let with_walk_cache t entries =
+  { t with mmu = { t.mmu with Vmht_vm.Mmu.walk_cache_entries = entries } }
 
 let with_page_shift t page_shift = { t with page_shift }
 
@@ -136,7 +143,17 @@ let fingerprint (t : t) =
    f m.Vmht_vm.Mmu.hw_walk;
    i m.Vmht_vm.Mmu.tlb_hit_cycles;
    i m.Vmht_vm.Mmu.sw_refill_penalty;
-   i m.Vmht_vm.Mmu.fault_penalty);
+   i m.Vmht_vm.Mmu.fault_penalty;
+   i m.Vmht_vm.Mmu.walk_cache_entries);
+  (let l2 = t.tlb2 in
+   f l2.Vmht_vm.Tlb2.enabled;
+   i l2.Vmht_vm.Tlb2.entries;
+   i l2.Vmht_vm.Tlb2.assoc;
+   Buffer.add_string b
+     (match l2.Vmht_vm.Tlb2.policy with
+      | Vmht_vm.Tlb.Lru -> "lru;"
+      | Vmht_vm.Tlb.Fifo -> "fifo;");
+   i l2.Vmht_vm.Tlb2.hit_cycles);
   cache t.accel_stream_buffer;
   i t.scratchpad_words;
   i t.dma_setup_cycles;

@@ -18,6 +18,9 @@ type t = {
   accel_mem_ports : int; (** concurrent outstanding accesses per thread *)
   (* --- VM interface wrapper --- *)
   mmu : Vmht_vm.Mmu.config;
+  tlb2 : Vmht_vm.Tlb2.config;
+      (** SoC-shared second-level TLB, probed by every MMU on an L1
+          miss; disabled by default *)
   accel_stream_buffer : Vmht_mem.Cache.config;
       (** small line buffer between the wrapper and the bus, so
           streaming accesses become bursts *)
@@ -45,6 +48,11 @@ val default : t
 
 val with_tlb_entries : t -> int -> t
 (** Convenience for the TLB sweep: same config, different TLB size. *)
+
+val with_tlb2 : t -> Vmht_vm.Tlb2.config -> t
+
+val with_walk_cache : t -> int -> t
+(** Size every MMU's page-walk cache (0 disables). *)
 
 val with_page_shift : t -> int -> t
 

@@ -8,6 +8,7 @@ module Frame_alloc = Vmht_vm.Frame_alloc
 module Addr_space = Vmht_vm.Addr_space
 module Mmu = Vmht_vm.Mmu
 module Tlb = Vmht_vm.Tlb
+module Tlb2 = Vmht_vm.Tlb2
 module Ptw = Vmht_vm.Ptw
 module Cpu = Vmht_cpu.Cpu
 module Accel = Vmht_hls.Accel
@@ -30,6 +31,8 @@ type t = {
   frames : Frame_alloc.t;
   aspace : Addr_space.t;
   cpu : Cpu.t;
+  tlb2 : Tlb2.t option; (* one shared second-level TLB for all MMUs *)
+  mutable vm_flushed : Vmht_vm.Vm_totals.totals;
   mutable mmu_list : Mmu.t list;
   mutable next_asid : int;
   trace : Vmht_sim.Trace.t;
@@ -73,6 +76,11 @@ let create (config : Config.t) =
       frames;
       aspace;
       cpu;
+      tlb2 =
+        (if config.Config.tlb2.Tlb2.enabled then
+           Some (Tlb2.create config.Config.tlb2)
+         else None);
+      vm_flushed = Vmht_vm.Vm_totals.zero;
       mmu_list = [];
       next_asid = 1;
       trace = Vmht_sim.Trace.create ();
@@ -191,7 +199,7 @@ let enable_tracing t =
 
 let make_mmu ?aspace t =
   let space, asid = Option.value ~default:(t.aspace, 0) aspace in
-  let mmu = Mmu.create ~asid t.config.Config.mmu t.bus space in
+  let mmu = Mmu.create ~asid ?tlb2:t.tlb2 t.config.Config.mmu t.bus space in
   t.mmu_list <- mmu :: t.mmu_list;
   (* Late-created MMUs join an already-enabled trace. *)
   if t.observing then Mmu.set_observer mmu (emitter t ~component:"mmu");
@@ -211,8 +219,24 @@ let create_process t =
   t.next_asid <- asid + 1;
   (space, asid)
 
+(* A shootdown must reach every structure that may hold the dying
+   translation: each MMU's L1, the shared L2 (conservatively across
+   ASIDs — the shared level cannot know who aliases the page), and the
+   walk caches of the MMUs translating this space, whose memoized
+   level-1 entry dies with the (possibly freed) level-2 table.  Walk
+   caches are probed before the unmap clears the table, while
+   [walk_addrs] still names the live level-1 entry. *)
 let unmap_page t space ~vaddr =
+  List.iter
+    (fun mmu ->
+      if Mmu.address_space mmu == space then
+        Mmu.invalidate_walk_cache_page mmu ~vaddr)
+    t.mmu_list;
   Vmht_vm.Page_table.unmap (Addr_space.page_table space) ~vaddr;
+  let vpn = vaddr lsr t.config.Config.page_shift in
+  (match t.tlb2 with
+  | Some l2 -> Tlb2.invalidate_vpn l2 ~vpn
+  | None -> ());
   List.iter (fun mmu -> Mmu.invalidate_page mmu ~vaddr) t.mmu_list
 
 (* The VM wrapper's data path: translate through the thread's private
@@ -291,6 +315,31 @@ let scratchpad_port pad =
 
 let mmus t = t.mmu_list
 
+let tlb2 t = t.tlb2
+
+(* Push this SoC's translation-hierarchy counters into the process-wide
+   totals as a delta since the previous flush, so the launcher can call
+   this after every completed run without double counting. *)
+let flush_vm_totals t =
+  let module V = Vmht_vm.Vm_totals in
+  let s =
+    match t.tlb2 with
+    | Some l2 -> Tlb2.stats l2
+    | None -> { Tlb.lookups = 0; hits = 0; evictions = 0 }
+  in
+  let sum f = List.fold_left (fun acc m -> acc + f (Mmu.ptw_stats m)) 0 t.mmu_list in
+  let cur =
+    {
+      V.tlb2_lookups = s.Tlb.lookups;
+      tlb2_hits = s.Tlb.hits;
+      tlb2_evictions = s.Tlb.evictions;
+      walk_cache_hits = sum (fun p -> p.Ptw.walk_cache_hits);
+      walk_cache_misses = sum (fun p -> p.Ptw.walk_cache_misses);
+    }
+  in
+  V.add (V.sub cur t.vm_flushed);
+  t.vm_flushed <- cur
+
 let fault_stats t =
   List.fold_left
     (fun acc inj -> Fi.add_stats acc (Fi.stats inj))
@@ -324,6 +373,19 @@ let sync_metrics t =
     (sum (fun m -> (Mmu.ptw_stats m).Ptw.level_reads) t.mmu_list);
   c "ptw.failed_walks"
     (sum (fun m -> (Mmu.ptw_stats m).Ptw.failed_walks) t.mmu_list);
+  (let s =
+     match t.tlb2 with
+     | Some l2 -> Tlb2.stats l2
+     | None -> { Tlb.lookups = 0; hits = 0; evictions = 0 }
+   in
+   c "tlb2.lookups" s.Tlb.lookups;
+   c "tlb2.hits" s.Tlb.hits;
+   c "tlb2.misses" (s.Tlb.lookups - s.Tlb.hits);
+   c "tlb2.evictions" s.Tlb.evictions);
+  c "walk_cache.hits"
+    (sum (fun m -> (Mmu.ptw_stats m).Ptw.walk_cache_hits) t.mmu_list);
+  c "walk_cache.misses"
+    (sum (fun m -> (Mmu.ptw_stats m).Ptw.walk_cache_misses) t.mmu_list);
   let b = Bus.stats t.bus in
   c "bus.reads" b.Bus.reads;
   c "bus.writes" b.Bus.writes;

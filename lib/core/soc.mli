@@ -49,9 +49,12 @@ val create_process : t -> Vmht_vm.Addr_space.t * int
     physical frame pool) with a fresh ASID. *)
 
 val unmap_page : t -> Vmht_vm.Addr_space.t -> vaddr:int -> unit
-(** Unmap a page and shoot the translation down from every registered
-    MMU — the coherence step a real kernel performs with IPIs.  Timed
-    when called in process context is the caller's concern (charge
+(** Unmap a page (returning its frame, see {!Vmht_vm.Page_table.unmap})
+    and shoot the translation down from every structure that may hold
+    it: each registered MMU's L1 TLB, the shared L2 TLB, and the walk
+    caches of the MMUs serving this space — the coherence step a real
+    kernel performs with IPIs.  Timed when called in process context is
+    the caller's concern (charge
     {!Config.t.cache_maintenance_cycles}-class costs as appropriate);
     the bookkeeping itself is immediate. *)
 
@@ -75,6 +78,15 @@ val make_scratchpad : ?words:int -> t -> Vmht_mem.Scratchpad.t * Vmht_mem.Dma.t
 val scratchpad_port : Vmht_mem.Scratchpad.t -> Vmht_hls.Accel.port
 
 val mmus : t -> Vmht_vm.Mmu.t list
+
+val tlb2 : t -> Vmht_vm.Tlb2.t option
+(** The SoC's shared second-level TLB, when [Config.tlb2.enabled]. *)
+
+val flush_vm_totals : t -> unit
+(** Push this SoC's L2-TLB and walk-cache counters into the
+    process-wide {!Vmht_vm.Vm_totals} sums, as a delta since the last
+    flush (safe to call repeatedly).  The launcher flushes after every
+    completed run. *)
 
 val make_injector : t -> component:string -> Vmht_fault.Injector.t
 (** The fault-injector stream for one component class, drawn from

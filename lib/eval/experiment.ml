@@ -120,6 +120,12 @@ let all =
       run = Abl5.run;
     };
     {
+      name = "abl6";
+      doc = "translation hierarchy: shared L2 TLB and page-walk cache";
+      kind = Ablation;
+      run = Abl6.run;
+    };
+    {
       name = "robust";
       doc = "fault injection: recovery overhead, vm vs copy-based";
       kind = Sweep;

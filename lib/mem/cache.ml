@@ -181,14 +181,17 @@ let write t ~addr ~phys value =
 let flush t =
   Array.iter (fun set -> Array.iter (write_back t) set) t.sets
 
+(* Dirty lines are written back before the kill: silently discarding
+   them would lose stores that never reached memory (the bug class a
+   host invalidate after accelerator completion must not have). *)
 let invalidate_all t =
   t.invalidations <- t.invalidations + 1;
   Array.iter
     (fun set ->
       Array.iter
         (fun l ->
-          l.valid <- false;
-          l.dirty <- false)
+          write_back t l;
+          l.valid <- false)
         set)
     t.sets
 

@@ -48,8 +48,9 @@ val flush : t -> unit
 (** Timed: write every dirty line back over the bus. *)
 
 val invalidate_all : t -> unit
-(** Untimed bookkeeping; discards (clean and dirty) contents — callers
-    flush first when the dirty data must survive. *)
+(** Drop every line, writing dirty ones back first (timed, like
+    {!flush}) — an invalidate must never lose stores.  Free when the
+    cache is clean. *)
 
 val set_observer : t -> Vmht_obs.Event.emitter -> unit
 (** Install an observer receiving a typed

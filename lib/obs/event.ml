@@ -3,6 +3,8 @@ type mem_op = Read | Write
 type kind =
   | Tlb_hit of { vaddr : int; asid : int }
   | Tlb_miss of { vaddr : int; asid : int }
+  | Tlb2_hit of { vaddr : int; asid : int }
+  | Tlb2_miss of { vaddr : int; asid : int }
   | Ptw_walk of { vaddr : int; levels : int }
   | Page_fault of { vaddr : int; asid : int }
   | Bus_txn of { op : mem_op; addr : int; words : int }
@@ -32,6 +34,8 @@ let mem_op_name = function Read -> "read" | Write -> "write"
 let label = function
   | Tlb_hit _ -> "tlb_hit"
   | Tlb_miss _ -> "tlb_miss"
+  | Tlb2_hit _ -> "tlb2_hit"
+  | Tlb2_miss _ -> "tlb2_miss"
   | Ptw_walk _ -> "ptw_walk"
   | Page_fault _ -> "page_fault"
   | Bus_txn _ -> "bus_txn"
@@ -53,7 +57,10 @@ let label = function
   | Note _ -> "note"
 
 let args = function
-  | Tlb_hit { vaddr; asid } | Tlb_miss { vaddr; asid } ->
+  | Tlb_hit { vaddr; asid }
+  | Tlb_miss { vaddr; asid }
+  | Tlb2_hit { vaddr; asid }
+  | Tlb2_miss { vaddr; asid } ->
     [ ("vaddr", Json.Int vaddr); ("asid", Json.Int asid) ]
   | Ptw_walk { vaddr; levels } ->
     [ ("vaddr", Json.Int vaddr); ("levels", Json.Int levels) ]
@@ -98,6 +105,10 @@ let kind_to_string = function
     Printf.sprintf "tlb_hit 0x%06x (asid %d)" vaddr asid
   | Tlb_miss { vaddr; asid } ->
     Printf.sprintf "tlb_miss 0x%06x (asid %d)" vaddr asid
+  | Tlb2_hit { vaddr; asid } ->
+    Printf.sprintf "tlb2_hit 0x%06x (asid %d)" vaddr asid
+  | Tlb2_miss { vaddr; asid } ->
+    Printf.sprintf "tlb2_miss 0x%06x (asid %d)" vaddr asid
   | Ptw_walk { vaddr; levels } ->
     Printf.sprintf "ptw_walk 0x%06x (%d levels)" vaddr levels
   | Page_fault { vaddr; asid } ->

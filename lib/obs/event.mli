@@ -13,6 +13,11 @@ type mem_op = Read | Write
 type kind =
   | Tlb_hit of { vaddr : int; asid : int }
   | Tlb_miss of { vaddr : int; asid : int }
+  | Tlb2_hit of { vaddr : int; asid : int }
+      (** L1 miss answered by the SoC-shared second-level TLB; the
+          duration is the L2 probe latency *)
+  | Tlb2_miss of { vaddr : int; asid : int }
+      (** both TLB levels missed; a page-table walk follows *)
   | Ptw_walk of { vaddr : int; levels : int }
       (** [levels] = page-table levels read during the walk *)
   | Page_fault of { vaddr : int; asid : int }

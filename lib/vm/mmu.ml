@@ -8,6 +8,7 @@ type config = {
   tlb_hit_cycles : int;
   sw_refill_penalty : int;
   fault_penalty : int;
+  walk_cache_entries : int;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     tlb_hit_cycles = 0;
     sw_refill_penalty = 600;
     fault_penalty = 3000;
+    walk_cache_entries = 0;
   }
 
 exception Mmu_fault of int
@@ -37,6 +39,7 @@ type t = {
   bus : Vmht_mem.Bus.t;
   aspace : Addr_space.t;
   tlb : Tlb.t;
+  tlb2 : Tlb2.t option; (* SoC-shared second level, probed on L1 miss *)
   ptw : Ptw.t;
   page_shift : int; (* fixed at creation; cached off the page table *)
   page_mask : int;
@@ -49,7 +52,7 @@ type t = {
   mutable fault : Fi.t option;
 }
 
-let create ?(asid = 0) config bus aspace =
+let create ?(asid = 0) ?tlb2 config bus aspace =
   let page_shift = Page_table.page_shift (Addr_space.page_table aspace) in
   {
     config;
@@ -57,7 +60,10 @@ let create ?(asid = 0) config bus aspace =
     bus;
     aspace;
     tlb = Tlb.create config.tlb;
-    ptw = Ptw.create bus (Addr_space.page_table aspace);
+    tlb2;
+    ptw =
+      Ptw.create ~walk_cache_entries:config.walk_cache_entries bus
+        (Addr_space.page_table aspace);
     page_shift;
     page_mask = (1 lsl page_shift) - 1;
     accesses = 0;
@@ -86,6 +92,31 @@ let page_shift t = t.page_shift
    address space can repair the miss.  Recursion terminates because a
    successful [handle_fault] installs the mapping. *)
 let rec refill t ~vaddr =
+  match probe_tlb2 t ~vaddr with
+  | Some frame -> frame
+  | None -> refill_walk t ~vaddr
+
+(* On an L1 miss, probe the SoC-shared second-level TLB before paying
+   for a walk; a hit refills the L1 directly.  The probe cost is
+   charged either way — the L2 must answer before the walker starts. *)
+and probe_tlb2 t ~vaddr =
+  match t.tlb2 with
+  | None -> None
+  | Some l2 ->
+    let hit_cycles = (Tlb2.config l2).Tlb2.hit_cycles in
+    if hit_cycles > 0 then Engine.wait hit_cycles;
+    let vpn = vaddr lsr t.page_shift in
+    (match Tlb2.lookup ~asid:t.asid l2 ~vpn with
+    | Some entry ->
+      emit t ~duration:hit_cycles
+        (Vmht_obs.Event.Tlb2_hit { vaddr; asid = t.asid });
+      Tlb.insert ~asid:t.asid t.tlb ~vpn entry;
+      Some entry.Tlb.frame
+    | None ->
+      emit t (Vmht_obs.Event.Tlb2_miss { vaddr; asid = t.asid });
+      None)
+
+and refill_walk t ~vaddr =
   let walk_start = Engine.now_p () in
   let reads_before = (Ptw.stats t.ptw).Ptw.level_reads in
   let entry =
@@ -103,8 +134,12 @@ let rec refill t ~vaddr =
        { vaddr; levels = (Ptw.stats t.ptw).Ptw.level_reads - reads_before });
   match entry with
   | Some { Page_table.frame; writable } ->
-    Tlb.insert ~asid:t.asid t.tlb ~vpn:(vaddr lsr page_shift t)
-      { Tlb.frame; writable };
+    let vpn = vaddr lsr page_shift t in
+    let data = { Tlb.frame; writable } in
+    Tlb.insert ~asid:t.asid t.tlb ~vpn data;
+    (match t.tlb2 with
+    | Some l2 -> Tlb2.insert ~asid:t.asid l2 ~vpn data
+    | None -> ());
     frame
   | None ->
     (* Page not present: software fault path (demand paging). *)
@@ -130,7 +165,10 @@ let maybe_shootdown t inj =
       Fi.injected inj ~fault:"tlb_shootdown" ~cycles:0
     end
     else begin
-      Tlb.invalidate_slot t.tlb ~n:(Fi.draw inj t.config.tlb.Tlb.entries);
+      (* Draw over the slots actually built, not the configured entry
+         count — on set-associative geometries the two differ and a
+         larger bound skews invalidation toward low slots. *)
+      Tlb.invalidate_slot t.tlb ~n:(Fi.draw inj (Tlb.slot_count t.tlb));
       Fi.injected inj ~fault:"tlb_invalidate" ~cycles:0
     end
 
@@ -175,6 +213,13 @@ let invalidate_tlb t = Tlb.invalidate_all t.tlb
 
 let invalidate_page t ~vaddr =
   Tlb.invalidate ~asid:t.asid t.tlb ~vpn:(vaddr lsr page_shift t)
+
+let invalidate_walk_cache t = Ptw.invalidate_walk_cache t.ptw
+
+let invalidate_walk_cache_page t ~vaddr =
+  Ptw.invalidate_walk_cache_entry t.ptw ~vaddr
+
+let address_space t = t.aspace
 
 let stats (t : t) : stats =
   {

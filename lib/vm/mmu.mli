@@ -20,11 +20,13 @@ type config = {
   tlb_hit_cycles : int; (** translation pipeline cost on a hit *)
   sw_refill_penalty : int; (** CPU handler cost for a SW TLB refill *)
   fault_penalty : int; (** CPU handler cost for a demand-page fault *)
+  walk_cache_entries : int;
+      (** walker's page-walk-cache slots; 0 disables (see {!Ptw.create}) *)
 }
 
 val default_config : config
 (** 16-entry fully-associative LRU TLB, hardware walker, 1-cycle hits,
-    600-cycle software refills, 3000-cycle page faults. *)
+    600-cycle software refills, 3000-cycle page faults, no walk cache. *)
 
 exception Mmu_fault of int
 (** Access to an address the owning address space cannot repair. *)
@@ -39,9 +41,13 @@ type stats = {
 
 type t
 
-val create : ?asid:int -> config -> Vmht_mem.Bus.t -> Addr_space.t -> t
+val create :
+  ?asid:int -> ?tlb2:Tlb2.t -> config -> Vmht_mem.Bus.t -> Addr_space.t -> t
 (** [asid] tags this thread's TLB entries (default 0); threads serving
-    different address spaces must carry distinct ASIDs. *)
+    different address spaces must carry distinct ASIDs.  [tlb2] shares
+    a second-level TLB with the other MMUs of the SoC: an L1 miss pays
+    the L2 probe latency, a hit refills the L1 without walking, and a
+    successful walk fills both levels. *)
 
 val asid : t -> int
 
@@ -70,6 +76,16 @@ val invalidate_tlb : t -> unit
 
 val invalidate_page : t -> vaddr:int -> unit
 (** Drop one translation (the per-page half of a TLB shootdown). *)
+
+val invalidate_walk_cache : t -> unit
+
+val invalidate_walk_cache_page : t -> vaddr:int -> unit
+(** Drop the walker's memo for [vaddr]'s level-1 entry — required when
+    the page (or its level-2 table) is unmapped, since freed table
+    frames are reused. *)
+
+val address_space : t -> Addr_space.t
+(** The address space this MMU translates for. *)
 
 val stats : t -> stats
 

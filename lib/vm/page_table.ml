@@ -101,9 +101,23 @@ let unmap t ~vaddr =
   | Some table ->
     let entry_addr = table + (l2_index t vaddr * Phys_mem.word_bytes) in
     (match decode t (Phys_mem.read t.mem entry_addr) with
-     | Some _ ->
+     | Some { frame; _ } ->
        Phys_mem.write t.mem entry_addr 0;
-       t.mapped <- t.mapped - 1
+       t.mapped <- t.mapped - 1;
+       (* Return the data frame, and the level-2 table itself once its
+          last entry is gone — otherwise map/unmap churn leaks physical
+          memory until Out_of_frames. *)
+       Frame_alloc.free t.frames frame;
+       let entries = 1 lsl t.l2_bits in
+       let rec empty i =
+         i >= entries
+         || Phys_mem.read t.mem (table + (i * Phys_mem.word_bytes)) = 0
+            && empty (i + 1)
+       in
+       if empty 0 then begin
+         Phys_mem.write t.mem (l1_entry_addr t vaddr) 0;
+         Frame_alloc.free t.frames table
+       end
      | None -> ())
 
 let lookup t ~vaddr =

@@ -35,7 +35,11 @@ val map : t -> vaddr:int -> frame:int -> writable:bool -> unit
     already has a valid entry. *)
 
 val unmap : t -> vaddr:int -> unit
-(** Clears the entry; no-op if not mapped. *)
+(** Clears the entry and returns the data frame to the allocator; once
+    the page's level-2 table holds no more valid entries, the table
+    frame is freed too and the level-1 entry cleared.  No-op if not
+    mapped.  Callers owning TLBs or walk caches must shoot them down —
+    freed frames are eligible for immediate reuse. *)
 
 val lookup : t -> vaddr:int -> entry option
 (** Untimed functional walk (what a TLB refill ultimately returns). *)

@@ -6,11 +6,24 @@
 
 type t
 
-type stats = { walks : int; level_reads : int; failed_walks : int }
+type stats = {
+  walks : int;
+  level_reads : int;
+  failed_walks : int;
+  walk_cache_hits : int;
+  walk_cache_misses : int;
+}
 
 val create :
-  ?per_level_overhead:int -> Vmht_mem.Bus.t -> Page_table.t -> t
-(** Default per-level overhead: 2 cycles. *)
+  ?per_level_overhead:int ->
+  ?walk_cache_entries:int ->
+  Vmht_mem.Bus.t ->
+  Page_table.t ->
+  t
+(** Default per-level overhead: 2 cycles.  [walk_cache_entries] sizes a
+    direct-mapped page-walk cache over level-1 entries; a hit skips the
+    L1 bus read so a warm two-level walk issues one read instead of
+    two.  Default 0 = disabled. *)
 
 val set_fault : t -> Vmht_fault.Injector.t -> unit
 (** Attach a fault injector: per-level stalls ([walk_stall]) and
@@ -18,5 +31,12 @@ val set_fault : t -> Vmht_fault.Injector.t -> unit
 
 val walk : t -> vaddr:int -> Page_table.entry option
 (** Timed walk.  [None] means the translation is absent (page fault). *)
+
+val invalidate_walk_cache : t -> unit
+(** Drop every memoized level-1 entry (full shootdown). *)
+
+val invalidate_walk_cache_entry : t -> vaddr:int -> unit
+(** Drop the memo covering [vaddr]'s level-1 entry, if present — part
+    of an unmap shootdown, since the freed table frame may be reused. *)
 
 val stats : t -> stats

@@ -29,8 +29,16 @@ type t = {
 
 let create config =
   if config.entries <= 0 then invalid_arg "Tlb.create: no entries";
+  if config.assoc < 0 then invalid_arg "Tlb.create: negative associativity";
+  if config.assoc > 0 && config.entries mod config.assoc <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Tlb.create: %d entries do not divide into %d-way sets (capacity \
+          would silently shrink to %d)"
+         config.entries config.assoc
+         (config.entries / config.assoc * config.assoc));
   let ways = if config.assoc = 0 then config.entries else config.assoc in
-  let n_sets = max 1 (config.entries / ways) in
+  let n_sets = config.entries / ways in
   {
     config;
     sets =
@@ -98,10 +106,17 @@ let insert ?(asid = 0) t ~vpn entry =
   let n = Array.length slots in
   (* Reuse the slot if the page is already present; otherwise take an
      invalid slot, else evict the policy victim. *)
-  let slot =
-    let i = find_slot slots ~vpn ~asid in
-    if i >= 0 then slots.(i)
-    else begin
+  let i = find_slot slots ~vpn ~asid in
+  if i >= 0 then begin
+    (* Refreshing a resident page only replaces the payload: under FIFO
+       the slot keeps its original insertion stamp (a rewrite is not a
+       re-arrival), under LRU the touch counts as a use. *)
+    let slot = slots.(i) in
+    slot.data <- entry;
+    if t.lru then slot.stamp <- t.clock
+  end
+  else begin
+    let slot =
       let rec first_invalid i =
         if i >= n then -1
         else if not slots.(i).valid then i
@@ -117,17 +132,22 @@ let insert ?(asid = 0) t ~vpn entry =
         t.evictions <- t.evictions + 1;
         !victim
       end
-    end
-  in
-  slot.valid <- true;
-  slot.asid <- asid;
-  slot.vpn <- vpn;
-  slot.data <- entry;
-  slot.stamp <- t.clock
+    in
+    slot.valid <- true;
+    slot.asid <- asid;
+    slot.vpn <- vpn;
+    slot.data <- entry;
+    slot.stamp <- t.clock
+  end
 
 let invalidate ?(asid = 0) t ~vpn =
   Array.iter
     (fun s -> if s.valid && s.vpn = vpn && s.asid = asid then s.valid <- false)
+    (set_of t vpn)
+
+let invalidate_vpn t ~vpn =
+  Array.iter
+    (fun s -> if s.valid && s.vpn = vpn then s.valid <- false)
     (set_of t vpn)
 
 let invalidate_asid t ~asid =
@@ -148,6 +168,8 @@ let invalidate_slot t ~n =
     let ways = Array.length t.sets.(0) in
     t.sets.(n / ways).(n mod ways).valid <- false
   end
+
+let slot_count t = Array.length t.sets * Array.length t.sets.(0)
 
 let stats (t : t) : stats =
   { lookups = t.lookups; hits = t.hits; evictions = t.evictions }

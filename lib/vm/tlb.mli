@@ -22,6 +22,9 @@ type stats = { lookups : int; hits : int; evictions : int }
 type t
 
 val create : config -> t
+(** Raises [Invalid_argument] when [entries] is non-positive or does not
+    divide evenly into [assoc]-way sets — a non-divisible geometry would
+    otherwise silently round the capacity down. *)
 
 val lookup : ?asid:int -> t -> vpn:int -> entry option
 (** Updates recency and hit/miss counters.  Entries are tagged with an
@@ -39,6 +42,11 @@ val insert : ?asid:int -> t -> vpn:int -> entry -> unit
 
 val invalidate : ?asid:int -> t -> vpn:int -> unit
 
+val invalidate_vpn : t -> vpn:int -> unit
+(** Drop every entry for [vpn] regardless of ASID — the conservative
+    shootdown a shared level uses when it cannot know which address
+    spaces alias the page. *)
+
 val invalidate_asid : t -> asid:int -> unit
 (** Drop every entry of one address space (context teardown). *)
 
@@ -48,6 +56,10 @@ val invalidate_slot : t -> n:int -> unit
 (** Drop the [n]-th physical slot (mod capacity), whatever it holds —
     the fault injector's single-entry invalidation.  A no-op when the
     slot is already empty. *)
+
+val slot_count : t -> int
+(** Number of physical slots actually built ([sets * ways]); the valid
+    range for {!invalidate_slot}. *)
 
 val stats : t -> stats
 

@@ -1,0 +1,27 @@
+(** Process-wide translation-hierarchy totals.
+
+    Sums of shared-L2-TLB and page-walk-cache activity across every SoC
+    run since the last {!reset}, accumulated atomically so the numbers
+    are byte-identical at any domain-pool width.  [Soc.flush_vm_totals]
+    feeds them; the bench manifest reports them. *)
+
+type totals = {
+  tlb2_lookups : int;
+  tlb2_hits : int;
+  tlb2_evictions : int;
+  walk_cache_hits : int;
+  walk_cache_misses : int;
+}
+
+val zero : totals
+
+val sub : totals -> totals -> totals
+(** Componentwise difference — used to turn cumulative SoC counters into
+    flush deltas. *)
+
+val add : totals -> unit
+(** Add a delta to the process-wide sums. *)
+
+val totals : unit -> totals
+
+val reset : unit -> unit

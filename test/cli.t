@@ -31,6 +31,7 @@ paths a user hits first.
     abl3     ablation  datapath parallelism: unroll x memory ports
     abl4     ablation  loop pipelining on vs off, achieved II
     abl5     ablation  optimization level: -O0/-O1/-O2 pass schedules
+    abl6     ablation  translation hierarchy: shared L2 TLB and page-walk cache
     robust   sweep     fault injection: recovery overhead, vm vs copy-based
 
 Compile a kernel and show the optimized IR:
@@ -188,6 +189,22 @@ summary, and emit the whole report as machine-readable JSON:
     "ret": null,
     "total_cycles": 1875,
   $ vmht run vecadd --mode vm --size 64 --metrics-json | grep -c '"tlb.lookups"\|"bus.reads"\|"dram.accesses"'
+  3
+
+The translation hierarchy is opt-in from the command line: --tlb2
+adds a shared second-level TLB, --walk-cache gives the walker a
+level-1 memo, and together they shave the walk traffic of a
+pointer-chasing kernel (same answer, fewer cycles):
+
+  $ vmht run list_sum --mode vm --size 4096
+  list_sum / vm / size 4096: 6,159 cycles (correct)
+    phases: stage=0 compute=6095 drain=64
+    mmu: 256 accesses, 240 hits, 16 misses, 0 faults, hit rate 0.938
+  $ vmht run list_sum --mode vm --size 4096 --tlb2 128 --walk-cache 8
+  list_sum / vm / size 4096: 5,893 cycles (correct)
+    phases: stage=0 compute=5829 drain=64
+    mmu: 256 accesses, 240 hits, 16 misses, 0 faults, hit rate 0.938
+  $ vmht run list_sum --mode vm --size 4096 --tlb2 128 --walk-cache 8 --metrics-json | grep -c '"tlb2.lookups"\|"tlb2.hits"\|"walk_cache.hits"'
   3
 
 With an argument, the report goes to a file alongside the summary;

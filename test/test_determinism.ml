@@ -34,6 +34,15 @@ let test_experiments_width_independent () =
     subset;
   check_string "whole subset byte-identical" sequential parallel
 
+let test_abl6_width_independent () =
+  (* abl6 is the one experiment whose measurements flow through the
+     shared L2 TLB and the walk caches — per-SoC state, so parallel
+     evaluation must not bleed between subjects. *)
+  let render () = Vmht_eval.All_experiments.run "abl6" in
+  let sequential = at_width 1 render in
+  let parallel = at_width 4 render in
+  check_string "abl6 byte-identical at -j 4" sequential parallel
+
 let report_json ~seed () =
   let o =
     Common.run ~seed ~observe:true Common.Vm
@@ -172,6 +181,8 @@ let suite =
   [
     Alcotest.test_case "experiments: -j 1 = -j 4 (byte-identical)" `Slow
       test_experiments_width_independent;
+    Alcotest.test_case "abl6: -j 1 = -j 4 (byte-identical)" `Slow
+      test_abl6_width_independent;
     Alcotest.test_case "report JSON: width-independent" `Quick
       test_report_json_width_independent;
     Alcotest.test_case "par_map: submission order" `Quick test_par_map_ordered;

@@ -92,6 +92,50 @@ let test_soc_unmap_page_shoots_all_mmus () =
              | exception Mmu.Mmu_fault _ -> true)))
     [ mmu1; mmu2 ]
 
+let test_soc_shootdown_reaches_all_levels () =
+  (* With the full translation hierarchy on, [Soc.unmap_page] must
+     reach every level: both L1 TLBs, the shared L2, and each walker's
+     page-walk cache.  Freed frames are first in line for reuse, so any
+     surviving stale state would serve another page's data instead of
+     faulting. *)
+  let config =
+    Config.with_walk_cache
+      (Config.with_tlb2 Config.default
+         { Vmht_vm.Tlb2.default_config with Vmht_vm.Tlb2.enabled = true })
+      8
+  in
+  let soc = Soc.create config in
+  let l2 =
+    match Soc.tlb2 soc with
+    | Some l2 -> l2
+    | None -> Alcotest.fail "enabled config should build a shared L2"
+  in
+  let space = Soc.aspace soc in
+  let base = Addr_space.alloc space ~bytes:4096 in
+  Addr_space.store_word space base 111;
+  let mmu1 = Soc.make_mmu soc in
+  let mmu2 = Soc.make_mmu soc in
+  let a, b = in_soc soc (fun () -> (Mmu.load mmu1 base, Mmu.load mmu2 base)) in
+  check_int "mmu1 warm read" 111 a;
+  check_int "mmu2 warm read" 111 b;
+  check_bool "L2 warmed" true (Vmht_vm.Tlb2.occupancy l2 > 0);
+  Soc.unmap_page soc space ~vaddr:base;
+  check_int "L2 shot down" 0 (Vmht_vm.Tlb2.occupancy l2);
+  (* The frames [base] just returned back the new page. *)
+  let fresh = Addr_space.alloc space ~bytes:4096 in
+  Addr_space.store_word space fresh 999;
+  List.iter
+    (fun mmu ->
+      check_bool "unmapped page faults (no level leaks the reused frame)"
+        true
+        (in_soc soc (fun () ->
+             match Mmu.load mmu base with
+             | _ -> false
+             | exception Mmu.Mmu_fault _ -> true)))
+    [ mmu1; mmu2 ];
+  check_int "fresh page reads through the hierarchy" 999
+    (in_soc soc (fun () -> Mmu.load mmu1 fresh))
+
 (* ---------------------- failure injection ------------------------- *)
 
 let synthesize_source src =
@@ -177,6 +221,8 @@ let suite =
       test_shootdown_removes_stale_translation;
     Alcotest.test_case "shootdown: all MMUs" `Quick
       test_soc_unmap_page_shoots_all_mmus;
+    Alcotest.test_case "shootdown: all hierarchy levels" `Quick
+      test_soc_shootdown_reaches_all_levels;
     Alcotest.test_case "inject: divide by zero" `Quick
       test_hw_thread_divide_by_zero;
     Alcotest.test_case "inject: wild pointer" `Quick test_hw_thread_wild_pointer;

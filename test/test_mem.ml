@@ -178,6 +178,27 @@ let test_cache_invalidate () =
   let fresh = in_sim (fun () -> Cache.read cache ~addr:0 ~phys:0) in
   check_int "fresh after invalidate" 2 fresh
 
+let test_cache_invalidate_preserves_dirty () =
+  (* Regression: invalidate_all used to drop dirty lines on the floor,
+     losing the last stores a wrapper's stream buffer had absorbed
+     before cache maintenance ran.  An invalidate must behave like
+     flush-then-drop. *)
+  let phys, bus = make_bus () in
+  let cache = Cache.create bus in
+  ignore (in_sim (fun () -> Cache.write cache ~addr:96 ~phys:96 41));
+  check_int "line is dirty" 1 (Cache.dirty_lines cache);
+  in_sim (fun () -> Cache.invalidate_all cache);
+  check_int "store reached DRAM" 41 (Phys_mem.read phys 96);
+  check_int "no dirty lines left" 0 (Cache.dirty_lines cache);
+  check_bool "write-back counted" true
+    ((Cache.stats cache).Cache.writebacks >= 1);
+  (* And the line really was dropped: the next read misses and refetches. *)
+  let misses_before = (Cache.stats cache).Cache.read_misses in
+  let v = in_sim (fun () -> Cache.read cache ~addr:96 ~phys:96) in
+  check_int "refetched value" 41 v;
+  check_int "read missed after invalidate" (misses_before + 1)
+    (Cache.stats cache).Cache.read_misses
+
 let test_cache_eviction () =
   let phys, bus = make_bus () in
   let config =
@@ -359,6 +380,8 @@ let suite =
     Alcotest.test_case "cache: eviction writes back" `Quick
       test_cache_eviction_writes_back;
     Alcotest.test_case "cache: invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "cache: invalidate preserves dirty" `Quick
+      test_cache_invalidate_preserves_dirty;
     Alcotest.test_case "cache: eviction" `Quick test_cache_eviction;
     Alcotest.test_case "scratchpad: windows" `Quick test_scratchpad_windows;
     Alcotest.test_case "scratchpad: overlap rejected" `Quick

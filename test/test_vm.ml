@@ -97,6 +97,52 @@ let test_pt_unmap () =
   Page_table.unmap pt ~vaddr:0x3000;
   check_bool "gone" true (Page_table.lookup pt ~vaddr:0x3000 = None)
 
+let test_pt_unmap_returns_frames () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  let before = Frame_alloc.allocated_count frames in
+  let frame = Frame_alloc.alloc frames in
+  Page_table.map pt ~vaddr:0x5000 ~frame ~writable:true;
+  (* Data frame + on-demand level-2 table. *)
+  check_int "map costs two frames" (before + 2)
+    (Frame_alloc.allocated_count frames);
+  Page_table.unmap pt ~vaddr:0x5000;
+  check_int "unmap returns both" before (Frame_alloc.allocated_count frames);
+  (* map → unmap → map recycles the freed frames. *)
+  let frame2 = Frame_alloc.alloc frames in
+  Page_table.map pt ~vaddr:0x5000 ~frame:frame2 ~writable:true;
+  check_int "remap reuses freed frames" (before + 2)
+    (Frame_alloc.allocated_count frames);
+  check_bool "remap live" true (Page_table.lookup pt ~vaddr:0x5000 <> None)
+
+let test_pt_shared_table_survives_partial_unmap () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  (* 0x5000 and 0x6000 share one level-2 table: unmapping one page must
+     not free the table out from under the other. *)
+  Page_table.map pt ~vaddr:0x5000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  Page_table.map pt ~vaddr:0x6000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  Page_table.unmap pt ~vaddr:0x5000;
+  check_bool "sibling mapping intact" true
+    (Page_table.lookup pt ~vaddr:0x6000 <> None);
+  check_int "walk still two levels" 2
+    (List.length (Page_table.walk_addrs pt ~vaddr:0x6000))
+
+let test_pt_map_unmap_churn_no_leak () =
+  let _, _, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  let before = Frame_alloc.allocated_count frames in
+  (* Twice the physical capacity: only possible if unmap really frees
+     (the regression this guards: Out_of_frames after ~capacity/2). *)
+  for _ = 1 to 2 * Frame_alloc.capacity frames do
+    let frame = Frame_alloc.alloc frames in
+    Page_table.map pt ~vaddr:0x5000 ~frame ~writable:true;
+    Page_table.unmap pt ~vaddr:0x5000
+  done;
+  check_int "no frames leaked" before (Frame_alloc.allocated_count frames)
+
 let test_pt_walk_addrs () =
   let _, _, frames, aspace = make_world () in
   let pt = Addr_space.page_table aspace in
@@ -221,6 +267,48 @@ let test_tlb_invalidate () =
   Tlb.invalidate_all tlb;
   check_int "empty" 0 (Tlb.occupancy tlb)
 
+let test_tlb_geometry_validated () =
+  let rejects cfg =
+    match Tlb.create cfg with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "16 entries / 3 ways rejected" true
+    (rejects { Tlb.entries = 16; assoc = 3; policy = Tlb.Lru });
+  check_bool "16 entries / 5 ways rejected" true
+    (rejects { Tlb.entries = 16; assoc = 5; policy = Tlb.Lru });
+  check_bool "4 ways of a 2-entry TLB rejected" true
+    (rejects { Tlb.entries = 2; assoc = 4; policy = Tlb.Lru });
+  check_bool "no entries rejected" true
+    (rejects { Tlb.entries = 0; assoc = 0; policy = Tlb.Lru });
+  let tlb = Tlb.create { Tlb.entries = 16; assoc = 4; policy = Tlb.Lru } in
+  check_int "divisible geometry builds every slot" 16 (Tlb.slot_count tlb)
+
+let test_tlb_fifo_reinsert_keeps_order () =
+  let tlb = Tlb.create { Tlb.entries = 4; assoc = 0; policy = Tlb.Fifo } in
+  for vpn = 0 to 3 do
+    Tlb.insert tlb ~vpn { Tlb.frame = vpn * 4096; writable = true }
+  done;
+  (* Re-inserting resident vpn 0 refreshes its payload but must not
+     move it to the back of the FIFO order. *)
+  Tlb.insert tlb ~vpn:0 { Tlb.frame = 0x8000; writable = true };
+  (match Tlb.lookup tlb ~vpn:0 with
+   | Some e -> check_int "payload refreshed" 0x8000 e.Tlb.frame
+   | None -> Alcotest.fail "expected hit");
+  Tlb.insert tlb ~vpn:9 { Tlb.frame = 0; writable = true };
+  check_bool "vpn 0 still first out" true (Tlb.lookup tlb ~vpn:0 = None);
+  check_bool "vpn 1 retained" true (Tlb.lookup tlb ~vpn:1 <> None)
+
+let test_tlb_invalidate_vpn_all_asids () =
+  let tlb = Tlb.create Tlb.default_config in
+  Tlb.insert ~asid:1 tlb ~vpn:7 { Tlb.frame = 0x1000; writable = true };
+  Tlb.insert ~asid:2 tlb ~vpn:7 { Tlb.frame = 0x2000; writable = true };
+  Tlb.insert ~asid:1 tlb ~vpn:8 { Tlb.frame = 0x3000; writable = true };
+  Tlb.invalidate_vpn tlb ~vpn:7;
+  check_bool "asid 1 copy gone" true (Tlb.lookup ~asid:1 tlb ~vpn:7 = None);
+  check_bool "asid 2 copy gone" true (Tlb.lookup ~asid:2 tlb ~vpn:7 = None);
+  check_bool "other vpn retained" true (Tlb.lookup ~asid:1 tlb ~vpn:8 <> None)
+
 let prop_tlb_never_stale =
   QCheck.Test.make ~count:200 ~name:"tlb: lookups never return stale frames"
     QCheck.(list (pair (int_bound 20) (int_bound 1000)))
@@ -310,6 +398,146 @@ let test_mmu_loads_data () =
   check_int "load via mmu" 1234 (in_sim (fun () -> Mmu.load mmu base));
   ignore phys
 
+(* ------------------------- Tlb2 / walk cache ---------------------- *)
+
+let enabled_l2 = { Tlb2.default_config with Tlb2.enabled = true }
+
+let test_tlb2_shared_between_mmus () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:4096 in
+  let l2 = Tlb2.create enabled_l2 in
+  let mmu1 = Mmu.create ~tlb2:l2 Mmu.default_config bus aspace in
+  let mmu2 = Mmu.create ~tlb2:l2 Mmu.default_config bus aspace in
+  let _, cold = in_sim_timed (fun () -> Mmu.translate mmu1 ~vaddr:base) in
+  let _, warm = in_sim_timed (fun () -> Mmu.translate mmu2 ~vaddr:base) in
+  (* mmu1's walk filled the shared L2, so mmu2's L1 miss never walks. *)
+  check_int "first mmu walked" 1 (Mmu.ptw_stats mmu1).Ptw.walks;
+  check_int "second mmu never walks" 0 (Mmu.ptw_stats mmu2).Ptw.walks;
+  let s = Tlb2.stats l2 in
+  check_int "two L2 probes" 2 s.Tlb.lookups;
+  check_int "one L2 hit" 1 s.Tlb.hits;
+  check_bool "L2 refill cheaper than a walk" true (warm < cold)
+
+let test_tlb2_miss_accounting () =
+  let _, bus, _, aspace = make_world () in
+  let base = Addr_space.alloc aspace ~bytes:8192 in
+  let l2 = Tlb2.create enabled_l2 in
+  let mmu = Mmu.create ~tlb2:l2 Mmu.default_config bus aspace in
+  in_sim (fun () ->
+      ignore (Mmu.translate mmu ~vaddr:base);
+      ignore (Mmu.translate mmu ~vaddr:(base + 4096));
+      (* L1 hit: the L2 must not even be probed. *)
+      ignore (Mmu.translate mmu ~vaddr:base));
+  let s = Tlb2.stats l2 in
+  check_int "only L1 misses probe the L2" 2 s.Tlb.lookups;
+  check_int "both cold probes missed" 0 s.Tlb.hits
+
+let test_tlb2_shootdown_via_invalidate_vpn () =
+  let l2 = Tlb2.create enabled_l2 in
+  Tlb2.insert ~asid:1 l2 ~vpn:3 { Tlb.frame = 0x3000; writable = true };
+  Tlb2.insert ~asid:2 l2 ~vpn:3 { Tlb.frame = 0x3000; writable = true };
+  Tlb2.invalidate_vpn l2 ~vpn:3;
+  check_bool "all asids shot down" true
+    (Tlb2.lookup ~asid:1 l2 ~vpn:3 = None
+    && Tlb2.lookup ~asid:2 l2 ~vpn:3 = None);
+  check_int "nothing resident" 0 (Tlb2.occupancy l2)
+
+let prop_tlb2_asid_isolation =
+  QCheck.Test.make ~count:200 ~name:"tlb2: hits respect asid tags"
+    QCheck.(list (triple (int_bound 3) (int_bound 10) (int_bound 500)))
+    (fun ops ->
+      let l2 =
+        Tlb2.create { enabled_l2 with Tlb2.entries = 8; Tlb2.assoc = 0 }
+      in
+      let shadow = Hashtbl.create 16 in
+      List.for_all
+        (fun (asid, vpn, fr) ->
+          let frame = fr * 4096 in
+          Tlb2.insert ~asid l2 ~vpn { Tlb.frame; writable = true };
+          Hashtbl.replace shadow (asid, vpn) frame;
+          match Tlb2.lookup ~asid l2 ~vpn with
+          | Some e -> e.Tlb.frame = Hashtbl.find shadow (asid, vpn)
+          | None -> false)
+        ops)
+
+let test_walk_cache_warm_walk_single_read () =
+  let _, bus, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  (* Two pages under the same level-1 entry. *)
+  Page_table.map pt ~vaddr:0x5000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  Page_table.map pt ~vaddr:0x6000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  let ptw = Ptw.create ~walk_cache_entries:4 bus pt in
+  in_sim (fun () ->
+      ignore (Ptw.walk ptw ~vaddr:0x5000);
+      ignore (Ptw.walk ptw ~vaddr:0x6000));
+  let s = Ptw.stats ptw in
+  check_int "cold walk reads 2 levels, warm walk 1" 3 s.Ptw.level_reads;
+  check_int "one walk-cache hit" 1 s.Ptw.walk_cache_hits;
+  check_int "one walk-cache miss" 1 s.Ptw.walk_cache_misses
+
+let test_walk_cache_warm_walk_faster () =
+  let run walk_cache_entries =
+    let _, bus, frames, aspace = make_world () in
+    let pt = Addr_space.page_table aspace in
+    Page_table.map pt ~vaddr:0x5000 ~frame:(Frame_alloc.alloc frames)
+      ~writable:true;
+    Page_table.map pt ~vaddr:0x6000 ~frame:(Frame_alloc.alloc frames)
+      ~writable:true;
+    let ptw = Ptw.create ~walk_cache_entries bus pt in
+    snd
+      (in_sim_timed (fun () ->
+           ignore (Ptw.walk ptw ~vaddr:0x5000);
+           ignore (Ptw.walk ptw ~vaddr:0x6000)))
+  in
+  check_bool "memoized level-1 frame saves bus time" true (run 4 < run 0)
+
+let test_walk_cache_invalidation () =
+  let _, bus, frames, aspace = make_world () in
+  let pt = Addr_space.page_table aspace in
+  Page_table.map pt ~vaddr:0x5000 ~frame:(Frame_alloc.alloc frames)
+    ~writable:true;
+  let ptw = Ptw.create ~walk_cache_entries:4 bus pt in
+  in_sim (fun () -> ignore (Ptw.walk ptw ~vaddr:0x5000));
+  Ptw.invalidate_walk_cache_entry ptw ~vaddr:0x5000;
+  in_sim (fun () -> ignore (Ptw.walk ptw ~vaddr:0x5000));
+  check_int "memo was dropped, walk missed again" 2
+    (Ptw.stats ptw).Ptw.walk_cache_misses;
+  Ptw.invalidate_walk_cache ptw;
+  in_sim (fun () -> ignore (Ptw.walk ptw ~vaddr:0x5000));
+  check_int "full shootdown drops everything" 3
+    (Ptw.stats ptw).Ptw.walk_cache_misses
+
+let prop_walk_cache_matches_functional =
+  QCheck.Test.make ~count:50
+    ~name:"ptw: walk cache never changes walk results"
+    QCheck.(list (pair bool (int_bound 40)))
+    (fun ops ->
+      let _, bus, frames, aspace = make_world () in
+      let pt = Addr_space.page_table aspace in
+      (* Tiny cache so unrelated level-1 entries collide constantly. *)
+      let ptw = Ptw.create ~walk_cache_entries:2 bus pt in
+      List.for_all
+        (fun (toggle, vpn) ->
+          let vaddr = (vpn + 1) * 4096 in
+          (if toggle then
+             match Page_table.lookup pt ~vaddr with
+             | Some _ ->
+               (* Mirror the SoC's shootdown ordering: memo first,
+                  then the unmap that may free the table frame. *)
+               Ptw.invalidate_walk_cache_entry ptw ~vaddr;
+               Page_table.unmap pt ~vaddr
+             | None ->
+               Page_table.map pt ~vaddr ~frame:(Frame_alloc.alloc frames)
+                 ~writable:true);
+          let walked = in_sim (fun () -> Ptw.walk ptw ~vaddr) in
+          match (walked, Page_table.lookup pt ~vaddr) with
+          | Some a, Some b -> a.Page_table.frame = b.Page_table.frame
+          | None, None -> true
+          | _ -> false)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "frames: distinct" `Quick test_frames_distinct;
@@ -320,6 +548,12 @@ let suite =
     Alcotest.test_case "pt: double map rejected" `Quick
       test_pt_double_map_rejected;
     Alcotest.test_case "pt: unmap" `Quick test_pt_unmap;
+    Alcotest.test_case "pt: unmap returns frames" `Quick
+      test_pt_unmap_returns_frames;
+    Alcotest.test_case "pt: shared table survives partial unmap" `Quick
+      test_pt_shared_table_survives_partial_unmap;
+    Alcotest.test_case "pt: 2x-capacity map/unmap churn" `Quick
+      test_pt_map_unmap_churn_no_leak;
     Alcotest.test_case "pt: walk addrs" `Quick test_pt_walk_addrs;
     QCheck_alcotest.to_alcotest prop_pt_roundtrip;
     Alcotest.test_case "aspace: alloc + rw" `Quick test_aspace_alloc_rw;
@@ -334,6 +568,12 @@ let suite =
     Alcotest.test_case "tlb: set-assoc conflicts" `Quick
       test_tlb_set_associative_conflicts;
     Alcotest.test_case "tlb: invalidate" `Quick test_tlb_invalidate;
+    Alcotest.test_case "tlb: geometry validated" `Quick
+      test_tlb_geometry_validated;
+    Alcotest.test_case "tlb: FIFO re-insert keeps order" `Quick
+      test_tlb_fifo_reinsert_keeps_order;
+    Alcotest.test_case "tlb: invalidate vpn across asids" `Quick
+      test_tlb_invalidate_vpn_all_asids;
     QCheck_alcotest.to_alcotest prop_tlb_never_stale;
     Alcotest.test_case "ptw: timed walk" `Quick test_ptw_walk_times_and_translates;
     Alcotest.test_case "mmu: hit vs miss" `Quick test_mmu_translate_hit_vs_miss;
@@ -343,4 +583,17 @@ let suite =
       test_mmu_fault_on_wild_access;
     Alcotest.test_case "mmu: SW refill slower" `Quick test_mmu_sw_refill_slower;
     Alcotest.test_case "mmu: loads data" `Quick test_mmu_loads_data;
+    Alcotest.test_case "tlb2: shared between mmus" `Quick
+      test_tlb2_shared_between_mmus;
+    Alcotest.test_case "tlb2: miss accounting" `Quick test_tlb2_miss_accounting;
+    Alcotest.test_case "tlb2: vpn shootdown across asids" `Quick
+      test_tlb2_shootdown_via_invalidate_vpn;
+    QCheck_alcotest.to_alcotest prop_tlb2_asid_isolation;
+    Alcotest.test_case "walk cache: warm walk reads one level" `Quick
+      test_walk_cache_warm_walk_single_read;
+    Alcotest.test_case "walk cache: warm walk faster" `Quick
+      test_walk_cache_warm_walk_faster;
+    Alcotest.test_case "walk cache: invalidation" `Quick
+      test_walk_cache_invalidation;
+    QCheck_alcotest.to_alcotest prop_walk_cache_matches_functional;
   ]

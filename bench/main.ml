@@ -232,20 +232,63 @@ let run_micro ?(filters = []) () =
 
 (* --- perf snapshot ------------------------------------------------ *)
 
+(* The commit the snapshot was taken at, read straight from .git (no
+   subprocess): HEAD is either a hash or a "ref: ..." pointer into
+   refs/ or packed-refs. *)
+let git_rev () =
+  let read path =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (String.trim s)
+    with Sys_error _ | End_of_file -> None
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head when not (String.length head > 5 && String.sub head 0 5 = "ref: ")
+    -> head
+  | Some head -> (
+    let ref_name = String.trim (String.sub head 5 (String.length head - 5)) in
+    match read (".git/" ^ ref_name) with
+    | Some hash -> hash
+    | None -> (
+      match read ".git/packed-refs" with
+      | None -> "unknown"
+      | Some packed -> (
+        let lines = String.split_on_char '\n' packed in
+        let matching =
+          List.find_opt
+            (fun line ->
+              match String.index_opt line ' ' with
+              | Some i ->
+                String.sub line (i + 1) (String.length line - i - 1) = ref_name
+              | None -> false)
+            lines
+        in
+        match matching with
+        | Some line -> String.sub line 0 (String.index line ' ')
+        | None -> "unknown")))
+
 let run_perf ~json () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "perf: %d experiments, %d jobs\n%!"
     (List.length Vmht_eval.All_experiments.names)
     (Vmht_par.Parmap.jobs ());
+  Vmht_eval.Common.reset_run_stats ();
   let experiments =
     List.map
       (fun name ->
         let s0 = Unix.gettimeofday () in
-        let out = Vmht_eval.All_experiments.run name in
+        let out, stats =
+          Vmht_eval.Common.with_run_stats (fun () ->
+              Vmht_eval.All_experiments.run name)
+        in
         let seconds = Unix.gettimeofday () -. s0 in
         Printf.printf "  %-8s %8.3f s  (%d bytes)\n%!" name seconds
           (String.length out);
-        (name, seconds, String.length out))
+        (name, seconds, String.length out, stats))
       Vmht_eval.All_experiments.names
   in
   let total_seconds = Unix.gettimeofday () -. t0 in
@@ -270,16 +313,31 @@ let run_perf ~json () =
     let doc =
       Json.Obj
         [
-          ("schema", Json.String "vmht-bench-eval/1");
+          ("schema", Json.String "vmht-bench-eval/2");
+          ("git_rev", Json.String (git_rev ()));
           ("jobs", Json.Int (Vmht_par.Parmap.jobs ()));
           ( "experiments",
             Json.List
               (List.map
-                 (fun (name, seconds, bytes) ->
+                 (fun (name, seconds, bytes, stats) ->
+                   let cyc = stats.Vmht_eval.Common.run_cycles in
+                   let host = stats.Vmht_eval.Common.run_host_ns in
+                   let runs = Vmht_obs.Histogram.count cyc in
+                   let summary h =
+                     Vmht_obs.Histogram.summary_to_json
+                       (Vmht_obs.Histogram.summary h)
+                   in
                    Json.Obj
                      [
                        ("name", Json.String name);
                        ("seconds", Json.Float seconds);
+                       ("runs", Json.Int runs);
+                       ( "ns_per_run",
+                         if runs = 0 then Json.Null
+                         else Json.Float (seconds *. 1e9 /. float_of_int runs)
+                       );
+                       ("cycles", summary cyc);
+                       ("host_ns", summary host);
                        ("output_bytes", Json.Int bytes);
                      ])
                  experiments) );

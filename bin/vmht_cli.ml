@@ -4,6 +4,8 @@
      vmht synth FILE [...]        full HLS + wrapper synthesis, dump report/RTL
      vmht run NAME [...]          run a benchmark workload on the simulated SoC
      vmht bench NAME|all|...      regenerate evaluation tables/figures
+     vmht profile NAME            run an experiment under the phase profiler
+     vmht perf diff OLD NEW       compare two bench manifests (regression gate)
      vmht list                    available workloads and experiments
 
    Exit codes: 0 success; 1 runtime failure (unknown name, wrong
@@ -162,11 +164,18 @@ let synth_cmd =
 
 (* ------------------------- run ------------------------------------ *)
 
-let write_chrome_trace path events =
-  match Vmht_obs.Chrome_trace.write_file path events with
+let write_chrome_trace ?process_name ?pid path events =
+  match Vmht_obs.Chrome_trace.write_file ?process_name ?pid path events with
   | () -> true
   | exception Sys_error msg ->
     Printf.eprintf "cannot write trace: %s\n" msg;
+    false
+
+let write_spans path =
+  match Vmht_obs.Span.write_chrome_file path (Vmht_obs.Span.spans ()) with
+  | () -> true
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write spans: %s\n" msg;
     false
 
 let mode_conv =
@@ -240,8 +249,17 @@ let run_cmd =
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:
+            "Record causal host-time spans (parse, passes, schedule, emit, \
+             simulate) and write them as Chrome-trace JSON to $(docv).")
+  in
   let action wname mode size tlb tlb2 walk_cache page_shift stats trace_n
-      trace_out metrics_json pipeline opt_level passes =
+      trace_out metrics_json spans_out pipeline opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
@@ -276,6 +294,7 @@ let run_cmd =
         Option.value ~default:w.Vmht_workloads.Workload.default_size size
       in
       let observe = Option.is_some trace_out || Option.is_some metrics_json in
+      if Option.is_some spans_out then Vmht_obs.Span.enable true;
       let o =
         Vmht_eval.Common.run ~config ?trace_events:trace_n ~observe mode w
           ~size
@@ -284,9 +303,14 @@ let run_cmd =
       let trace_ok =
         match trace_out with
         | Some path ->
-          write_chrome_trace path
+          write_chrome_trace
+            ~pid:(Vmht.Soc.id o.Vmht_eval.Common.soc)
+            path
             (Vmht_sim.Trace.events (Vmht.Soc.trace o.Vmht_eval.Common.soc))
         | None -> true
+      in
+      let spans_ok =
+        match spans_out with Some path -> write_spans path | None -> true
       in
       let report_json () =
         let report =
@@ -336,6 +360,10 @@ let run_cmd =
          | Some path when trace_ok ->
            Printf.printf "  trace written to %s\n" path
          | _ -> ());
+        (match spans_out with
+         | Some path when spans_ok ->
+           Printf.printf "  spans written to %s\n" path
+         | _ -> ());
         (match metrics_json with
          | Some path when path <> "-" && metrics_ok ->
            Printf.printf "  metrics written to %s\n" path
@@ -365,14 +393,15 @@ let run_cmd =
         end
       end;
       if not o.Vmht_eval.Common.correct then 1
-      else if not (trace_ok && metrics_ok) then exit_write_failed
+      else if not (trace_ok && metrics_ok && spans_ok) then exit_write_failed
       else 0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload on the simulated SoC.")
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ tlb2 $ walk_cache
-      $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ pipeline
+      $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ spans_out
+      $ pipeline
       $ opt_level_arg
       $ passes_arg)
 
@@ -459,9 +488,18 @@ let trace_cmd =
       in
       let o = Vmht_eval.Common.run ~config ~observe:true mode w ~size in
       let tr = Vmht.Soc.trace o.Vmht_eval.Common.soc in
+      (* "--component mmu" matches every numbered instance ("mmu",
+         "mmu1", ...); an exact instance name still selects just it. *)
+      let base name =
+        let n = String.length name in
+        let rec go i = if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then go (i - 1) else i in
+        String.sub name 0 (go n)
+      in
       let keep (e : Vmht_obs.Event.t) =
         (match component with
-         | Some c -> e.Vmht_obs.Event.component = c
+         | Some c ->
+           e.Vmht_obs.Event.component = c
+           || base e.Vmht_obs.Event.component = c
          | None -> true)
         && (match kind with
             | Some k -> Vmht_obs.Event.label e.Vmht_obs.Event.kind = k
@@ -596,14 +634,27 @@ let bench_cmd =
       & info [ "metrics-json" ] ~docv:"FILE"
           ~doc:
             "Write a machine-readable run manifest (experiments run, \
-             output sizes, seed, fault plan, mismatches) to $(docv).")
+             output sizes, seed, fault plan, per-run histograms, \
+             mismatches) to $(docv).")
   in
-  let action jobs fault_rate seed metrics_json opt_level passes names =
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:
+            "Record causal host-time spans across the domain pool and \
+             write them as Chrome-trace JSON to $(docv): one track per \
+             worker, flow arrows from the submitting sweep.")
+  in
+  let action jobs fault_rate seed metrics_json spans_out opt_level passes names =
     Vmht_par.Parmap.set_jobs
       (match jobs with
        | Some n -> n
        | None -> Domain.recommended_domain_count ());
     Vmht_eval.Common.reset_mismatches ();
+    Vmht_eval.Common.reset_run_stats ();
+    if Option.is_some spans_out then Vmht_obs.Span.enable true;
     let config = Vmht.Config.default in
     let config =
       match seed with
@@ -648,14 +699,23 @@ let bench_cmd =
         List.iter (Printf.eprintf "  %s\n") bad;
         max code 1
     in
+    let code =
+      match spans_out with
+      | Some path when not (write_spans path) -> max code exit_write_failed
+      | _ -> code
+    in
     match metrics_json with
     | None -> code
     | Some path -> (
       let module Json = Vmht_obs.Json in
+      let rs = Vmht_eval.Common.global_run_stats () in
+      let hsummary h =
+        Vmht_obs.Histogram.summary_to_json (Vmht_obs.Histogram.summary h)
+      in
       let doc =
         Json.Obj
           [
-            ("schema", Json.String "vmht-bench-run/1");
+            ("schema", Json.String "vmht-bench-run/2");
             ("jobs", Json.Int (Vmht_par.Parmap.jobs ()));
             ("seed", Json.Int config.Vmht.Config.seed);
             ( "fault",
@@ -711,6 +771,12 @@ let bench_cmd =
                   ( "walk_cache.misses",
                     Json.Int tot.Vmht_vm.Vm_totals.walk_cache_misses );
                 ] );
+            ( "run",
+              Json.Obj
+                [
+                  ("cycles", hsummary rs.Vmht_eval.Common.run_cycles);
+                  ("host_ns", hsummary rs.Vmht_eval.Common.run_host_ns);
+                ] );
             ( "mismatches",
               Json.List (List.map (fun s -> Json.String s) mismatches) );
             ("exit_code", Json.Int code);
@@ -742,8 +808,143 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures." ~man)
     Term.(
-      const action $ jobs $ fault_rate $ seed $ metrics_json $ opt_level_arg
+      const action $ jobs $ fault_rate $ seed $ metrics_json $ spans_out
+      $ opt_level_arg
       $ passes_arg $ names)
+
+(* ------------------------- profile -------------------------------- *)
+
+let profile_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domain-pool width while profiling (default 1).")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"S") in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the profile as JSON to $(docv).")
+  in
+  let action name jobs seed json_out =
+    match Vmht_eval.Experiment.find name with
+    | None ->
+      Printf.eprintf "unknown experiment '%s'\n" name;
+      1
+    | Some e ->
+      Vmht_par.Parmap.set_jobs jobs;
+      let config = Vmht.Config.default in
+      let config =
+        match seed with
+        | Some s -> Vmht.Config.with_seed config s
+        | None -> config
+      in
+      (* Enable before any engine exists: the profiling hook is bound
+         at [Engine.create]. *)
+      Vmht_obs.Profile.enable true;
+      ignore (Vmht_eval.Experiment.run ~config e : string);
+      let t = Vmht_obs.Profile.totals () in
+      Printf.printf "profile: %s\n%s" name (Vmht_obs.Profile.render t);
+      let exact =
+        Vmht_obs.Profile.cycle_sum t = t.Vmht_obs.Profile.engine_cycles
+      in
+      Printf.printf "  cycle attribution %s (phases %d, engines %d)\n"
+        (if exact then "sums exactly to the engine total" else "MISMATCH")
+        (Vmht_obs.Profile.cycle_sum t)
+        t.Vmht_obs.Profile.engine_cycles;
+      let json_ok =
+        match json_out with
+        | None -> true
+        | Some path -> (
+          try
+            let oc = open_out path in
+            output_string oc
+              (Vmht_obs.Json.to_string_pretty (Vmht_obs.Profile.to_json t));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "  profile written to %s\n" path;
+            true
+          with Sys_error msg ->
+            Printf.eprintf "cannot write profile: %s\n" msg;
+            false)
+      in
+      if not exact then 1 else if not json_ok then exit_write_failed else 0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an experiment under the simulator phase profiler and report \
+          where simulated cycles and host time go (dispatch, actor, \
+          memory, translate).")
+    Term.(const action $ name_arg $ jobs $ seed $ json_out)
+
+(* ------------------------- perf ----------------------------------- *)
+
+let perf_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 10.
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Flag a metric as regressed when it grows by at least \
+             $(docv) percent (default 10).")
+  in
+  let warn_only =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:
+            "Report regressions but exit 0 anyway (for noisy shared \
+             runners).")
+  in
+  let action old_path new_path threshold warn_only =
+    let read_manifest path =
+      match Vmht_obs.Json.of_string (read_file path) with
+      | v -> Ok v
+      | exception Sys_error msg -> Error msg
+      | exception Vmht_obs.Json.Parse_error msg ->
+        Error (Printf.sprintf "%s: %s" path msg)
+    in
+    match (read_manifest old_path, read_manifest new_path) with
+    | Error msg, _ | _, Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit_frontend
+    | Ok old_manifest, Ok new_manifest ->
+      let report =
+        Vmht_obs.Perf_diff.diff ~threshold ~old_manifest ~new_manifest ()
+      in
+      print_string (Vmht_obs.Perf_diff.render ~threshold report);
+      if report.Vmht_obs.Perf_diff.regressions = [] then 0
+      else if warn_only then begin
+        print_endline "(warn-only: not failing)";
+        0
+      end
+      else 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bench manifests and fail when any metric regressed \
+          past the threshold.")
+    Term.(const action $ old_arg $ new_arg $ threshold $ warn_only)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"Performance tooling: the manifest regression gate.")
+    [ perf_diff_cmd ]
 
 (* ------------------------- passes --------------------------------- *)
 
@@ -814,6 +1015,8 @@ let () =
             trace_cmd;
             system_cmd;
             bench_cmd;
+            profile_cmd;
+            perf_cmd;
             passes_cmd;
             list_cmd;
           ]))

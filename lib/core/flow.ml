@@ -15,16 +15,23 @@ type hw_thread = {
 }
 
 let synthesize_uncached ~windows (config : Config.t) style kernel =
+  Vmht_obs.Span.with_span ~cat:"flow"
+    ("synth:" ^ kernel.Ast.kname)
+    (fun () ->
   let started = Sys.time () in
   let fsm =
-    Fsm.synthesize ~resources:config.Config.resources
-      ~unroll:config.Config.unroll
-      ~pipeline:config.Config.pipeline_loops
-      ~schedule:(Config.schedule config) kernel
+    (* Pass scheduling and FSM construction; the optimizer opens its
+       own nested "passes" span inside. *)
+    Vmht_obs.Span.with_span ~cat:"flow" "schedule" (fun () ->
+        Fsm.synthesize ~resources:config.Config.resources
+          ~unroll:config.Config.unroll
+          ~pipeline:config.Config.pipeline_loops
+          ~schedule:(Config.schedule config) kernel)
   in
   let wrapper_area = Wrapper.area config style ~windows in
   let verilog =
-    Verilog.emit_with_wrapper fsm ~wrapper_ports:(Wrapper.ports style)
+    Vmht_obs.Span.with_span ~cat:"flow" "emit" (fun () ->
+        Verilog.emit_with_wrapper fsm ~wrapper_ports:(Wrapper.ports style))
   in
   let finished = Sys.time () in
   {
@@ -36,7 +43,7 @@ let synthesize_uncached ~windows (config : Config.t) style kernel =
     total_area = Optypes.add_area fsm.Fsm.area wrapper_area;
     verilog;
     synthesis_seconds = finished -. started;
-  }
+  })
 
 (* --- synthesis memo cache ----------------------------------------- *)
 
@@ -181,14 +188,17 @@ let capture_frontend f =
 
 let frontend_program source =
   capture_frontend (fun () ->
-      let program = Vmht_lang.Parser.parse_program source in
-      Vmht_lang.Typecheck.check_program program;
-      Vmht_lang.Inline.program program)
+      Vmht_obs.Span.with_span ~cat:"flow" "parse" (fun () ->
+          let program = Vmht_lang.Parser.parse_program source in
+          Vmht_lang.Typecheck.check_program program;
+          Vmht_lang.Inline.program program))
 
 let synthesize_source_result ?cache ?windows config style source =
   Result.map
     (synthesize ?cache ?windows config style)
-    (capture_frontend (fun () -> Vmht_lang.Parser.parse_kernel source))
+    (capture_frontend (fun () ->
+         Vmht_obs.Span.with_span ~cat:"flow" "parse" (fun () ->
+             Vmht_lang.Parser.parse_kernel source)))
 
 let synthesize_program_result ?cache ?windows config style source ~name =
   Result.bind (frontend_program source) (fun program ->

@@ -6,6 +6,7 @@ module Dma = Vmht_mem.Dma
 module Accel = Vmht_hls.Accel
 module Cpu = Vmht_cpu.Cpu
 module Ir = Vmht_ir.Ir
+module Profile = Vmht_obs.Profile
 
 type dir = In | Out | InOut
 
@@ -49,12 +50,15 @@ let run_sw soc func request =
   let cpu = Soc.cpu soc in
   let before = Cpu.stats cpu in
   phase_begin soc "compute";
-  let ret = Cpu.run_func cpu func ~args:request.args in
+  let ret =
+    Engine.with_phase Profile.Actor (fun () ->
+        Cpu.run_func cpu func ~args:request.args)
+  in
   phase_end soc "compute";
   let tm = Engine.now_p () in
   (* Make the thread's results visible to the rest of the system. *)
   phase_begin soc "drain";
-  Cpu.flush_cache cpu;
+  Engine.with_phase Profile.Memory (fun () -> Cpu.flush_cache cpu);
   phase_end soc "drain";
   let t1 = Engine.now_p () in
   let after = Cpu.stats cpu in
@@ -86,8 +90,9 @@ let run_sw soc func request =
 (* Cache maintenance the host performs after any hardware thread
    completes, so CPU reads observe the accelerator's writes. *)
 let host_cache_maintenance soc =
-  Engine.wait (Soc.config soc).Config.cache_maintenance_cycles;
-  Vmht_mem.Cache.invalidate_all (Cpu.cache (Soc.cpu soc))
+  Engine.with_phase Profile.Memory (fun () ->
+      Engine.wait (Soc.config soc).Config.cache_maintenance_cycles;
+      Vmht_mem.Cache.invalidate_all (Cpu.cache (Soc.cpu soc)))
 
 let bus_wait_cycles soc =
   (Soc.bus_stats soc).Vmht_mem.Bus.bus.Vmht_sim.Resource.wait_cycles
@@ -100,15 +105,16 @@ let run_hw_vm soc (hw : Flow.hw_thread) request =
   let stats = Accel.fresh_stats () in
   phase_begin soc "compute";
   let ret =
-    Accel.run ?observer:(accel_observer soc) ~stats
-      ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
-      ~args:request.args
+    Engine.with_phase Profile.Actor (fun () ->
+        Accel.run ?observer:(accel_observer soc) ~stats
+          ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+          ~args:request.args)
   in
   phase_end soc "compute";
   let t1 = Engine.now_p () in
   let bw1 = bus_wait_cycles soc in
   phase_begin soc "drain";
-  flush_buffer ();
+  Engine.with_phase Profile.Memory flush_buffer;
   host_cache_maintenance soc;
   phase_end soc "drain";
   let t2 = Engine.now_p () in
@@ -182,7 +188,7 @@ let pin_and_chunk soc buffer =
       go (va + page) ((phys, chunk_words) :: acc)
     end
   in
-  go buffer.base []
+  Engine.with_phase Profile.Translate (fun () -> go buffer.base [])
 
 let run_hw_dma soc (hw : Flow.hw_thread) request =
   let t0 = Engine.now_p () in
@@ -216,8 +222,9 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
       let chunks = timed_pin b in
       match b.dir with
       | In | InOut ->
-        Dma.copy_in_scattered dma pad ~chunks
-          ~dst_word:(Scratchpad.local_of_vaddr pad b.base)
+        Engine.with_phase Profile.Memory (fun () ->
+            Dma.copy_in_scattered dma pad ~chunks
+              ~dst_word:(Scratchpad.local_of_vaddr pad b.base))
       | Out -> ())
     request.buffers;
   phase_end soc "stage";
@@ -228,9 +235,10 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
   let stats = Accel.fresh_stats () in
   phase_begin soc "compute";
   let ret =
-    Accel.run ?observer:(accel_observer soc) ~stats
-      ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
-      ~args:request.args
+    Engine.with_phase Profile.Actor (fun () ->
+        Accel.run ?observer:(accel_observer soc) ~stats
+          ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+          ~args:request.args)
   in
   phase_end soc "compute";
   let t2 = Engine.now_p () in
@@ -241,9 +249,10 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
       match b.dir with
       | Out | InOut ->
         let chunks = timed_pin b in
-        Dma.copy_out_scattered dma pad
-          ~src_word:(Scratchpad.local_of_vaddr pad b.base)
-          ~chunks
+        Engine.with_phase Profile.Memory (fun () ->
+            Dma.copy_out_scattered dma pad
+              ~src_word:(Scratchpad.local_of_vaddr pad b.base)
+              ~chunks)
       | In -> ())
     request.buffers;
   host_cache_maintenance soc;
@@ -344,9 +353,10 @@ let run_hw soc hw request =
 
 let run_to_completion soc main =
   let outcome = ref None in
-  Soc.run soc (fun () ->
-      outcome :=
-        Some (match main () with v -> Ok v | exception e -> Error e));
+  Vmht_obs.Span.with_span ~cat:"flow" "simulate" (fun () ->
+      Soc.run soc (fun () ->
+          outcome :=
+            Some (match main () with v -> Ok v | exception e -> Error e)));
   (* Every run funnels through here, so this is where the SoC's
      translation-hierarchy counters reach the process-wide totals. *)
   Soc.flush_vm_totals soc;

@@ -22,7 +22,18 @@ type port_meter = {
   mutable mem_cycles : int;
 }
 
+(* Process-wide SoC numbering, so each SoC has a distinct Chrome-trace
+   pid even when several simulations run concurrently on the pool. *)
+let next_soc_id = Atomic.make 1
+
+(* Component instances get distinct names ("mmu", "mmu1", "mmu2", ...)
+   so the trace export keeps one thread track per instance.  The first
+   instance keeps the bare class name: single-instance SoCs — the
+   common case — read exactly as before. *)
+let instance_name base idx = if idx = 0 then base else base ^ string_of_int idx
+
 type t = {
+  id : int;
   config : Config.t;
   engine : Engine.t;
   phys : Phys_mem.t;
@@ -68,6 +79,7 @@ let create (config : Config.t) =
   let cpu = Cpu.create ~cache_config:config.Config.cache bus aspace in
   let t =
     {
+      id = Atomic.fetch_and_add next_soc_id 1;
       config;
       engine;
       phys;
@@ -104,6 +116,8 @@ let create (config : Config.t) =
      Dram.set_fault dram (make "dram")
    end);
   t
+
+let id t = t.id
 
 let config t = t.config
 
@@ -174,20 +188,23 @@ let make_injector t ~component =
     if t.observing then Fi.set_observer inj (emitter t ~component);
     inj
 
+(* Instance lists are built by prepending, so the instance index of
+   position [i] in a list of [n] is [n - 1 - i]. *)
+let iter_instances base xs f =
+  let n = List.length xs in
+  List.iteri (fun i x -> f (instance_name base (n - 1 - i)) x) xs
+
 let install_observers t =
   Bus.set_observer t.bus (emitter t ~component:"bus");
   Dram.set_observer t.dram (emitter t ~component:"dram");
   Cpu.set_observer t.cpu (emitter t ~component:"cpu");
   Cache.set_observer (Cpu.cache t.cpu) (emitter t ~component:"cache");
-  List.iter
-    (fun mmu -> Mmu.set_observer mmu (emitter t ~component:"mmu"))
-    t.mmu_list;
-  List.iter
-    (fun dma -> Dma.set_observer dma (emitter t ~component:"dma"))
-    t.dmas;
-  List.iter
-    (fun buf -> Cache.set_observer buf (emitter t ~component:"stream_buffer"))
-    t.stream_buffers;
+  iter_instances "mmu" t.mmu_list (fun name mmu ->
+      Mmu.set_observer mmu (emitter t ~component:name));
+  iter_instances "dma" t.dmas (fun name dma ->
+      Dma.set_observer dma (emitter t ~component:name));
+  iter_instances "stream_buffer" t.stream_buffers (fun name buf ->
+      Cache.set_observer buf (emitter t ~component:name));
   List.iter
     (fun inj -> Fi.set_observer inj (emitter t ~component:(Fi.component inj)))
     t.injectors
@@ -195,14 +212,18 @@ let install_observers t =
 let enable_tracing t =
   Vmht_sim.Trace.enable t.trace true;
   t.observing <- true;
+  (* Event-queue contention: sizes of same-timestamp dispatch batches. *)
+  let batch_hist = Metrics.histogram t.metrics "engine.dispatch_batch" in
+  Engine.observe_batches t.engine (Metrics.observe batch_hist);
   install_observers t
 
 let make_mmu ?aspace t =
   let space, asid = Option.value ~default:(t.aspace, 0) aspace in
   let mmu = Mmu.create ~asid ?tlb2:t.tlb2 t.config.Config.mmu t.bus space in
+  let name = instance_name "mmu" (List.length t.mmu_list) in
   t.mmu_list <- mmu :: t.mmu_list;
   (* Late-created MMUs join an already-enabled trace. *)
-  if t.observing then Mmu.set_observer mmu (emitter t ~component:"mmu");
+  if t.observing then Mmu.set_observer mmu (emitter t ~component:name);
   if t.config.Config.fault.Vmht_fault.Plan.enabled then
     Mmu.set_fault mmu (make_injector t ~component:"mmu");
   mmu
@@ -248,9 +269,10 @@ let vm_port_metered t mmu =
   let buffer =
     Cache.create ~config:t.config.Config.accel_stream_buffer t.bus
   in
+  let buf_name = instance_name "stream_buffer" (List.length t.stream_buffers) in
   t.stream_buffers <- buffer :: t.stream_buffers;
   if t.observing then
-    Cache.set_observer buffer (emitter t ~component:"stream_buffer");
+    Cache.set_observer buffer (emitter t ~component:buf_name);
   (* The buffer (like the TLB in front of it) is a single-issue
      structure: concurrent accesses from a multi-ported datapath
      serialize at its request port.  The scratchpad of the copy-based
@@ -270,20 +292,30 @@ let vm_port_metered t mmu =
         (fun vaddr ->
           exclusively (fun () ->
               let t0 = Engine.now_p () in
-              let phys = Mmu.translate mmu ~vaddr in
+              let phys =
+                Engine.with_phase Vmht_obs.Profile.Translate (fun () ->
+                    Mmu.translate mmu ~vaddr)
+              in
               let t1 = Engine.now_p () in
               meter.translate_cycles <- meter.translate_cycles + (t1 - t0);
-              let v = Cache.read buffer ~addr:vaddr ~phys in
+              let v =
+                Engine.with_phase Vmht_obs.Profile.Memory (fun () ->
+                    Cache.read buffer ~addr:vaddr ~phys)
+              in
               meter.mem_cycles <- meter.mem_cycles + (Engine.now_p () - t1);
               v));
       Accel.store =
         (fun vaddr value ->
           exclusively (fun () ->
               let t0 = Engine.now_p () in
-              let phys = Mmu.translate mmu ~vaddr in
+              let phys =
+                Engine.with_phase Vmht_obs.Profile.Translate (fun () ->
+                    Mmu.translate mmu ~vaddr)
+              in
               let t1 = Engine.now_p () in
               meter.translate_cycles <- meter.translate_cycles + (t1 - t0);
-              Cache.write buffer ~addr:vaddr ~phys value;
+              Engine.with_phase Vmht_obs.Profile.Memory (fun () ->
+                  Cache.write buffer ~addr:vaddr ~phys value);
               meter.mem_cycles <- meter.mem_cycles + (Engine.now_p () - t1)));
     }
   in
@@ -304,8 +336,9 @@ let make_scratchpad ?words t =
     Dma.create ~setup_cycles:t.config.Config.dma_setup_cycles
       ~burst_words:t.config.Config.dma_burst_words t.bus
   in
+  let dma_name = instance_name "dma" (List.length t.dmas) in
   t.dmas <- dma :: t.dmas;
-  if t.observing then Dma.set_observer dma (emitter t ~component:"dma");
+  if t.observing then Dma.set_observer dma (emitter t ~component:dma_name);
   if t.config.Config.fault.Vmht_fault.Plan.enabled then
     Dma.set_fault dma (make_injector t ~component:"dma");
   (pad, dma)

@@ -22,6 +22,10 @@ type port_meter = {
 
 val create : Config.t -> t
 
+val id : t -> int
+(** Process-wide SoC number (1, 2, ...): the Chrome-trace pid, so
+    several SoCs exported into one document keep distinct tracks. *)
+
 val config : t -> Config.t
 
 val engine : t -> Vmht_sim.Engine.t

@@ -78,8 +78,79 @@ let par_map f xs =
          merge_mismatches ms;
          r)
 
+(* --- per-run performance recording --------------------------------- *)
+
+(* Every [run] records its simulated cycle count and host wall time
+   into process-wide histograms (and, when a batch driver installed
+   one with [with_run_stats], into a scoped recorder too — that is how
+   the bench harness gets per-experiment distributions).  Recording is
+   two histogram observes under one mutex per run — noise-free for the
+   experiments' printed output, which never reads these. *)
+
+module Histogram = Vmht_obs.Histogram
+
+type run_stats = {
+  run_cycles : Histogram.t;
+  run_host_ns : Histogram.t;
+}
+
+let fresh_run_stats () =
+  { run_cycles = Histogram.create (); run_host_ns = Histogram.create () }
+
+let perf_mutex = Mutex.create ()
+
+let global_stats = fresh_run_stats () (* guarded by [perf_mutex] *)
+
+let scoped_stats : run_stats option ref = ref None (* guarded *)
+
+let record_run ~cycles ~host_ns =
+  Mutex.lock perf_mutex;
+  Histogram.observe global_stats.run_cycles cycles;
+  Histogram.observe global_stats.run_host_ns host_ns;
+  (match !scoped_stats with
+  | Some r ->
+    Histogram.observe r.run_cycles cycles;
+    Histogram.observe r.run_host_ns host_ns
+  | None -> ());
+  Mutex.unlock perf_mutex
+
+let with_run_stats f =
+  let r = fresh_run_stats () in
+  Mutex.lock perf_mutex;
+  let saved = !scoped_stats in
+  scoped_stats := Some r;
+  Mutex.unlock perf_mutex;
+  let restore () =
+    Mutex.lock perf_mutex;
+    scoped_stats := saved;
+    Mutex.unlock perf_mutex
+  in
+  let v = Fun.protect ~finally:restore f in
+  (v, r)
+
+let global_run_stats () =
+  Mutex.lock perf_mutex;
+  let r =
+    {
+      run_cycles = Histogram.copy global_stats.run_cycles;
+      run_host_ns = Histogram.copy global_stats.run_host_ns;
+    }
+  in
+  Mutex.unlock perf_mutex;
+  r
+
+let reset_run_stats () =
+  Mutex.lock perf_mutex;
+  Histogram.reset global_stats.run_cycles;
+  Histogram.reset global_stats.run_host_ns;
+  Mutex.unlock perf_mutex
+
 let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
     mode (w : Workload.t) ~size =
+  Vmht_obs.Span.with_span ~cat:"eval"
+    (Printf.sprintf "run:%s/%s" w.Workload.name (mode_name mode))
+    (fun () ->
+  let host_t0 = Unix.gettimeofday () in
   let soc = Soc.create config in
   if observe || Option.is_some trace_events then Soc.enable_tracing soc;
   let instance = w.Workload.setup (Soc.aspace soc) ~size ~seed in
@@ -110,7 +181,9 @@ let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
   if not correct then
     record_mismatch
       (Printf.sprintf "%s/%s/size %d" w.Workload.name (mode_name mode) size);
-  { result; correct; soc; instance; hw = !hw }
+  record_run ~cycles:result.Launch.total_cycles
+    ~host_ns:(int_of_float ((Unix.gettimeofday () -. host_t0) *. 1e9));
+  { result; correct; soc; instance; hw = !hw })
 
 let cycles o = o.result.Launch.total_cycles
 

@@ -30,6 +30,25 @@ val run :
     same without implying the CLI's textual dump — both turn typed
     event observation on via {!Vmht.Soc.enable_tracing}. *)
 
+(** {2 Per-run performance recording} *)
+
+type run_stats = {
+  run_cycles : Vmht_obs.Histogram.t;  (** simulated cycles per run *)
+  run_host_ns : Vmht_obs.Histogram.t;  (** host wall time per run, ns *)
+}
+
+val with_run_stats : (unit -> 'a) -> 'a * run_stats
+(** Run the thunk with a scoped recorder installed: every {!run} that
+    completes inside it (on any domain — the harness records under one
+    mutex) is added to the returned histograms as well as the global
+    ones.  The bench harness wraps each experiment in this to get
+    per-experiment distributions. *)
+
+val global_run_stats : unit -> run_stats
+(** A consistent copy of the process-wide per-run histograms. *)
+
+val reset_run_stats : unit -> unit
+
 val mismatch_log : unit -> string list
 (** Workload/mode/size identifiers of every incorrect run since the
     last {!reset_mismatches}, oldest first.  Safe (and deterministic:

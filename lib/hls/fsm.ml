@@ -42,7 +42,10 @@ let synthesize ?(resources = Schedule.default_resources) ?(unroll = 1)
   Typecheck.check_kernel kernel;
   let kernel', unrolled_loops = Ast_unroll.unroll_kernel ~factor:unroll kernel in
   let func = Lower.lower_kernel kernel' in
-  let opt_report = Pass_manager.optimize ?schedule:opt_schedule func in
+  let opt_report =
+    Vmht_obs.Span.with_span ~cat:"flow" "passes" (fun () ->
+        Pass_manager.optimize ?schedule:opt_schedule func)
+  in
   let schedule = Schedule.schedule_func ~resources func in
   let binding = Bind.bind schedule in
   let states = Schedule.total_states schedule in

@@ -83,6 +83,7 @@ let account stats =
 let totals () =
   Mutex.protect totals_mutex (fun () ->
       Hashtbl.fold (fun p (runs, rw) acc -> (p, runs, rw) :: acc) totals_tbl [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   |> List.sort compare
 
 let reset_totals () =

@@ -1,6 +1,9 @@
 (* One "process" per SoC; one "thread" track per component instance,
    numbered in order of first appearance so the Perfetto timeline is
-   stable across runs of a deterministic simulation. *)
+   stable across runs of a deterministic simulation.  Component
+   instances must already carry distinct names ("mmu", "mmu1", ...) —
+   the SoC numbers them at creation — so concurrent instances never
+   collapse onto one track. *)
 
 let tids_of_events events =
   let table = Hashtbl.create 16 in
@@ -43,7 +46,7 @@ let event_json ~pid ~tid (e : Event.t) =
     (* Instantaneous: thread-scoped instant event. *)
     Json.Obj (common @ [ ("ph", Json.String "i"); ("s", Json.String "t") ])
 
-let to_json ?(process_name = "vmht-soc") ?(pid = 1) events =
+let group_events ~process_name ~pid events =
   let tids, order = tids_of_events events in
   let metadata =
     metadata_event ~pid ~tid:0 ~name:"process_name" ~value:process_name
@@ -60,13 +63,25 @@ let to_json ?(process_name = "vmht-soc") ?(pid = 1) events =
         event_json ~pid ~tid:(Hashtbl.find tids e.Event.component) e)
       events
   in
+  metadata @ trace_events
+
+let wrap trace_events =
   Json.Obj
     [
-      ("traceEvents", Json.List (metadata @ trace_events));
+      ("traceEvents", Json.List trace_events);
       (* Timestamps are fabric cycles, not microseconds; ns display
          keeps Perfetto from rescaling them confusingly. *)
       ("displayTimeUnit", Json.String "ns");
     ]
+
+let to_json ?(process_name = "vmht-soc") ?(pid = 1) events =
+  wrap (group_events ~process_name ~pid events)
+
+let groups_to_json groups =
+  wrap
+    (List.concat_map
+       (fun (pid, process_name, events) -> group_events ~process_name ~pid events)
+       groups)
 
 let to_string ?process_name ?pid events =
   Json.to_string_pretty (to_json ?process_name ?pid events)

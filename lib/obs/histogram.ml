@@ -1,0 +1,163 @@
+(* HDR-style log-bucketed histogram: 16 sub-buckets per power of two.
+
+   Values 0..15 land in unit-width buckets 0..15.  A value v >= 16
+   with [bits] significant bits is scaled down by [shift = bits - 5]
+   so its top five bits select one of 16 sub-buckets within its
+   power-of-two range:
+
+     index = 16 + shift*16 + ((v lsr shift) - 16)
+
+   Bucket widths double every 16 buckets, so the recorded value is
+   within a factor of [1 + 1/16] of the truth everywhere — tight
+   enough for latency percentiles — while 944 buckets cover every
+   non-negative 63-bit OCaml int. *)
+
+let sub_bits = 4
+
+let sub_count = 1 lsl sub_bits (* 16 *)
+
+(* max_int has 62 significant bits: shift = 57, top index
+   16 + 57*16 + 15 = 943. *)
+let n_buckets = 944
+
+let significant_bits v =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_index v =
+  if v < sub_count then max 0 v
+  else begin
+    let shift = significant_bits v - (sub_bits + 1) in
+    sub_count + (shift * sub_count) + ((v lsr shift) - sub_count)
+  end
+
+let bucket_lower k =
+  if k < sub_count then max 0 k
+  else begin
+    let shift = (k / sub_count) - 1 in
+    let sub = k mod sub_count in
+    (sub_count + sub) lsl shift
+  end
+
+let bucket_upper k =
+  if k < sub_count then max 0 k
+  else begin
+    let shift = (k / sub_count) - 1 in
+    let sub = k mod sub_count in
+    ((sub_count + sub + 1) lsl shift) - 1
+  end
+
+type t = {
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+let create () =
+  { n = 0; sum = 0; min_v = max_int; max_v = 0; buckets = Array.make n_buckets 0 }
+
+let reset t =
+  t.n <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0;
+  Array.fill t.buckets 0 n_buckets 0
+
+let observe t v =
+  let v = max 0 v in
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let k = bucket_index v in
+  t.buckets.(k) <- t.buckets.(k) + 1
+
+let count t = t.n
+
+let sum t = t.sum
+
+let min_value t = if t.n = 0 then 0 else t.min_v
+
+let max_value t = t.max_v
+
+let merge_into ~src ~dst =
+  if src.n > 0 then begin
+    dst.n <- dst.n + src.n;
+    dst.sum <- dst.sum + src.sum;
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+    for k = 0 to n_buckets - 1 do
+      dst.buckets.(k) <- dst.buckets.(k) + src.buckets.(k)
+    done
+  end
+
+let copy t =
+  {
+    n = t.n;
+    sum = t.sum;
+    min_v = t.min_v;
+    max_v = t.max_v;
+    buckets = Array.copy t.buckets;
+  }
+
+(* The quantile is the upper bound of the first bucket whose cumulative
+   count reaches rank [q * n] (see {!Vmht_util.Stats.quantile_bucket}),
+   clamped to the observed maximum so q = 1 is exact. *)
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let k = Vmht_util.Stats.quantile_bucket ~q t.buckets in
+    if k < 0 then 0 else Stdlib.min t.max_v (bucket_upper k)
+  end
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for k = n_buckets - 1 downto 0 do
+    if t.buckets.(k) > 0 then acc := (bucket_upper k, t.buckets.(k)) :: !acc
+  done;
+  !acc
+
+type summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p90 : int;
+  p95 : int;
+  p99 : int;
+}
+
+let summary t =
+  {
+    count = t.n;
+    sum = t.sum;
+    mean = (if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n);
+    min = min_value t;
+    max = t.max_v;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p95 = quantile t 0.95;
+    p99 = quantile t 0.99;
+  }
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Int s.sum);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Int s.min);
+      ("max", Json.Int s.max);
+      ("p50", Json.Int s.p50);
+      ("p90", Json.Int s.p90);
+      ("p95", Json.Int s.p95);
+      ("p99", Json.Int s.p99);
+    ]
+
+let summary_to_string (s : summary) =
+  Printf.sprintf "n=%d sum=%d min=%d p50<=%d p90<=%d p99<=%d max=%d" s.count
+    s.sum s.min s.p50 s.p90 s.p99 s.max

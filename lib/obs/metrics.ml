@@ -1,18 +1,8 @@
-(* Up to [2^62 - 1] fits bucket 62, so 63 buckets cover every
-   non-negative OCaml int on 64-bit. *)
-let n_buckets = 63
-
 type counter = { mutable count : int }
 
 type gauge = { mutable value : float }
 
-type histogram = {
-  mutable n : int;
-  mutable sum : int;
-  mutable min_v : int;
-  mutable max_v : int;
-  buckets : int array;
-}
+type histogram = Histogram.t
 
 type t = {
   counters : (string, counter) Hashtbl.t;
@@ -39,15 +29,7 @@ let counter t name = find_or_add t.counters name (fun () -> { count = 0 })
 
 let gauge t name = find_or_add t.gauges name (fun () -> { value = 0. })
 
-let histogram t name =
-  find_or_add t.histograms name (fun () ->
-      {
-        n = 0;
-        sum = 0;
-        min_v = max_int;
-        max_v = 0;
-        buckets = Array.make n_buckets 0;
-      })
+let histogram t name = find_or_add t.histograms name Histogram.create
 
 let incr ?(by = 1) c = c.count <- c.count + by
 
@@ -59,25 +41,11 @@ let set_gauge g v = g.value <- v
 
 let gauge_value g = g.value
 
-(* Bucket 0 holds value 0; bucket [k >= 1] holds [2^(k-1) .. 2^k - 1]
-   (i.e. the values needing exactly [k] bits). *)
-let bucket_index v =
-  if v <= 0 then 0
-  else begin
-    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
-    min (n_buckets - 1) (bits v 0)
-  end
+let bucket_index = Histogram.bucket_index
 
-let bucket_upper k = if k = 0 then 0 else (1 lsl k) - 1
+let bucket_upper = Histogram.bucket_upper
 
-let observe h v =
-  let v = max 0 v in
-  h.n <- h.n + 1;
-  h.sum <- h.sum + v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v;
-  let k = bucket_index v in
-  h.buckets.(k) <- h.buckets.(k) + 1
+let observe = Histogram.observe
 
 type histogram_snapshot = {
   count : int;
@@ -85,7 +53,9 @@ type histogram_snapshot = {
   min : int;
   max : int;
   p50 : int;
+  p90 : int;
   p95 : int;
+  p99 : int;
   buckets : (int * int) list;
 }
 
@@ -95,24 +65,18 @@ type snapshot = {
   histograms : (string * histogram_snapshot) list;
 }
 
-let quantile h q =
-  if h.n = 0 then 0
-  else
-    let k = Vmht_util.Stats.quantile_bucket ~q h.buckets in
-    if k < 0 then 0 else Stdlib.min h.max_v (bucket_upper k)
-
 let histogram_snapshot h =
+  let s = Histogram.summary h in
   {
-    count = h.n;
-    sum = h.sum;
-    min = (if h.n = 0 then 0 else h.min_v);
-    max = h.max_v;
-    p50 = quantile h 0.5;
-    p95 = quantile h 0.95;
-    buckets =
-      Array.to_list h.buckets
-      |> List.mapi (fun k c -> (bucket_upper k, c))
-      |> List.filter (fun (_, c) -> c > 0);
+    count = s.Histogram.count;
+    sum = s.Histogram.sum;
+    min = s.Histogram.min;
+    max = s.Histogram.max;
+    p50 = s.Histogram.p50;
+    p90 = s.Histogram.p90;
+    p95 = s.Histogram.p95;
+    p99 = s.Histogram.p99;
+    buckets = Histogram.nonzero_buckets h;
   }
 
 let sorted_bindings table value =
@@ -139,7 +103,9 @@ let histogram_snapshot_to_json (h : histogram_snapshot) =
       ("min", Json.Int h.min);
       ("max", Json.Int h.max);
       ("p50", Json.Int h.p50);
+      ("p90", Json.Int h.p90);
       ("p95", Json.Int h.p95);
+      ("p99", Json.Int h.p99);
       ( "buckets",
         Json.List
           (List.map
@@ -172,7 +138,7 @@ let snapshot_to_string (s : snapshot) =
   List.iter
     (fun (k, h) ->
       Buffer.add_string buf
-        (Printf.sprintf "%-32s n=%d sum=%d min=%d p50<=%d p95<=%d max=%d\n" k
-           h.count h.sum h.min h.p50 h.p95 h.max))
+        (Printf.sprintf "%-32s n=%d sum=%d min=%d p50<=%d p90<=%d p99<=%d max=%d\n"
+           k h.count h.sum h.min h.p50 h.p90 h.p99 h.max))
     s.histograms;
   Buffer.contents buf

@@ -1,14 +1,13 @@
-(** Metrics registry: named counters, gauges and log2-bucketed cycle
+(** Metrics registry: named counters, gauges and HDR-style latency
     histograms.
 
     Components (or the SoC on their behalf) register instruments under
     a ["component.metric"] naming convention; {!snapshot} produces one
     uniform, sorted view that the report renders as text or JSON.
     Counters hold exact integers, gauges hold floats (rates, ratios,
-    high-water marks), and histograms bucket non-negative integer
-    samples by bit-width — bucket 0 holds value 0, bucket [k] holds
-    [2^(k-1) .. 2^k - 1] — which is cheap, bounded, and plenty for
-    latency distributions spanning orders of magnitude. *)
+    high-water marks), and histograms are {!Histogram.t}: log-bucketed
+    with 16 sub-buckets per power of two, so p50/p90/p95/p99 summaries
+    carry at most 1/16 relative error across the full int range. *)
 
 type t
 
@@ -16,7 +15,7 @@ type counter
 
 type gauge
 
-type histogram
+type histogram = Histogram.t
 
 val create : unit -> t
 
@@ -42,11 +41,10 @@ val observe : histogram -> int -> unit
 (** Record one sample (clamped below at 0). *)
 
 val bucket_index : int -> int
-(** The histogram bucket a value lands in. *)
+(** The histogram bucket a value lands in (see {!Histogram}). *)
 
 val bucket_upper : int -> int
-(** Inclusive upper bound of bucket [k]: 0 for bucket 0, else
-    [2^k - 1]. *)
+(** Inclusive upper bound of bucket [k]. *)
 
 (** {2 Snapshots} *)
 
@@ -56,7 +54,9 @@ type histogram_snapshot = {
   min : int;  (** 0 when empty *)
   max : int;
   p50 : int;  (** upper bound of the median's bucket, clamped to max *)
+  p90 : int;
   p95 : int;
+  p99 : int;
   buckets : (int * int) list;  (** (inclusive upper bound, count), populated buckets only *)
 }
 

@@ -1,0 +1,28 @@
+(** Perf-regression gate: compare two bench manifests
+    ([vmht-bench-eval/1] or [/2]).
+
+    Extracts per-experiment wall seconds, ns/run and (v2) simulated
+    cycle percentiles, plus micro-benchmark ns/run, and flags every
+    metric that grew by at least the threshold percentage.  Metrics
+    present in only one manifest are listed as [missing] rather than
+    dropped, so renames can't silently weaken the gate. *)
+
+type row = {
+  metric : string;  (** e.g. ["fig1.seconds"], ["micro.vm/.../run.ns_per_run"] *)
+  old_v : float;
+  new_v : float;
+  delta_pct : float;  (** positive = slower *)
+}
+
+type report = {
+  rows : row list;  (** compared metrics, manifest order *)
+  regressions : row list;  (** rows with [delta_pct >= threshold] *)
+  missing : string list;
+}
+
+val diff :
+  ?threshold:float -> old_manifest:Json.t -> new_manifest:Json.t -> unit -> report
+(** [threshold] is a percentage; default 10. *)
+
+val render : threshold:float -> report -> string
+(** Aligned table plus a one-line verdict. *)

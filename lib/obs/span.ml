@@ -1,0 +1,184 @@
+(* Causal host-time spans over the build/evaluation pipeline.
+
+   Spans are per-domain nested (a domain-local stack supplies the
+   parent), stamped with wall-clock nanoseconds, and collected into
+   one process-wide list under a mutex at span end.  Cross-domain
+   causality (a pool task belongs to the map call that submitted it)
+   is a separate [flow_from] edge, captured at submission time, since
+   the submitting span lives on a different thread track.
+
+   Global begin/end sequence numbers ([seq0]/[seq1]) give tests a
+   clock-independent witness of well-formed nesting: a child's whole
+   [seq0, seq1] interval sits strictly inside its parent's. *)
+
+type t = {
+  id : int;
+  parent : int option; (* enclosing span on the same track *)
+  flow_from : int option; (* cross-track causal edge *)
+  tid : int;
+  name : string;
+  cat : string;
+  t0_ns : int;
+  t1_ns : int;
+  seq0 : int;
+  seq1 : int;
+}
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let next_id = Atomic.make 1
+
+let next_seq = Atomic.make 1
+
+let m = Mutex.create ()
+
+let collected : t list ref = ref []
+
+type dls = { mutable tid : int option; mutable stack : int list }
+
+let state : dls Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tid = None; stack = [] })
+
+let set_tid tid = (Domain.DLS.get state).tid <- Some tid
+
+let current_tid () =
+  match (Domain.DLS.get state).tid with
+  | Some tid -> tid
+  | None -> (Domain.self () :> int)
+
+let current_span_id () =
+  match (Domain.DLS.get state).stack with [] -> None | id :: _ -> Some id
+
+let reset () =
+  Mutex.lock m;
+  collected := [];
+  Mutex.unlock m
+
+let enable flag =
+  if flag && not (Atomic.get enabled_flag) then reset ();
+  Atomic.set enabled_flag flag
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let with_span ?(cat = "flow") ?flow_from name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let d = Domain.DLS.get state in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = match d.stack with [] -> None | p :: _ -> Some p in
+    let tid = current_tid () in
+    let seq0 = Atomic.fetch_and_add next_seq 1 in
+    let t0 = now_ns () in
+    d.stack <- id :: d.stack;
+    let finish () =
+      (match d.stack with
+      | s :: rest when s = id -> d.stack <- rest
+      | _ -> ());
+      let t1 = now_ns () in
+      let seq1 = Atomic.fetch_and_add next_seq 1 in
+      let span =
+        { id; parent; flow_from; tid; name; cat; t0_ns = t0; t1_ns = t1; seq0; seq1 }
+      in
+      Mutex.lock m;
+      collected := span :: !collected;
+      Mutex.unlock m
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let spans () =
+  Mutex.lock m;
+  let ss = !collected in
+  Mutex.unlock m;
+  List.sort (fun a b -> compare a.seq0 b.seq0) ss
+
+(* {2 Chrome-trace export} *)
+
+let ts_us ns = Json.Float (float_of_int ns /. 1e3)
+
+let span_json ~pid s =
+  let args =
+    ("id", Json.Int s.id)
+    ::
+    (match s.parent with
+    | Some p -> [ ("parent", Json.Int p) ]
+    | None -> [])
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("ph", Json.String "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.tid);
+      ("ts", ts_us s.t0_ns);
+      ("dur", ts_us (max 0 (s.t1_ns - s.t0_ns)));
+      ("args", Json.Obj args);
+    ]
+
+let flow_json ~pid ~by_id s =
+  match s.flow_from with
+  | None -> []
+  | Some src_id -> (
+    match Hashtbl.find_opt by_id src_id with
+    | None -> []
+    | Some (src : t) ->
+      if src.tid = s.tid then []
+      else
+        let common name ph tid ts =
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("cat", Json.String "flow");
+              ("ph", Json.String ph);
+              ("id", Json.Int s.id);
+              ("pid", Json.Int pid);
+              ("tid", Json.Int tid);
+              ("ts", ts_us ts);
+            ]
+        in
+        [
+          common s.name "s" src.tid (Stdlib.min src.t1_ns s.t0_ns);
+          common s.name "f" s.tid s.t0_ns;
+        ])
+
+let to_chrome_json ?(process_name = "vmht") ?(pid = 0) (ss : t list) =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) ss;
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : t) -> s.tid) ss)
+  in
+  let metadata_event ~tid ~name ~value =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String value) ]);
+      ]
+  in
+  let metadata =
+    metadata_event ~tid:0 ~name:"process_name" ~value:process_name
+    :: List.map
+         (fun tid ->
+           let value = if tid = 0 then "main" else Printf.sprintf "worker-%d" tid in
+           metadata_event ~tid ~name:"thread_name" ~value)
+         tids
+  in
+  let xs = List.map (span_json ~pid) ss in
+  let flows = List.concat_map (flow_json ~pid ~by_id) ss in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ xs @ flows));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome_file ?process_name ?pid path ss =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_chrome_json ?process_name ?pid ss)))

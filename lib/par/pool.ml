@@ -40,7 +40,14 @@ let create ~domains =
       workers = [];
     }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  (* Workers take stable small span tids (1 .. domains-1; the caller
+     is track 0) so a -j N trace renders as N named lanes instead of
+     one track per ever-growing Domain id. *)
+  t.workers <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Vmht_obs.Span.set_tid (i + 1);
+            worker t));
   t
 
 let size t = t.size
@@ -54,10 +61,23 @@ let map (type b) t (f : 'a -> b) xs =
       Array.make n None
     in
     let remaining = ref n in
+    (* The span (if enabled) ties each task back to the submitting
+       span via a flow edge, captured here on the caller's domain. *)
+    let spans_on = Vmht_obs.Span.enabled () in
+    let flow_from =
+      if spans_on then Vmht_obs.Span.current_span_id () else None
+    in
+    let apply i =
+      if spans_on then
+        Vmht_obs.Span.with_span ~cat:"par" ?flow_from
+          ("task:" ^ string_of_int i)
+          (fun () -> f xs.(i))
+      else f xs.(i)
+    in
     (* Runs outside the mutex; only the bookkeeping re-acquires it. *)
     let run_one i =
       let r =
-        match f xs.(i) with
+        match apply i with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in

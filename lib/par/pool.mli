@@ -10,7 +10,13 @@
 
     A pool with [domains = 1] spawns nothing and [map] degenerates to
     [List.map] on the calling domain — same execution order, same
-    allocation behaviour, no synchronization. *)
+    allocation behaviour, no synchronization.
+
+    Observability: each worker registers a stable span thread id
+    (1 .. domains-1; the submitting caller is track 0), and when
+    {!Vmht_obs.Span} is enabled every task runs inside a span carrying
+    a flow edge back to the span that submitted the [map] — so a
+    [-j N] run renders as one coherent multi-track timeline. *)
 
 type t
 

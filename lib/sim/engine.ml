@@ -3,12 +3,41 @@ type time = int
 exception Not_in_process
 exception Stuck of string
 
+(* Per-engine profiling state, allocated only when the process-wide
+   profile (Vmht_obs.Profile) is enabled at [create] time.
+
+   Cycle attribution is a partition of the engine's timeline: every
+   scheduled action is wrapped to remember the phase that scheduled
+   it, and when it is dispatched it charges the simulated time that
+   passed since the previous charge point ([charged_upto]) to that
+   phase.  Charge points advance monotonically through every
+   dispatch, so the per-phase sums telescope to exactly the engine's
+   final [now].  Host time is only sampled (every 64th dispatch) —
+   cheap enough to leave on for whole evaluation runs. *)
+type eprof = {
+  mutable cur_phase : int; (* phase of the code currently executing *)
+  mutable charged_upto : time;
+  cycles : int array;
+  host_ns : float array;
+  mutable dispatches : int;
+  mutable last_host : float;
+  mutable flushed_now : time;
+  mutable first_flush : bool;
+  batch : Vmht_obs.Histogram.t;
+}
+
 type t = {
   mutable now : time;
   queue : (unit -> unit) Event_queue.t;
   mutable suspended : int;
   mutable executed : int;
+  profile : eprof option;
+  mutable batch_sink : (int -> unit) option;
+  mutable batch_at : time; (* timestamp of the open dispatch batch *)
+  mutable batch_len : int;
 }
+
+type phase = Vmht_obs.Profile.phase
 
 type _ Effect.t +=
   | Wait : t * int -> unit Effect.t
@@ -23,14 +52,58 @@ type _ Effect.t +=
    that) without clobbering each other's context. *)
 let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
+let fresh_eprof () =
+  {
+    cur_phase = Vmht_obs.Profile.phase_index Vmht_obs.Profile.Dispatch;
+    charged_upto = 0;
+    cycles = Array.make Vmht_obs.Profile.n_phases 0;
+    host_ns = Array.make Vmht_obs.Profile.n_phases 0.;
+    dispatches = 0;
+    last_host = 0.;
+    flushed_now = 0;
+    first_flush = true;
+    batch = Vmht_obs.Histogram.create ();
+  }
+
 let create () =
-  { now = 0; queue = Event_queue.create (); suspended = 0; executed = 0 }
+  {
+    now = 0;
+    queue = Event_queue.create ();
+    suspended = 0;
+    executed = 0;
+    profile =
+      (if Vmht_obs.Profile.enabled () then Some (fresh_eprof ()) else None);
+    batch_sink = None;
+    batch_at = -1;
+    batch_len = 0;
+  }
 
 let now t = t.now
 
+let observe_batches t sink = t.batch_sink <- Some sink
+
 let schedule t ~at action =
   assert (at >= t.now);
-  Event_queue.push t.queue ~at action
+  match t.profile with
+  | None -> Event_queue.push t.queue ~at action
+  | Some p ->
+    (* Capture the scheduling phase; on dispatch, charge the timeline
+       advance since the previous charge point to it. *)
+    let ph = p.cur_phase in
+    Event_queue.push t.queue ~at (fun () ->
+        let dt = t.now - p.charged_upto in
+        if dt > 0 then p.cycles.(ph) <- p.cycles.(ph) + dt;
+        p.charged_upto <- t.now;
+        p.cur_phase <- ph;
+        action ())
+
+let with_phase ph f =
+  match Domain.DLS.get current with
+  | Some { profile = Some p; _ } ->
+    let saved = p.cur_phase in
+    p.cur_phase <- Vmht_obs.Profile.phase_index ph;
+    Fun.protect ~finally:(fun () -> p.cur_phase <- saved) f
+  | _ -> f ()
 
 let rec exec_process t fn =
   let open Effect.Deep in
@@ -70,8 +143,45 @@ let rec exec_process t fn =
 
 and spawn t ~name:_ fn = schedule t ~at:t.now (fun () -> exec_process t fn)
 
+let tracking_batches t = t.batch_sink <> None || t.profile <> None
+
+let flush_batch t =
+  if t.batch_len > 0 then begin
+    (match t.batch_sink with Some f -> f t.batch_len | None -> ());
+    (match t.profile with
+    | Some p -> Vmht_obs.Histogram.observe p.batch t.batch_len
+    | None -> ());
+    t.batch_len <- 0;
+    t.batch_at <- -1
+  end
+
+let flush_profile t =
+  match t.profile with
+  | None -> ()
+  | Some p ->
+    flush_batch t;
+    let h = Unix.gettimeofday () in
+    if p.last_host > 0. then
+      p.host_ns.(p.cur_phase) <-
+        p.host_ns.(p.cur_phase) +. ((h -. p.last_host) *. 1e9);
+    p.last_host <- h;
+    Vmht_obs.Profile.flush ~cycles:p.cycles ~host_ns:p.host_ns
+      ~dispatches:p.dispatches
+      ~engine_cycles:(t.now - p.flushed_now)
+      ~engines:(if p.first_flush then 1 else 0)
+      ~batch:p.batch;
+    Array.fill p.cycles 0 (Array.length p.cycles) 0;
+    Array.fill p.host_ns 0 (Array.length p.host_ns) 0.;
+    p.dispatches <- 0;
+    p.flushed_now <- t.now;
+    p.first_flush <- false;
+    Vmht_obs.Histogram.reset p.batch
+
 let run ?until ?(check_quiescent = false) t =
   let horizon = match until with None -> max_int | Some u -> u in
+  (match t.profile with
+  | Some p -> p.last_host <- Unix.gettimeofday ()
+  | None -> ());
   let rec loop () =
     if not (Event_queue.is_empty t.queue) then begin
       let at = Event_queue.min_time_exn t.queue in
@@ -79,14 +189,35 @@ let run ?until ?(check_quiescent = false) t =
         let action = Event_queue.pop_payload_exn t.queue in
         t.now <- at;
         t.executed <- t.executed + 1;
+        if tracking_batches t then
+          if at = t.batch_at then t.batch_len <- t.batch_len + 1
+          else begin
+            flush_batch t;
+            t.batch_at <- at;
+            t.batch_len <- 1
+          end;
         let saved = Domain.DLS.get current in
         Domain.DLS.set current (Some t);
         Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) action;
+        (match t.profile with
+        | Some p ->
+          p.dispatches <- p.dispatches + 1;
+          (* Sample the host clock every 64th dispatch, charging the
+             elapsed slice to the phase of the action that just ran. *)
+          if p.dispatches land 63 = 0 then begin
+            let h = Unix.gettimeofday () in
+            p.host_ns.(p.cur_phase) <-
+              p.host_ns.(p.cur_phase) +. ((h -. p.last_host) *. 1e9);
+            p.last_host <- h
+          end
+        | None -> ());
         loop ()
       end
     end
   in
   loop ();
+  flush_batch t;
+  flush_profile t;
   if check_quiescent && t.suspended > 0 then
     raise
       (Stuck

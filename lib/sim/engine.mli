@@ -45,6 +45,25 @@ val suspended_count : t -> int
 val events_executed : t -> int
 (** Total events the engine has dispatched (a work measure). *)
 
+(** {2 Profiling and batch observation} *)
+
+type phase = Vmht_obs.Profile.phase
+
+val with_phase : phase -> (unit -> 'a) -> 'a
+(** Attribute simulated time consumed by [f] (its [wait]s and the
+    waits of events it schedules) to the given phase.  Free unless the
+    process-wide profile ({!Vmht_obs.Profile.enable}) was on when this
+    engine was created; profile-enabled engines charge every timeline
+    advance to the phase of the event that consumed it, so the
+    per-phase sums partition the engine's total exactly.  Deltas are
+    flushed to {!Vmht_obs.Profile} at the end of every {!run}. *)
+
+val observe_batches : t -> (int -> unit) -> unit
+(** Install a sink called with the size of every batch of events
+    dispatched at the same timestamp (a measure of event-queue
+    contention).  Independent of profiling; the SoC points this at its
+    ["engine.dispatch_batch"] metrics histogram when observing. *)
+
 (** {2 Process-context operations} *)
 
 val wait : int -> unit

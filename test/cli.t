@@ -234,3 +234,55 @@ the typed event stream:
 
   $ vmht trace vecadd --mode vm --size 64 --out t2.json
   671 events written to t2.json
+
+The phase profiler attributes every simulated cycle to a phase; the
+attribution must sum exactly to the engine total (the command itself
+asserts it and exits nonzero on a mismatch).  Cycle counts are
+deterministic; host milliseconds are not, so mask them:
+
+  $ vmht profile no_such_experiment
+  unknown experiment 'no_such_experiment'
+  [1]
+  $ vmht profile fig1 --json prof.json | grep "cycle attribution"
+    cycle attribution sums exactly to the engine total (phases 13777538, engines 13777538)
+  $ grep -c '"schema": "vmht-profile/1"' prof.json
+  1
+
+The perf gate compares two bench manifests and fails the build when a
+metric regressed past the threshold:
+
+  $ cat > old.json <<'JSON'
+  > {"schema": "vmht-bench-eval/2",
+  >  "experiments": [{"name": "fig1", "seconds": 1.0,
+  >                   "cycles": {"p50": 100, "p99": 120, "max": 200}}],
+  >  "total_seconds": 1.0}
+  > JSON
+  $ cat > new.json <<'JSON'
+  > {"schema": "vmht-bench-eval/2",
+  >  "experiments": [{"name": "fig1", "seconds": 1.3,
+  >                   "cycles": {"p50": 100, "p99": 150, "max": 200}}],
+  >  "total_seconds": 1.3}
+  > JSON
+  $ vmht perf diff old.json old.json
+  metric                                              old            new     delta
+  fig1.seconds                                          1              1     +0.0%
+  fig1.cycles.p50                                     100            100     +0.0%
+  fig1.cycles.p99                                     120            120     +0.0%
+  fig1.cycles.max                                     200            200     +0.0%
+  total_seconds                                         1              1     +0.0%
+  ok: 5 metric(s) within +10.0%
+  $ vmht perf diff old.json new.json | tail -1
+  regression: 3 metric(s) slower by >= 10.0%
+  $ vmht perf diff old.json new.json > /dev/null
+  [1]
+  $ vmht perf diff old.json new.json --threshold 50 > /dev/null
+  $ vmht perf diff old.json new.json --warn-only > /dev/null
+  $ vmht perf diff old.json broken.json
+  vmht: NEW.json argument: no 'broken.json' file or directory
+  Usage: vmht perf diff [--threshold=PCT] [--warn-only] [OPTION]… OLD.json NEW.json
+  Try 'vmht perf diff --help' or 'vmht --help' for more information.
+  [124]
+  $ echo '{oops' > bad.json
+  $ vmht perf diff old.json bad.json > /dev/null
+  error: bad.json: expected '"' at offset 1
+  [2]

@@ -65,22 +65,27 @@ let test_json_parse_errors () =
 (* ------------------------- Metrics -------------------------------- *)
 
 let test_histogram_buckets () =
-  check_int "0 lands in bucket 0" 0 (Metrics.bucket_index 0);
-  check_int "1 lands in bucket 1" 1 (Metrics.bucket_index 1);
-  check_int "2 lands in bucket 2" 2 (Metrics.bucket_index 2);
-  check_int "3 lands in bucket 2" 2 (Metrics.bucket_index 3);
-  check_int "4 lands in bucket 3" 3 (Metrics.bucket_index 4);
-  check_int "7 lands in bucket 3" 3 (Metrics.bucket_index 7);
-  check_int "8 lands in bucket 4" 4 (Metrics.bucket_index 8);
-  check_int "bucket 0 upper" 0 (Metrics.bucket_upper 0);
-  check_int "bucket 3 upper" 7 (Metrics.bucket_upper 3);
-  check_int "bucket 10 upper" 1023 (Metrics.bucket_upper 10);
-  (* Every bucket's upper bound must land in that bucket, and the next
-     value in the next one. *)
-  for k = 1 to 20 do
+  (* HDR geometry: 16 sub-buckets per power of two, so values below 32
+     are recorded exactly and every bucket above keeps relative width
+     <= 1/16. *)
+  for v = 0 to 31 do
+    check_int "small values are exact" v (Metrics.bucket_index v);
+    check_int "small uppers are the value" v (Metrics.bucket_upper v)
+  done;
+  check_int "32 opens the first lossy bucket" 32 (Metrics.bucket_index 32);
+  check_int "33 shares it" 32 (Metrics.bucket_index 33);
+  check_int "34 is the next" 33 (Metrics.bucket_index 34);
+  (* Every bucket's upper bound must land in that bucket, the next
+     value in the next one, and the bucket width must respect the
+     1/16 relative-error contract. *)
+  for k = 1 to 400 do
+    let lower = Histogram.bucket_lower k in
     let upper = Metrics.bucket_upper k in
+    check_int "lower in bucket" k (Metrics.bucket_index lower);
     check_int "upper in bucket" k (Metrics.bucket_index upper);
-    check_int "upper+1 in next" (k + 1) (Metrics.bucket_index (upper + 1))
+    check_int "upper+1 in next" (k + 1) (Metrics.bucket_index (upper + 1));
+    check_bool "relative width <= 1/16" true
+      (16 * (upper - lower) <= max 16 lower)
   done
 
 let test_histogram_snapshot () =
@@ -92,10 +97,54 @@ let test_histogram_snapshot () =
   check_int "sum" 107 s.Metrics.sum;
   check_int "min" 1 s.Metrics.min;
   check_int "max" 100 s.Metrics.max;
-  (* Median bucket is bucket 2 (values 2..3) -> upper bound 3. *)
-  check_int "p50" 3 s.Metrics.p50;
+  (* Rank ceil(0.5 * 5) = 3 -> the third smallest sample, exactly. *)
+  check_int "p50" 2 s.Metrics.p50;
   (* p95 hits the top bucket; quantiles clamp to the observed max. *)
-  check_int "p95 clamped to max" 100 s.Metrics.p95
+  check_int "p95 clamped to max" 100 s.Metrics.p95;
+  check_int "p99 clamped to max" 100 s.Metrics.p99
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 1; 5; 1000 ];
+  List.iter (Histogram.observe b) [ 2; 700000 ];
+  Histogram.merge_into ~src:b ~dst:a;
+  check_int "merged count" 5 (Histogram.count a);
+  check_int "merged sum" (1 + 5 + 1000 + 2 + 700000) (Histogram.sum a);
+  check_int "merged min" 1 (Histogram.min_value a);
+  check_int "merged max" 700000 (Histogram.max_value a);
+  check_int "src untouched" 2 (Histogram.count b)
+
+(* Quantiles against the naive sorted-array oracle: the histogram must
+   return exactly the upper bound of the bucket holding the oracle's
+   rank-ceil(q*n) element, clamped to the observed max. *)
+let quantile_oracle_property =
+  QCheck.Test.make ~count:300 ~name:"histogram quantile = bucketed oracle"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_range 0 2_000_000))
+        (int_range 1 99))
+    (fun (samples, pct) ->
+      QCheck.assume (samples <> []);
+      let q = float_of_int pct /. 100. in
+      let h = Histogram.create () in
+      List.iter (Histogram.observe h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank =
+        (* First 1-based rank r with r >= q*n — the element the
+           cumulative bucket scan stops at. *)
+        let r = int_of_float (ceil (q *. float_of_int n)) in
+        max 1 (min n r)
+      in
+      let oracle = List.nth sorted (rank - 1) in
+      let expected =
+        min (Histogram.max_value h)
+          (Histogram.bucket_upper (Histogram.bucket_index oracle))
+      in
+      Histogram.quantile h q = expected
+      (* And the bucketed answer is within 1/16 of the true value. *)
+      && Histogram.quantile h q >= oracle
+      && 16 * (Histogram.quantile h q - oracle) <= max 16 oracle)
 
 let test_metrics_snapshot_sorted () =
   let m = Metrics.create () in
@@ -326,6 +375,188 @@ let test_dma_burst_events () =
          | _ -> false)
        events)
 
+(* ------------------------- Spans ---------------------------------- *)
+
+let test_span_nesting_parallel () =
+  Vmht_obs.Span.enable true;
+  Vmht_par.Parmap.set_jobs 4;
+  Fun.protect
+    ~finally:(fun () ->
+      Vmht_par.Parmap.shutdown ();
+      Vmht_obs.Span.enable false)
+    (fun () ->
+      let sum =
+        Span.with_span ~cat:"test" "sweep" (fun () ->
+            List.fold_left ( + ) 0
+              (Vmht_par.Parmap.map
+                 (fun x ->
+                   Span.with_span ~cat:"test" "inner" (fun () -> x * 2))
+                 (List.init 16 Fun.id)))
+      in
+      check_int "pool still computes" (16 * 15) sum;
+      let spans = Span.spans () in
+      check_int "sweep + 16 tasks + 16 inners" 33 (List.length spans);
+      let by_id =
+        List.fold_left
+          (fun acc (s : Span.t) -> (s.Span.id, s) :: acc)
+          [] spans
+      in
+      check_int "ids unique" (List.length spans) (List.length by_id);
+      let sweep =
+        List.find (fun (s : Span.t) -> s.Span.name = "sweep") spans
+      in
+      List.iter
+        (fun (s : Span.t) ->
+          check_bool (s.Span.name ^ ": begin before end (seq)") true
+            (s.Span.seq0 < s.Span.seq1);
+          check_bool (s.Span.name ^ ": non-negative duration") true
+            (s.Span.t1_ns >= s.Span.t0_ns);
+          (match s.Span.parent with
+           | None -> ()
+           | Some pid -> (
+             match List.assoc_opt pid by_id with
+             | None -> Alcotest.fail (s.Span.name ^ ": dangling parent")
+             | Some p ->
+               (* Same track, and strictly nested in global begin/end
+                  order — true whatever the scheduler did. *)
+               check_int (s.Span.name ^ ": parent on same tid") p.Span.tid
+                 s.Span.tid;
+               check_bool (s.Span.name ^ ": nested inside parent") true
+                 (p.Span.seq0 < s.Span.seq0 && s.Span.seq1 < p.Span.seq1)));
+          if String.length s.Span.name >= 5 && String.sub s.Span.name 0 5 = "task:"
+          then
+            check_bool "task flows from the submitting sweep" true
+              (s.Span.flow_from = Some sweep.Span.id))
+        spans;
+      (* The Chrome export stays structurally sound: every X event
+         carries pid/tid/ts/dur and flow pairs come s-then-f. *)
+      let doc = Span.to_chrome_json spans in
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) ->
+        check_bool "export non-empty" true (List.length evs > List.length spans)
+      | _ -> Alcotest.fail "traceEvents missing")
+
+(* ------------------------- Phase profiler ------------------------- *)
+
+let test_profile_exact_attribution_engine () =
+  Profile.enable true;
+  Fun.protect
+    ~finally:(fun () -> Profile.enable false)
+    (fun () ->
+      let eng = Vmht_sim.Engine.create () in
+      Vmht_sim.Engine.spawn eng ~name:"t" (fun () ->
+          Vmht_sim.Engine.with_phase Profile.Actor (fun () ->
+              Vmht_sim.Engine.wait 10);
+          Vmht_sim.Engine.with_phase Profile.Memory (fun () ->
+              Vmht_sim.Engine.wait 5;
+              Vmht_sim.Engine.with_phase Profile.Translate (fun () ->
+                  Vmht_sim.Engine.wait 7));
+          Vmht_sim.Engine.wait 3);
+      Vmht_sim.Engine.run eng;
+      let t = Profile.totals () in
+      check_int "one engine" 1 t.Profile.engines;
+      check_int "engine total" 25 t.Profile.engine_cycles;
+      let ph p = t.Profile.cycles.(Profile.phase_index p) in
+      check_int "actor cycles" 10 (ph Profile.Actor);
+      check_int "memory cycles" 5 (ph Profile.Memory);
+      check_int "translate cycles" 7 (ph Profile.Translate);
+      check_int "dispatch gets the rest" 3 (ph Profile.Dispatch);
+      check_int "attribution sums exactly" t.Profile.engine_cycles
+        (Profile.cycle_sum t);
+      check_bool "dispatch batches observed" true
+        (Histogram.count t.Profile.batch > 0))
+
+let test_profile_exact_attribution_end_to_end () =
+  Profile.enable true;
+  Fun.protect
+    ~finally:(fun () -> Profile.enable false)
+    (fun () ->
+      List.iter
+        (fun mode ->
+          ignore
+            (Vmht_eval.Common.run mode (Registry.find "vecadd") ~size:512))
+        [ Vmht_eval.Common.Sw; Vmht_eval.Common.Vm; Vmht_eval.Common.Dma ];
+      let t = Profile.totals () in
+      check_bool "engines ran" true (t.Profile.engines >= 3);
+      check_bool "cycles simulated" true (t.Profile.engine_cycles > 0);
+      check_int "attribution sums exactly across every run"
+        t.Profile.engine_cycles (Profile.cycle_sum t);
+      (* The VM style must show translation work; every style touches
+         memory. *)
+      check_bool "translate attributed" true
+        (t.Profile.cycles.(Profile.phase_index Profile.Translate) > 0);
+      check_bool "memory attributed" true
+        (t.Profile.cycles.(Profile.phase_index Profile.Memory) > 0);
+      (* JSON export parses back and carries all four phases. *)
+      let json = Json.of_string (Json.to_string (Profile.to_json t)) in
+      match Json.member "phases" json with
+      | Some (Json.Obj phases) -> check_int "four phases" 4 (List.length phases)
+      | _ -> Alcotest.fail "phases object missing")
+
+(* ------------------------- Perf diff ------------------------------ *)
+
+let manifest names_seconds =
+  Json.Obj
+    [
+      ("schema", Json.String "vmht-bench-eval/2");
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, seconds, p99) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("seconds", Json.Float seconds);
+                   ("ns_per_run", Json.Float (seconds *. 1e6));
+                   ( "cycles",
+                     Json.Obj
+                       [
+                         ("p50", Json.Int 100);
+                         ("p99", Json.Int p99);
+                         ("max", Json.Int (2 * p99));
+                       ] );
+                 ])
+             names_seconds) );
+      ("total_seconds", Json.Float 1.0);
+    ]
+
+let test_perf_diff_identical () =
+  let m = manifest [ ("fig1", 0.5, 120); ("table2", 1.25, 90) ] in
+  let r = Perf_diff.diff ~old_manifest:m ~new_manifest:m () in
+  check_bool "no regressions" true (r.Perf_diff.regressions = []);
+  check_bool "no missing" true (r.Perf_diff.missing = []);
+  check_bool "rows compared" true (List.length r.Perf_diff.rows >= 8);
+  check_bool "verdict ok" true
+    (contains (Perf_diff.render ~threshold:10. r) "ok:")
+
+let test_perf_diff_regression () =
+  let old_m = manifest [ ("fig1", 0.5, 120) ] in
+  let new_m = manifest [ ("fig1", 0.5 *. 1.25, 120) ] in
+  let r = Perf_diff.diff ~threshold:10. ~old_manifest:old_m ~new_manifest:new_m () in
+  check_bool "seconds + ns_per_run regressed" true
+    (List.length r.Perf_diff.regressions = 2);
+  check_bool "flagged in render" true
+    (contains (Perf_diff.render ~threshold:10. r) "REGRESSED");
+  (* Below threshold passes, *)
+  let r =
+    Perf_diff.diff ~threshold:30. ~old_manifest:old_m ~new_manifest:new_m ()
+  in
+  check_bool "under threshold is clean" true (r.Perf_diff.regressions = []);
+  (* and improvements never trip the gate. *)
+  let r =
+    Perf_diff.diff ~threshold:10. ~old_manifest:new_m ~new_manifest:old_m ()
+  in
+  check_bool "speedup is not a regression" true (r.Perf_diff.regressions = [])
+
+let test_perf_diff_missing_metric () =
+  let old_m = manifest [ ("fig1", 0.5, 120); ("fig9", 0.5, 120) ] in
+  let new_m = manifest [ ("fig1", 0.5, 120) ] in
+  let r = Perf_diff.diff ~old_manifest:old_m ~new_manifest:new_m () in
+  check_bool "renamed metrics are reported, not dropped" true
+    (r.Perf_diff.missing <> []);
+  check_bool "mentioned in render" true
+    (contains (Perf_diff.render ~threshold:10. r) "only in one manifest")
+
 let suite =
   [
     Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
@@ -335,9 +566,23 @@ let suite =
       test_histogram_buckets;
     Alcotest.test_case "metrics: histogram snapshot" `Quick
       test_histogram_snapshot;
+    Alcotest.test_case "histogram: merge" `Quick test_histogram_merge;
+    QCheck_alcotest.to_alcotest quantile_oracle_property;
     Alcotest.test_case "metrics: snapshot sorted" `Quick
       test_metrics_snapshot_sorted;
     QCheck_alcotest.to_alcotest ring_property;
+    Alcotest.test_case "spans: nesting well-formed under -j 4" `Quick
+      test_span_nesting_parallel;
+    Alcotest.test_case "profile: exact attribution (engine)" `Quick
+      test_profile_exact_attribution_engine;
+    Alcotest.test_case "profile: exact attribution (end to end)" `Quick
+      test_profile_exact_attribution_end_to_end;
+    Alcotest.test_case "perf diff: identical manifests" `Quick
+      test_perf_diff_identical;
+    Alcotest.test_case "perf diff: regression + improvement" `Quick
+      test_perf_diff_regression;
+    Alcotest.test_case "perf diff: missing metric" `Quick
+      test_perf_diff_missing_metric;
     Alcotest.test_case "chrome: export shape" `Quick test_chrome_trace_shape;
     Alcotest.test_case "attribution: waterfall" `Quick test_waterfall_renders;
     Alcotest.test_case "attribution: sums to total (all workloads x styles)"

@@ -271,7 +271,7 @@ let git_rev () =
         | Some line -> String.sub line 0 (String.index line ' ')
         | None -> "unknown")))
 
-let run_perf ~json () =
+let run_perf ~config ~json () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "perf: %d experiments, %d jobs\n%!"
     (List.length Vmht_eval.All_experiments.names)
@@ -283,7 +283,7 @@ let run_perf ~json () =
         let s0 = Unix.gettimeofday () in
         let out, stats =
           Vmht_eval.Common.with_run_stats (fun () ->
-              Vmht_eval.All_experiments.run name)
+              Vmht_eval.All_experiments.run ~config name)
         in
         let seconds = Unix.gettimeofday () -. s0 in
         Printf.printf "  %-8s %8.3f s  (%d bytes)\n%!" name seconds
@@ -330,6 +330,14 @@ let run_perf ~json () =
                    Json.Obj
                      [
                        ("name", Json.String name);
+                       (* Experiments that execute nothing (area and
+                          synthesis-time studies) have no per-run
+                          timing; the explicit kind tells the perf
+                          gate that their missing ns_per_run is
+                          intentional, not a silently dropped metric. *)
+                       ( "kind",
+                         Json.String (if runs = 0 then "synthesis" else "run")
+                       );
                        ("seconds", Json.Float seconds);
                        ("runs", Json.Int runs);
                        ( "ns_per_run",
@@ -399,7 +407,9 @@ let usage () =
     \                    exactly this plan)\n\
     \  --seed S          base seed for the fault schedule\n\
     \  --opt-level N     pass-schedule preset (0, 1 or 2; default 2)\n\
-    \  --passes a,b,c    explicit pass schedule overriding --opt-level\n"
+    \  --passes a,b,c    explicit pass schedule overriding --opt-level\n\
+    \  --no-fastpath     disable the simulator fast path (cycles and\n\
+    \                    outputs are identical either way; see abl7)\n"
 
 let () =
   let jobs = ref (Domain.recommended_domain_count ()) in
@@ -408,6 +418,7 @@ let () =
   let seed = ref None in
   let opt_level = ref None in
   let passes = ref None in
+  let fastpath = ref true in
   let bad msg =
     Printf.eprintf "%s\n" msg;
     usage ();
@@ -452,6 +463,9 @@ let () =
         Some (List.filter (fun s -> s <> "") (String.split_on_char ',' list));
       parse acc rest
     | [ "--passes" ] -> bad "--passes needs a comma-separated pass list"
+    | "--no-fastpath" :: rest ->
+      fastpath := false;
+      parse acc rest
     | arg :: rest
       when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
       match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
@@ -481,6 +495,7 @@ let () =
     | None -> config
   in
   let config = Vmht.Config.with_passes config !passes in
+  let config = Vmht.Config.with_fastpath config !fastpath in
   (match Vmht.Config.schedule config with
    | (_ : Vmht_ir.Pass_manager.schedule) -> ()
    | exception Invalid_argument msg ->
@@ -513,7 +528,7 @@ let () =
       (* everything after `micro` selects targets by substring *)
       run_micro ~filters ()
     | "perf" :: rest ->
-      run_perf ~json:!json_path ();
+      run_perf ~config ~json:!json_path ();
       dispatch rest
     | ("help" | "--help" | "-h") :: rest ->
       usage ();

@@ -57,6 +57,19 @@ let passes_arg =
         ~doc:
           "Explicit comma-separated pass schedule, overriding            $(b,--opt-level) (see $(b,vmht passes) for the registry).")
 
+(* The simulator fast path (engine wait batching, trace-compiled
+   accelerator blocks, translation memo) changes host time only; this
+   flag is the escape hatch and the ablation baseline. *)
+let no_fastpath_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fastpath" ]
+        ~doc:
+          "Disable the simulator fast path (quiescence fast-forwarding, \
+           trace-compiled accelerator blocks, translation memo).  \
+           Simulated cycles and outputs are identical either way — see \
+           the $(b,abl7) experiment.")
+
 let config_with_opt config opt_level passes =
   let config =
     match opt_level with
@@ -259,13 +272,14 @@ let run_cmd =
              simulate) and write them as Chrome-trace JSON to $(docv).")
   in
   let action wname mode size tlb tlb2 walk_cache page_shift stats trace_n
-      trace_out metrics_json spans_out pipeline opt_level passes =
+      trace_out metrics_json spans_out pipeline no_fastpath opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
       1
     | w ->
       let config = config_with_opt Vmht.Config.default opt_level passes in
+      let config = Vmht.Config.with_fastpath config (not no_fastpath) in
       let config =
         match tlb with
         | Some entries -> Vmht.Config.with_tlb_entries config entries
@@ -401,7 +415,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ tlb2 $ walk_cache
       $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ spans_out
-      $ pipeline
+      $ pipeline $ no_fastpath_arg
       $ opt_level_arg
       $ passes_arg)
 
@@ -647,7 +661,8 @@ let bench_cmd =
              write them as Chrome-trace JSON to $(docv): one track per \
              worker, flow arrows from the submitting sweep.")
   in
-  let action jobs fault_rate seed metrics_json spans_out opt_level passes names =
+  let action jobs fault_rate seed metrics_json spans_out no_fastpath opt_level
+      passes names =
     Vmht_par.Parmap.set_jobs
       (match jobs with
        | Some n -> n
@@ -668,6 +683,7 @@ let bench_cmd =
       | None -> config
     in
     let config = config_with_opt config opt_level passes in
+    let config = Vmht.Config.with_fastpath config (not no_fastpath) in
     with_schedule config @@ fun sched ->
     Vmht_ir.Pass_manager.reset_totals ();
     Vmht_vm.Vm_totals.reset ();
@@ -721,6 +737,7 @@ let bench_cmd =
             ( "fault",
               Json.String (Vmht_fault.Plan.to_string config.Vmht.Config.fault)
             );
+            ("fastpath", Json.Bool config.Vmht.Config.fastpath);
             ( "experiments",
               Json.List
                 (List.rev_map
@@ -809,6 +826,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Regenerate evaluation tables and figures." ~man)
     Term.(
       const action $ jobs $ fault_rate $ seed $ metrics_json $ spans_out
+      $ no_fastpath_arg
       $ opt_level_arg
       $ passes_arg $ names)
 
@@ -832,7 +850,7 @@ let profile_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the profile as JSON to $(docv).")
   in
-  let action name jobs seed json_out =
+  let action name jobs seed no_fastpath json_out =
     match Vmht_eval.Experiment.find name with
     | None ->
       Printf.eprintf "unknown experiment '%s'\n" name;
@@ -845,12 +863,15 @@ let profile_cmd =
         | Some s -> Vmht.Config.with_seed config s
         | None -> config
       in
+      let config = Vmht.Config.with_fastpath config (not no_fastpath) in
       (* Enable before any engine exists: the profiling hook is bound
          at [Engine.create]. *)
       Vmht_obs.Profile.enable true;
       ignore (Vmht_eval.Experiment.run ~config e : string);
       let t = Vmht_obs.Profile.totals () in
-      Printf.printf "profile: %s\n%s" name (Vmht_obs.Profile.render t);
+      Printf.printf "profile: %s (fastpath %s)\n%s" name
+        (if config.Vmht.Config.fastpath then "on" else "off")
+        (Vmht_obs.Profile.render t);
       let exact =
         Vmht_obs.Profile.cycle_sum t = t.Vmht_obs.Profile.engine_cycles
       in
@@ -882,7 +903,7 @@ let profile_cmd =
          "Run an experiment under the simulator phase profiler and report \
           where simulated cycles and host time go (dispatch, actor, \
           memory, translate).")
-    Term.(const action $ name_arg $ jobs $ seed $ json_out)
+    Term.(const action $ name_arg $ jobs $ seed $ no_fastpath_arg $ json_out)
 
 (* ------------------------- perf ----------------------------------- *)
 

@@ -21,6 +21,7 @@ type t = {
   cache_maintenance_cycles : int;
   fault : Vmht_fault.Plan.t;
   seed : int;
+  fastpath : bool;
 }
 
 let default =
@@ -57,6 +58,12 @@ let default =
     cache_maintenance_cycles = 64;
     fault = Vmht_fault.Plan.none;
     seed = 1;
+    (* Trace-compiled simulator fast path (single-runnable wait
+       batching, steady-state accelerator traces, memoized
+       translation).  Observationally identical — cycle counts and
+       outputs do not depend on it — so it defaults on; --no-fastpath
+       is the escape hatch and the abl7 ablation proves the claim. *)
+    fastpath = true;
   }
 
 let with_tlb_entries t entries =
@@ -84,6 +91,8 @@ let with_fault t fault = { t with fault }
 let with_seed t seed = { t with seed }
 
 let with_opt_level t opt_level = { t with opt_level }
+
+let with_fastpath t fastpath = { t with fastpath }
 
 let with_passes t passes = { t with passes }
 
@@ -169,6 +178,9 @@ let fingerprint (t : t) =
      | None -> "preset;"
      | Some names -> "passes:" ^ String.concat "," names ^ ";");
   i t.seed;
+  (* Purely a runtime toggle, but the all-fields policy wins: a
+     spurious cache miss is cheaper than a forgotten field. *)
+  f t.fastpath;
   Buffer.contents b
 
 let to_string t =

@@ -42,6 +42,10 @@ type t = {
   fault : Vmht_fault.Plan.t;
       (** fault-injection plan; {!Vmht_fault.Plan.none} by default *)
   seed : int;
+  fastpath : bool;
+      (** trace-compiled simulator fast path (wait batching, compiled
+          accelerator traces, memoized translation); observationally
+          identical, on by default, [--no-fastpath] disables *)
 }
 
 val default : t
@@ -68,6 +72,9 @@ val with_seed : t -> int -> t
 val with_opt_level : t -> int -> t
 
 val with_passes : t -> string list option -> t
+
+val with_fastpath : t -> bool -> t
+(** Toggle the simulator fast path (the --no-fastpath escape hatch). *)
 
 val schedule : t -> Vmht_ir.Pass_manager.schedule
 (** The pass schedule this config selects: the explicit [passes] list

@@ -107,7 +107,8 @@ let run_hw_vm soc (hw : Flow.hw_thread) request =
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
         Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+          ~ports:(Soc.config soc).Config.accel_mem_ports
+          ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
           ~args:request.args)
   in
   phase_end soc "compute";
@@ -237,7 +238,8 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
         Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Soc.config soc).Config.accel_mem_ports hw.Flow.fsm ~port
+          ~ports:(Soc.config soc).Config.accel_mem_ports
+          ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
           ~args:request.args)
   in
   phase_end soc "compute";

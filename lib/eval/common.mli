@@ -37,6 +37,12 @@ type run_stats = {
   run_host_ns : Vmht_obs.Histogram.t;  (** host wall time per run, ns *)
 }
 
+val record_run : cycles:int -> host_ns:int -> unit
+(** Add one run to the per-run histograms (global and any scoped
+    recorder).  {!run} does this itself; experiments that drive
+    {!Vmht.Launch} directly (multi-thread scaling, for instance) call
+    it so the bench manifest still sees their runs. *)
+
 val with_run_stats : (unit -> 'a) -> 'a * run_stats
 (** Run the thunk with a scoped recorder installed: every {!run} that
     completes inside it (on any domain — the harness records under one

@@ -126,6 +126,12 @@ let all =
       run = Abl6.run;
     };
     {
+      name = "abl7";
+      doc = "simulator fast path on vs off: identical cycles, faster host";
+      kind = Ablation;
+      run = Abl7.run;
+    };
+    {
       name = "robust";
       doc = "fault injection: recovery overhead, vm vs copy-based";
       kind = Sweep;

@@ -47,8 +47,8 @@ let rec chunks n = function
     let chunk, rest = take n [] l in
     chunk :: chunks n rest
 
-let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port
-    ~args =
+let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) ?(fastpath = true)
+    (hw : Fsm.t) ~port ~args =
   let f = hw.Fsm.func in
   if List.length args <> List.length f.Ir.arg_regs then
     invalid_arg
@@ -63,39 +63,50 @@ let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port
     (fun (b : Schedule.block_schedule) ->
       Hashtbl.replace sched_blocks b.Schedule.label b)
     hw.Fsm.schedule.Schedule.blocks;
+  (* Blocks execute their trace-compiled form (instruction indices
+     bucketed by start cycle, see {!Fsm.Trace}); compiled lazily, once
+     per label per run. *)
+  let compiled_blocks = Hashtbl.create 16 in
+  let compiled_for label b =
+    match Hashtbl.find_opt compiled_blocks label with
+    | Some c -> c
+    | None ->
+      let c = Fsm.Trace.compile_block b in
+      Hashtbl.add compiled_blocks label c;
+      c
+  in
   (* Execute one FSM state (= one schedule cycle of a block).  All
      operand reads happen against the register file as it was at state
      entry; commits are buffered and applied at state exit. *)
-  let exec_cycle (b : Schedule.block_schedule) cycle =
+  let exec_cycle (b : Schedule.block_schedule) (ids : int array) =
     let commits = ref [] in
     let mem_ops = ref [] in
-    Array.iteri
-      (fun i start ->
-        if start = cycle then
-          match b.Schedule.instrs.(i) with
-          | Ir.Bin (op, d, x, y) ->
-            let v = Ast_interp.eval_binop op (value x) (value y) in
-            commits := (d, v) :: !commits
-          | Ir.Un (op, d, x) ->
-            commits := (d, Ast_interp.eval_unop op (value x)) :: !commits
-          | Ir.Mov (d, x) -> commits := (d, value x) :: !commits
-          | Ir.Load (d, addr) ->
-            let a = value addr in
-            stats.loads <- stats.loads + 1;
-            mem_ops :=
-              (fun () ->
-                (* Complete the access before touching the commit list:
-                   concurrent lanes must not capture a stale snapshot
-                   of it across their suspension. *)
-                let v = port.load a in
-                commits := (d, v) :: !commits)
-              :: !mem_ops
-          | Ir.Store (addr, v) ->
-            let a = value addr in
-            let v = value v in
-            stats.stores <- stats.stores + 1;
-            mem_ops := (fun () -> port.store a v) :: !mem_ops)
-      b.Schedule.starts;
+    Array.iter
+      (fun i ->
+        match b.Schedule.instrs.(i) with
+        | Ir.Bin (op, d, x, y) ->
+          let v = Ast_interp.eval_binop op (value x) (value y) in
+          commits := (d, v) :: !commits
+        | Ir.Un (op, d, x) ->
+          commits := (d, Ast_interp.eval_unop op (value x)) :: !commits
+        | Ir.Mov (d, x) -> commits := (d, value x) :: !commits
+        | Ir.Load (d, addr) ->
+          let a = value addr in
+          stats.loads <- stats.loads + 1;
+          mem_ops :=
+            (fun () ->
+              (* Complete the access before touching the commit list:
+                 concurrent lanes must not capture a stale snapshot
+                 of it across their suspension. *)
+              let v = port.load a in
+              commits := (d, v) :: !commits)
+            :: !mem_ops
+        | Ir.Store (addr, v) ->
+          let a = value addr in
+          let v = value v in
+          stats.stores <- stats.stores + 1;
+          mem_ops := (fun () -> port.store a v) :: !mem_ops)
+      ids;
     let mem_ops = List.rev !mem_ops in
     if mem_ops = [] then Engine.wait 1
     else
@@ -104,6 +115,43 @@ let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port
       List.iter par_run (chunks ports mem_ops);
     stats.fsm_cycles <- stats.fsm_cycles + 1;
     List.iter (fun (d, v) -> regs.(d) <- v) (List.rev !commits)
+  in
+  (* Fast path over a [Pure] step: no memory, so the unit waits of its
+     cycles fuse into one wait at the end.  Register semantics are
+     preserved exactly — each cycle still reads the file as of its own
+     entry and commits at its own exit (buffered when a cycle holds
+     several ops); only the wait placement moves, which nothing can
+     observe because pure cycles touch no shared structure. *)
+  let exec_pure_fused (b : Schedule.block_schedule) (cycles : int array array)
+      =
+    let n = Array.length cycles in
+    for c = 0 to n - 1 do
+      let ids = cycles.(c) in
+      if Array.length ids = 1 then
+        (match b.Schedule.instrs.(ids.(0)) with
+        | Ir.Bin (op, d, x, y) ->
+          regs.(d) <- Ast_interp.eval_binop op (value x) (value y)
+        | Ir.Un (op, d, x) -> regs.(d) <- Ast_interp.eval_unop op (value x)
+        | Ir.Mov (d, x) -> regs.(d) <- value x
+        | Ir.Load _ | Ir.Store _ -> assert false)
+      else begin
+        let commits = ref [] in
+        Array.iter
+          (fun i ->
+            match b.Schedule.instrs.(i) with
+            | Ir.Bin (op, d, x, y) ->
+              let v = Ast_interp.eval_binop op (value x) (value y) in
+              commits := (d, v) :: !commits
+            | Ir.Un (op, d, x) ->
+              commits := (d, Ast_interp.eval_unop op (value x)) :: !commits
+            | Ir.Mov (d, x) -> commits := (d, value x) :: !commits
+            | Ir.Load _ | Ir.Store _ -> assert false)
+          ids;
+        List.iter (fun (d, v) -> regs.(d) <- v) (List.rev !commits)
+      end
+    done;
+    stats.fsm_cycles <- stats.fsm_cycles + n;
+    Engine.wait n
   in
   (* Sequential functional execution of one instruction, used by the
      software-pipelined loop path: results are exact (program order);
@@ -175,10 +223,16 @@ let run ?observer ?(stats = fresh_stats ()) ?(ports = 1) (hw : Fsm.t) ~port
     | None ->
       stats.block_visits <- stats.block_visits + 1;
       let b = Hashtbl.find sched_blocks label in
+      let steps = compiled_for label b in
       observe_block label (fun () ->
-          for cycle = 0 to b.Schedule.makespan - 1 do
-            exec_cycle b cycle
-          done);
+          Array.iter
+            (fun (step : Fsm.Trace.step) ->
+              match step with
+              | Fsm.Trace.Mem ids -> exec_cycle b ids
+              | Fsm.Trace.Pure cycles ->
+                if fastpath then exec_pure_fused b cycles
+                else Array.iter (exec_cycle b) cycles)
+            steps);
       let ir_block = Ir.find_block f label in
       (match ir_block.Ir.term with
        | Ir.Jmp l -> exec_block l

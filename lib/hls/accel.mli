@@ -29,6 +29,7 @@ val run :
   ?observer:Vmht_obs.Event.emitter ->
   ?stats:run_stats ->
   ?ports:int ->
+  ?fastpath:bool ->
   Fsm.t ->
   port:port ->
   args:int list ->
@@ -39,7 +40,15 @@ val run :
     [observer] receives one {!Vmht_obs.Event.kind.Fsm_state} event per
     basic-block entry, spanning the block's execution; a
     software-pipelined loop region emits a single event covering all
-    its iterations. *)
+    its iterations.
+
+    [fastpath] (default [true]) executes blocks through their
+    trace-compiled form ({!Fsm.Trace}): runs of memory-free FSM states
+    advance the clock with one fused wait instead of one per state.
+    Cycle counts, results, stats and emitted events are identical
+    either way; any state touching memory always executes unfused, so
+    faults and contention land exactly where the interpreter would put
+    them. *)
 
 val untimed_port : Vmht_lang.Ast_interp.memory -> port
 (** Wrap an untimed memory as a port (for functional tests outside the

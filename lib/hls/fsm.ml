@@ -84,6 +84,61 @@ let synthesize ?(resources = Schedule.default_resources) ?(unroll = 1)
       };
   }
 
+(* Trace compilation of a block schedule.
+
+   The interpreter's per-cycle scan asks every instruction "do you
+   start this cycle?" — O(instrs * makespan) per block visit.  The
+   compiled form buckets instruction indices by start cycle once and
+   groups maximal runs of memory-free cycles into one [Pure] step, so a
+   visit costs O(instrs + steps) and the executor can collapse a pure
+   run's unit waits into a single wait.  Memory cycles stay unfused
+   ([Mem] steps): every translation, bus transaction and fault-injector
+   draw happens exactly where the interpreter would perform it — that
+   is the de-optimization boundary of the compiled trace. *)
+module Trace = struct
+  type step =
+    | Pure of int array array
+        (* consecutive cycles without memory ops; instruction indices
+           per cycle, in instruction order *)
+    | Mem of int array (* one cycle containing at least one Load/Store *)
+
+  type block = step array
+
+  let compile_block (b : Schedule.block_schedule) : block =
+    let makespan = b.Schedule.makespan in
+    let buckets = Array.make (max makespan 1) [] in
+    Array.iteri
+      (fun i start ->
+        if start >= 0 && start < makespan then buckets.(start) <- i :: buckets.(start))
+      b.Schedule.starts;
+    let per_cycle =
+      Array.init makespan (fun c -> Array.of_list (List.rev buckets.(c)))
+    in
+    let is_mem i =
+      match b.Schedule.instrs.(i) with
+      | Ir.Load _ | Ir.Store _ -> true
+      | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
+    in
+    let steps = ref [] in
+    let pure_run = ref [] in
+    let flush_pure () =
+      if !pure_run <> [] then begin
+        steps := Pure (Array.of_list (List.rev !pure_run)) :: !steps;
+        pure_run := []
+      end
+    in
+    Array.iter
+      (fun ids ->
+        if Array.exists is_mem ids then begin
+          flush_pure ();
+          steps := Mem ids :: !steps
+        end
+        else pure_run := ids :: !pure_run)
+      per_cycle;
+    flush_pure ();
+    Array.of_list (List.rev !steps)
+end
+
 let stats_to_string s =
   Printf.sprintf
     "%d IR instrs in %d blocks, %d FSM states, %d registers, %d loop(s) \

@@ -42,4 +42,23 @@ val synthesize :
 val datapath_area : Bind.t -> states:int -> Optypes.area
 (** FU area + register file + controller; no memory interface. *)
 
+(** Trace-compiled form of a block schedule: instruction indices
+    bucketed by start cycle, with maximal runs of memory-free cycles
+    grouped so the executor visits a block in O(instrs + steps) and can
+    collapse a pure run's unit waits into one wait.  Memory cycles are
+    never grouped — every translation, bus transaction and
+    fault-injector draw happens exactly where the interpreter would
+    perform it (the compiled trace's de-optimization boundary). *)
+module Trace : sig
+  type step =
+    | Pure of int array array
+        (** consecutive memory-free cycles; instruction indices per
+            cycle, in instruction order *)
+    | Mem of int array  (** one cycle containing at least one Load/Store *)
+
+  type block = step array
+
+  val compile_block : Schedule.block_schedule -> block
+end
+
 val stats_to_string : stats -> string

@@ -1,13 +1,29 @@
 let word_bytes = 8
 
-type t = { data : int array; bytes : int }
+(* Backing store is chunked and demand-allocated: a flat array would
+   cost a 64 MiB allocate-and-zero on every [create] — per-run setup
+   that dwarfs a small simulation.  A chunk springs into existence
+   (zeroed) on first write; unwritten chunks read as zero through a
+   shared empty sentinel, so observable contents are identical to the
+   flat array. *)
+let chunk_shift = 13 (* 8192 words = 64 KiB per chunk *)
+
+let chunk_words = 1 lsl chunk_shift
+
+let chunk_mask = chunk_words - 1
+
+let empty_chunk : int array = [||]
+
+type t = { chunks : int array array; bytes : int }
 
 exception Bad_address of int
 
 let create ~bytes =
   if bytes <= 0 || bytes mod word_bytes <> 0 then
     invalid_arg "Phys_mem.create: size must be a positive multiple of 8";
-  { data = Array.make (bytes / word_bytes) 0; bytes }
+  let words = bytes / word_bytes in
+  let n_chunks = (words + chunk_words - 1) / chunk_words in
+  { chunks = Array.make n_chunks empty_chunk; bytes }
 
 let size_bytes t = t.bytes
 
@@ -16,6 +32,21 @@ let index t addr =
     raise (Bad_address addr);
   addr / word_bytes
 
-let read t addr = t.data.(index t addr)
+let read t addr =
+  let i = index t addr in
+  let c = Array.unsafe_get t.chunks (i lsr chunk_shift) in
+  if c == empty_chunk then 0 else Array.unsafe_get c (i land chunk_mask)
 
-let write t addr value = t.data.(index t addr) <- value
+let write t addr value =
+  let i = index t addr in
+  let ci = i lsr chunk_shift in
+  let c = Array.unsafe_get t.chunks ci in
+  let c =
+    if c != empty_chunk then c
+    else begin
+      let fresh = Array.make chunk_words 0 in
+      Array.unsafe_set t.chunks ci fresh;
+      fresh
+    end
+  in
+  Array.unsafe_set c (i land chunk_mask) value

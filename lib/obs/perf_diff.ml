@@ -20,6 +20,10 @@ type report = {
   rows : row list; (* compared metrics, manifest order *)
   regressions : row list;
   missing : string list; (* metrics present on one side only *)
+  unattributed : string list;
+      (* experiments with no ns_per_run that are not marked
+         "kind": "synthesis" — surfaced so a recording bug cannot
+         silently drop an experiment out of the per-run gate *)
 }
 
 let get path j =
@@ -27,9 +31,12 @@ let get path j =
 
 let get_float path j = Option.bind (get path j) Json.to_float
 
-(* (metric name, value) pairs in manifest order. *)
+(* (metric name, value) pairs in manifest order, plus the names of
+   experiments whose ns_per_run is absent without the "synthesis" kind
+   explaining why. *)
 let extract manifest =
   let acc = ref [] in
+  let unattributed = ref [] in
   let push name v = acc := (name, v) :: !acc in
   let named_rows section j =
     match Option.bind (Json.member section j) Json.to_list with
@@ -45,7 +52,12 @@ let extract manifest =
   List.iter
     (fun (name, r) ->
       Option.iter (push (name ^ ".seconds")) (get_float [ "seconds" ] r);
-      Option.iter (push (name ^ ".ns_per_run")) (get_float [ "ns_per_run" ] r);
+      (match get_float [ "ns_per_run" ] r with
+      | Some v -> push (name ^ ".ns_per_run") v
+      | None ->
+        let kind = Option.bind (Json.member "kind" r) Json.to_str in
+        if kind <> Some "synthesis" then
+          unattributed := name :: !unattributed);
       List.iter
         (fun q ->
           Option.iter
@@ -60,15 +72,15 @@ let extract manifest =
         (get_float [ "ns_per_run" ] r))
     (named_rows "micro" manifest);
   Option.iter (push "total_seconds") (get_float [ "total_seconds" ] manifest);
-  List.rev !acc
+  (List.rev !acc, List.rev !unattributed)
 
 let delta_pct old_v new_v =
   if old_v = 0. then if new_v = 0. then 0. else infinity
   else (new_v -. old_v) /. old_v *. 100.
 
 let diff ?(threshold = 10.) ~old_manifest ~new_manifest () =
-  let old_metrics = extract old_manifest in
-  let new_metrics = extract new_manifest in
+  let old_metrics, old_unattr = extract old_manifest in
+  let new_metrics, new_unattr = extract new_manifest in
   let new_tbl = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) new_metrics;
   let rows, missing_old =
@@ -93,6 +105,9 @@ let diff ?(threshold = 10.) ~old_manifest ~new_manifest () =
     rows;
     regressions = List.filter (fun r -> r.delta_pct >= threshold) rows;
     missing = List.rev missing_old @ missing_new;
+    unattributed =
+      old_unattr
+      @ List.filter (fun n -> not (List.mem n old_unattr)) new_unattr;
   }
 
 let render ~threshold r =
@@ -109,6 +124,13 @@ let render ~threshold r =
   List.iter
     (fun k -> Buffer.add_string buf (Printf.sprintf "%-40s (only in one manifest)\n" k))
     r.missing;
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-40s (no per-run timing recorded and not marked \"synthesis\")\n"
+           (name ^ ".ns_per_run")))
+    r.unattributed;
   (match r.regressions with
   | [] ->
     Buffer.add_string buf

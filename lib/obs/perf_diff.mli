@@ -18,6 +18,10 @@ type report = {
   rows : row list;  (** compared metrics, manifest order *)
   regressions : row list;  (** rows with [delta_pct >= threshold] *)
   missing : string list;
+  unattributed : string list;
+      (** experiments (from either manifest) with no [ns_per_run] and
+          no ["kind": "synthesis"] marking to explain its absence —
+          reported, never silently skipped *)
 }
 
 val diff :

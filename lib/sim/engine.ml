@@ -31,10 +31,15 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable suspended : int;
   mutable executed : int;
+  mutable fast_forwards : int;
   profile : eprof option;
   mutable batch_sink : (int -> unit) option;
   mutable batch_at : time; (* timestamp of the open dispatch batch *)
   mutable batch_len : int;
+  fastpath : bool;
+  mutable horizon : time; (* [run ?until] bound; fast-forward never crosses *)
+  mutable ff_active : bool; (* a fast-forward trampoline is on the stack *)
+  mutable ff_pending : (unit -> unit) option; (* deferred resume for it *)
 }
 
 type phase = Vmht_obs.Profile.phase
@@ -65,17 +70,22 @@ let fresh_eprof () =
     batch = Vmht_obs.Histogram.create ();
   }
 
-let create () =
+let create ?(fastpath = true) () =
   {
     now = 0;
     queue = Event_queue.create ();
     suspended = 0;
     executed = 0;
+    fast_forwards = 0;
     profile =
       (if Vmht_obs.Profile.enabled () then Some (fresh_eprof ()) else None);
     batch_sink = None;
     batch_at = -1;
     batch_len = 0;
+    fastpath;
+    horizon = max_int;
+    ff_active = false;
+    ff_pending = None;
   }
 
 let now t = t.now
@@ -117,7 +127,54 @@ let rec exec_process t fn =
           | Wait (_, n) ->
             Some
               (fun (k : (a, _) continuation) ->
-                schedule t ~at:(t.now + n) (fun () -> continue k ()))
+                let target = t.now + n in
+                (* Single-runnable fast path: when no queued event can
+                   run at or before [target] (strict compare — an event
+                   tied at [target] carries a smaller sequence number
+                   and must dispatch first) and [target] does not cross
+                   the run horizon, advancing the clock directly is
+                   observationally identical to a heap round-trip.
+                   Profile charging is replicated inline: the advance is
+                   charged to the phase current at the perform point,
+                   exactly what [schedule]'s wrapper would have done. *)
+                if
+                  t.fastpath && target <= t.horizon
+                  && (Event_queue.is_empty t.queue
+                     || Event_queue.min_time_exn t.queue > target)
+                then begin
+                  (match t.profile with
+                  | Some p ->
+                    let dt = target - p.charged_upto in
+                    if dt > 0 then
+                      p.cycles.(p.cur_phase) <- p.cycles.(p.cur_phase) + dt;
+                    p.charged_upto <- target
+                  | None -> ());
+                  t.now <- target;
+                  t.fast_forwards <- t.fast_forwards + 1;
+                  (* Resuming here would nest one handler frame per
+                     fast-forwarded wait and overflow the stack on long
+                     chains, so only the outermost fast-forward drives
+                     the resume; inner ones hand theirs to it. *)
+                  if t.ff_active then
+                    t.ff_pending <- Some (fun () -> continue k ())
+                  else begin
+                    t.ff_active <- true;
+                    Fun.protect
+                      ~finally:(fun () -> t.ff_active <- false)
+                      (fun () ->
+                        continue k ();
+                        let rec drain () =
+                          match t.ff_pending with
+                          | Some f ->
+                            t.ff_pending <- None;
+                            f ();
+                            drain ()
+                          | None -> ()
+                        in
+                        drain ())
+                  end
+                end
+                else schedule t ~at:target (fun () -> continue k ()))
           | Suspend (_, register) ->
             Some
               (fun (k : (a, _) continuation) ->
@@ -179,6 +236,7 @@ let flush_profile t =
 
 let run ?until ?(check_quiescent = false) t =
   let horizon = match until with None -> max_int | Some u -> u in
+  t.horizon <- horizon;
   (match t.profile with
   | Some p -> p.last_host <- Unix.gettimeofday ()
   | None -> ());
@@ -227,6 +285,8 @@ let run ?until ?(check_quiescent = false) t =
 let suspended_count t = t.suspended
 
 let events_executed t = t.executed
+
+let fast_forwards t = t.fast_forwards
 
 let engine_of_context () =
   match Domain.DLS.get current with None -> raise Not_in_process | Some t -> t

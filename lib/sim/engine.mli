@@ -23,7 +23,14 @@ exception Stuck of string
 (** Raised by {!run} when [check_quiescent] is set and processes remain
     suspended after the event queue drains (usually a lost wakeup). *)
 
-val create : unit -> t
+val create : ?fastpath:bool -> unit -> t
+(** [fastpath] (default [true]) enables the single-runnable wait fast
+    path: when the event queue holds no event at or before the target
+    time of a {!wait}, the clock is advanced directly and the process
+    resumed in place instead of round-tripping the heap.  The schedule
+    produced is observationally identical — cycle counts, event order
+    and profile attribution do not change — only the heap traffic and
+    dispatch count do. *)
 
 val now : t -> time
 (** Current simulated time (usable from any context). *)
@@ -44,6 +51,10 @@ val suspended_count : t -> int
 
 val events_executed : t -> int
 (** Total events the engine has dispatched (a work measure). *)
+
+val fast_forwards : t -> int
+(** Number of waits the single-runnable fast path absorbed without a
+    heap round-trip (0 when the fast path is disabled). *)
 
 (** {2 Profiling and batch observation} *)
 

@@ -42,12 +42,19 @@ type stats = {
 type t
 
 val create :
-  ?asid:int -> ?tlb2:Tlb2.t -> config -> Vmht_mem.Bus.t -> Addr_space.t -> t
+  ?asid:int ->
+  ?tlb2:Tlb2.t ->
+  ?fastpath:bool ->
+  config ->
+  Vmht_mem.Bus.t ->
+  Addr_space.t ->
+  t
 (** [asid] tags this thread's TLB entries (default 0); threads serving
     different address spaces must carry distinct ASIDs.  [tlb2] shares
     a second-level TLB with the other MMUs of the SoC: an L1 miss pays
     the L2 probe latency, a hit refills the L1 without walking, and a
-    successful walk fills both levels. *)
+    successful walk fills both levels.  [fastpath] (default [true])
+    enables the L1 TLB's translation memo (see {!Tlb.create}). *)
 
 val asid : t -> int
 
@@ -91,6 +98,9 @@ val stats : t -> stats
 
 val tlb_stats : t -> Tlb.stats
 (** Counters of the MMU's private TLB (lookups, hits, evictions). *)
+
+val tlb_memo_hits : t -> int
+(** L1 lookups answered by the translation memo (see {!Tlb.memo_hits}). *)
 
 val ptw_stats : t -> Ptw.stats
 (** Counters of the MMU's walker (walks, level reads, failed walks). *)

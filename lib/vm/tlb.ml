@@ -25,9 +25,29 @@ type t = {
   mutable lookups : int;
   mutable hits : int;
   mutable evictions : int;
+  (* Translation memo: a direct-mapped vpn -> slot pointer cache in
+     front of the associative scan.  A memo hit revalidates against the
+     slot's own tags (valid/vpn/asid), so eviction, shootdown and unmap
+     invalidate it implicitly — no hook can be missed — and it performs
+     the identical lookup/clock/hit/stamp updates the scan would, so
+     replacement behavior and stats are bit-for-bit unchanged. *)
+  memo : slot array;
+  memo_mask : int; (* -1 disables the memo *)
+  mutable memo_hits : int;
 }
 
-let create config =
+let memo_size = 64
+
+let invalid_slot =
+  {
+    valid = false;
+    asid = 0;
+    vpn = -1;
+    data = { frame = 0; writable = false };
+    stamp = 0;
+  }
+
+let create ?(memo = true) config =
   if config.entries <= 0 then invalid_arg "Tlb.create: no entries";
   if config.assoc < 0 then invalid_arg "Tlb.create: negative associativity";
   if config.assoc > 0 && config.entries mod config.assoc <> 0 then
@@ -57,6 +77,9 @@ let create config =
     lookups = 0;
     hits = 0;
     evictions = 0;
+    memo = (if memo then Array.make memo_size invalid_slot else [||]);
+    memo_mask = (if memo then memo_size - 1 else -1);
+    memo_hits = 0;
   }
 
 let set_of t vpn =
@@ -74,31 +97,62 @@ let find_slot slots ~vpn ~asid =
   in
   go 0
 
+(* Memo probe: the matching slot, or [invalid_slot] on a memo miss.
+   At most one valid slot matches an (asid, vpn) pair ([insert] reuses
+   a resident match), so a revalidated memo hit is the same slot the
+   scan would find. *)
+let memo_probe t ~vpn ~asid =
+  if t.memo_mask < 0 then invalid_slot
+  else
+    let m = Array.unsafe_get t.memo (vpn land t.memo_mask) in
+    if m.valid && m.vpn = vpn && m.asid = asid then m else invalid_slot
+
+let memoize t s =
+  if t.memo_mask >= 0 then Array.unsafe_set t.memo (s.vpn land t.memo_mask) s
+
 let lookup ?(asid = 0) t ~vpn =
   t.lookups <- t.lookups + 1;
   t.clock <- t.clock + 1;
-  let slots = set_of t vpn in
-  let i = find_slot slots ~vpn ~asid in
-  if i < 0 then None
-  else begin
+  let m = memo_probe t ~vpn ~asid in
+  if m != invalid_slot then begin
     t.hits <- t.hits + 1;
-    let s = slots.(i) in
-    if t.lru then s.stamp <- t.clock;
-    Some s.data
+    t.memo_hits <- t.memo_hits + 1;
+    if t.lru then m.stamp <- t.clock;
+    Some m.data
   end
+  else
+    let slots = set_of t vpn in
+    let i = find_slot slots ~vpn ~asid in
+    if i < 0 then None
+    else begin
+      t.hits <- t.hits + 1;
+      let s = slots.(i) in
+      if t.lru then s.stamp <- t.clock;
+      memoize t s;
+      Some s.data
+    end
 
 let lookup_frame ?(asid = 0) t ~vpn =
   t.lookups <- t.lookups + 1;
   t.clock <- t.clock + 1;
-  let slots = set_of t vpn in
-  let i = find_slot slots ~vpn ~asid in
-  if i < 0 then -1
-  else begin
+  let m = memo_probe t ~vpn ~asid in
+  if m != invalid_slot then begin
     t.hits <- t.hits + 1;
-    let s = slots.(i) in
-    if t.lru then s.stamp <- t.clock;
-    s.data.frame
+    t.memo_hits <- t.memo_hits + 1;
+    if t.lru then m.stamp <- t.clock;
+    m.data.frame
   end
+  else
+    let slots = set_of t vpn in
+    let i = find_slot slots ~vpn ~asid in
+    if i < 0 then -1
+    else begin
+      t.hits <- t.hits + 1;
+      let s = slots.(i) in
+      if t.lru then s.stamp <- t.clock;
+      memoize t s;
+      s.data.frame
+    end
 
 let insert ?(asid = 0) t ~vpn entry =
   t.clock <- t.clock + 1;
@@ -113,7 +167,8 @@ let insert ?(asid = 0) t ~vpn entry =
        re-arrival), under LRU the touch counts as a use. *)
     let slot = slots.(i) in
     slot.data <- entry;
-    if t.lru then slot.stamp <- t.clock
+    if t.lru then slot.stamp <- t.clock;
+    memoize t slot
   end
   else begin
     let slot =
@@ -137,7 +192,8 @@ let insert ?(asid = 0) t ~vpn entry =
     slot.asid <- asid;
     slot.vpn <- vpn;
     slot.data <- entry;
-    slot.stamp <- t.clock
+    slot.stamp <- t.clock;
+    memoize t slot
   end
 
 let invalidate ?(asid = 0) t ~vpn =
@@ -170,6 +226,8 @@ let invalidate_slot t ~n =
   end
 
 let slot_count t = Array.length t.sets * Array.length t.sets.(0)
+
+let memo_hits t = t.memo_hits
 
 let stats (t : t) : stats =
   { lookups = t.lookups; hits = t.hits; evictions = t.evictions }

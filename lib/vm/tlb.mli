@@ -21,10 +21,17 @@ type stats = { lookups : int; hits : int; evictions : int }
 
 type t
 
-val create : config -> t
+val create : ?memo:bool -> config -> t
 (** Raises [Invalid_argument] when [entries] is non-positive or does not
     divide evenly into [assoc]-way sets — a non-divisible geometry would
-    otherwise silently round the capacity down. *)
+    otherwise silently round the capacity down.
+
+    [memo] (default [true]) keeps a direct-mapped vpn -> slot pointer
+    cache in front of the associative scan.  A memo hit revalidates
+    against the slot's own tags, so shootdown, unmap and eviction
+    invalidate it implicitly, and it performs the identical counter and
+    recency updates — stats and replacement are bit-for-bit unchanged.
+    The simulator's fast-path config turns it off for ablation. *)
 
 val lookup : ?asid:int -> t -> vpn:int -> entry option
 (** Updates recency and hit/miss counters.  Entries are tagged with an
@@ -60,6 +67,10 @@ val invalidate_slot : t -> n:int -> unit
 val slot_count : t -> int
 (** Number of physical slots actually built ([sets * ways]); the valid
     range for {!invalidate_slot}. *)
+
+val memo_hits : t -> int
+(** Lookups answered by the translation memo without an associative
+    scan (a fast-path work measure; 0 when the memo is off). *)
 
 val stats : t -> stats
 

@@ -20,9 +20,11 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?memo:bool -> config -> t
 (** Raises [Invalid_argument] on a non-divisible geometry (see
-    {!Tlb.create}) or a negative [hit_cycles]. *)
+    {!Tlb.create}) or a negative [hit_cycles].  [memo] enables the
+    underlying {!Tlb}'s translation memo (default on, see
+    {!Tlb.create}). *)
 
 val config : t -> config
 

@@ -32,6 +32,7 @@ paths a user hits first.
     abl4     ablation  loop pipelining on vs off, achieved II
     abl5     ablation  optimization level: -O0/-O1/-O2 pass schedules
     abl6     ablation  translation hierarchy: shared L2 TLB and page-walk cache
+    abl7     ablation  simulator fast path on vs off: identical cycles, faster host
     robust   sweep     fault injection: recovery overhead, vm vs copy-based
 
 Compile a kernel and show the optimized IR:
@@ -207,6 +208,32 @@ pointer-chasing kernel (same answer, fewer cycles):
   $ vmht run list_sum --mode vm --size 4096 --tlb2 128 --walk-cache 8 --metrics-json | grep -c '"tlb2.lookups"\|"tlb2.hits"\|"walk_cache.hits"'
   3
 
+The simulator fast path is on by default and is purely a host-time
+optimization: --no-fastpath runs the same simulation unfused and must
+land on exactly the same cycle count and answer:
+
+  $ vmht run list_sum --mode vm --size 4096 --no-fastpath
+  list_sum / vm / size 4096: 6,159 cycles (correct)
+    phases: stage=0 compute=6095 drain=64
+    mmu: 256 accesses, 240 hits, 16 misses, 0 faults, hit rate 0.938
+
+The abl7 experiment asserts that equivalence across kernels, modes and
+a fault-injected subject (the de-optimization witness), and reports
+how much wait/translation work the fast path absorbed:
+
+  $ vmht bench abl7
+  Ablation 7: simulator fast path on vs off — identical cycles
+  +-------------+------+------------+-------------+--------------+---------------+---------------+
+  | kernel      | mode | fault rate | cycles (on) | cycles (off) | fast-forwards | TLB memo hits |
+  +-------------+------+------------+-------------+--------------+---------------+---------------+
+  | vecadd      | vm   |      0.000 |     187,095 |      187,095 |        21,604 |        12,264 |
+  | spmv        | vm   |      0.000 |     417,829 |      417,829 |        68,438 |        37,787 |
+  | list_sum    | sw   |      0.000 |      13,069 |       13,069 |         2,053 |             0 |
+  | bfs         | dma  |      0.000 |      74,187 |       74,187 |        46,854 |             0 |
+  | tree_search | vm   |      0.005 |      12,231 |       12,231 |         1,871 |           294 |
+  +-------------+------+------------+-------------+--------------+---------------+---------------+
+  
+
 With an argument, the report goes to a file alongside the summary;
 an unwritable destination is its own failure, exit code 3:
 
@@ -243,7 +270,8 @@ deterministic; host milliseconds are not, so mask them:
   $ vmht profile no_such_experiment
   unknown experiment 'no_such_experiment'
   [1]
-  $ vmht profile fig1 --json prof.json | grep "cycle attribution"
+  $ vmht profile fig1 --json prof.json | grep -E "^profile:|cycle attribution"
+  profile: fig1 (fastpath on)
     cycle attribution sums exactly to the engine total (phases 13777538, engines 13777538)
   $ grep -c '"schema": "vmht-profile/1"' prof.json
   1
@@ -270,6 +298,7 @@ metric regressed past the threshold:
   fig1.cycles.p99                                     120            120     +0.0%
   fig1.cycles.max                                     200            200     +0.0%
   total_seconds                                         1              1     +0.0%
+  fig1.ns_per_run                          (no per-run timing recorded and not marked "synthesis")
   ok: 5 metric(s) within +10.0%
   $ vmht perf diff old.json new.json | tail -1
   regression: 3 metric(s) slower by >= 10.0%
@@ -286,3 +315,17 @@ metric regressed past the threshold:
   $ vmht perf diff old.json bad.json > /dev/null
   error: bad.json: expected '"' at offset 1
   [2]
+
+An experiment with no per-run timing is flagged (the fig1.ns_per_run
+line above) unless the manifest marks it as a synthesis-only study:
+
+  $ cat > synth.json <<'JSON'
+  > {"schema": "vmht-bench-eval/2",
+  >  "experiments": [{"name": "table2", "kind": "synthesis", "seconds": 2.0}],
+  >  "total_seconds": 2.0}
+  > JSON
+  $ vmht perf diff synth.json synth.json
+  metric                                              old            new     delta
+  table2.seconds                                        2              2     +0.0%
+  total_seconds                                         2              2     +0.0%
+  ok: 2 metric(s) within +10.0%

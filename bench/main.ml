@@ -130,7 +130,9 @@ let multi_thread_pair () =
   let i1 = vecadd.Workload.setup (Vmht.Soc.aspace soc) ~size:128 ~seed:1 in
   let i2 = vecadd.Workload.setup (Vmht.Soc.aspace soc) ~size:128 ~seed:2 in
   let hw =
-    Vmht.Flow.synthesize config Vmht.Wrapper.Vm_iface (Workload.kernel vecadd)
+    Vmht.Flow.run_exn
+      (Vmht.Flow.Request.of_kernel ~config ~style:Vmht.Wrapper.Vm_iface
+         (Workload.kernel vecadd))
   in
   Vmht.Launch.run_to_completion soc (fun () ->
       let spawn inst =

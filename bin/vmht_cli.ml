@@ -4,6 +4,8 @@
      vmht synth FILE [...]        full HLS + wrapper synthesis, dump report/RTL
      vmht run NAME [...]          run a benchmark workload on the simulated SoC
      vmht bench NAME|all|...      regenerate evaluation tables/figures
+     vmht serve [...]             batch synthesis server over JSON lines
+     vmht loadgen [...]           drive a request mix through the server
      vmht profile NAME            run an experiment under the phase profiler
      vmht perf diff OLD NEW       compare two bench manifests (regression gate)
      vmht list                    available workloads and experiments
@@ -160,7 +162,10 @@ let synth_cmd =
         with_program file (fun program ->
             List.iter
               (fun kernel ->
-                let hw = Vmht.Flow.synthesize config iface kernel in
+                let hw =
+                  Vmht.Flow.run_exn
+                    (Vmht.Flow.Request.of_kernel ~config ~style:iface kernel)
+                in
                 print_endline (Vmht.Flow.summary hw);
                 if emit_rtl then begin
                   print_newline ();
@@ -590,7 +595,10 @@ let system_cmd =
         let config = Vmht.Config.default in
         let threads =
           List.map
-            (fun kernel -> (Vmht.Flow.synthesize config iface kernel, copies))
+            (fun kernel ->
+              ( Vmht.Flow.run_exn
+                  (Vmht.Flow.Request.of_kernel ~config ~style:iface kernel),
+                copies ))
             program
         in
         let design = Vmht.Sysgen.compose ~device threads in
@@ -830,6 +838,317 @@ let bench_cmd =
       $ opt_level_arg
       $ passes_arg $ names)
 
+(* ------------------------- serve / loadgen ------------------------ *)
+
+(* Both service commands share the store plumbing: open (or skip) the
+   persistent content-addressed store, install it into the flow so
+   every synthesis in this process — and in workers forked after this
+   point — reads and writes through it. *)
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent synthesis store directory (default: \
+           $(b,VMHT_STORE_DIR), else $(b,XDG_CACHE_HOME)/vmht/store, else \
+           ~/.cache/vmht/store).")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ] ~doc:"Run without the persistent synthesis store.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Forked worker processes (default 0: execute in-process on the \
+           domain pool, see $(b,--jobs)).  Output is byte-identical at any \
+           shard count.")
+
+let serve_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain-pool width for the in-process substrate (ignored when \
+           $(b,--shards) > 0; processes and domains do not mix across \
+           $(b,fork)).")
+
+let open_store store_dir no_store =
+  if no_store then Ok None
+  else
+    match Vmht_serve.Store.open_ ?dir:store_dir () with
+    | Ok s ->
+      Vmht_serve.Store.install s;
+      Ok (Some s)
+    | Error e -> Error e
+
+let store_error err =
+  Printf.eprintf "error: %s\n" (Vmht.Flow.error_to_string err);
+  exit_write_failed
+
+let loadgen_cmd =
+  let requests =
+    Arg.(
+      value & opt int 120
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests in the batch.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Seed for the request mix.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the timing-bearing manifest (throughput, latency \
+             quantiles, store hit rate) to $(docv).")
+  in
+  let require_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "require-hit-rate" ] ~docv:"R"
+          ~doc:
+            "Fail (exit 1) unless the store hit rate over this batch's \
+             synthesis keys reaches $(docv) — the CI warm-store gate.")
+  in
+  let action requests shards seed store_dir no_store jobs metrics_json
+      require_hit_rate =
+    match open_store store_dir no_store with
+    | Error e -> store_error e
+    | Ok store ->
+      (* Fork the worker fleet before any domain can exist; only then
+         widen the in-process pool (when there is no fleet). *)
+      let server =
+        Vmht_serve.Server.create ~shards ?store
+          ~handle:Vmht_eval.Loadgen.handle ()
+      in
+      if shards = 0 then Vmht_par.Parmap.set_jobs jobs;
+      let config = Vmht.Config.with_seed Vmht.Config.default seed in
+      let reqs = Vmht_eval.Loadgen.mix ~config ~requests ~seed in
+      let report = Vmht_eval.Loadgen.run ?store ~server ~seed reqs in
+      Vmht_serve.Server.shutdown server;
+      print_string report.Vmht_eval.Loadgen.output;
+      prerr_string report.Vmht_eval.Loadgen.perf_line;
+      let metrics_ok =
+        match metrics_json with
+        | None -> true
+        | Some path -> (
+          try
+            let oc = open_out path in
+            output_string oc
+              (Vmht_obs.Json.to_string_pretty
+                 report.Vmht_eval.Loadgen.manifest);
+            output_char oc '\n';
+            close_out oc;
+            true
+          with Sys_error msg ->
+            Printf.eprintf "cannot write manifest: %s\n" msg;
+            false)
+      in
+      let hit_rate_ok =
+        match require_hit_rate with
+        | None -> true
+        | Some r ->
+          let ok = report.Vmht_eval.Loadgen.hit_rate >= r in
+          if not ok then
+            Printf.eprintf "store hit rate %.2f below required %.2f\n"
+              report.Vmht_eval.Loadgen.hit_rate r;
+          ok
+      in
+      if report.Vmht_eval.Loadgen.failures > 0 || not hit_rate_ok then 1
+      else if not metrics_ok then exit_write_failed
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a seeded synthesis/execution request mix through the batch \
+          server and report throughput, latency and store hit rate.")
+    Term.(
+      const action $ requests $ shards_arg $ seed $ store_dir_arg
+      $ no_store_arg $ serve_jobs_arg $ metrics_json $ require_hit_rate)
+
+(* One request per JSON line; a blank line (or EOF) flushes the batch.
+   Example lines:
+     {"op":"synth","workload":"vecadd","style":"dma","unroll":2}
+     {"op":"synth","source":"kernel k(n: int): int { return n; }"}
+     {"op":"run","workload":"mmul","mode":"vm","size":8}  *)
+let serve_line_to_job line =
+  let module J = Vmht_obs.Json in
+  match J.of_string line with
+  | exception J.Parse_error msg -> Error (`Frontend msg)
+  | j -> (
+    let str k = Option.bind (J.member k j) J.to_str in
+    let int k = Option.bind (J.member k j) J.to_int in
+    let config = Vmht.Config.default in
+    let config =
+      match int "unroll" with
+      | Some u -> Vmht.Config.with_unroll config u
+      | None -> config
+    in
+    let config =
+      match int "opt" with
+      | Some o -> Vmht.Config.with_opt_level config o
+      | None -> config
+    in
+    let config =
+      match int "tlb" with
+      | Some t -> Vmht.Config.with_tlb_entries config t
+      | None -> config
+    in
+    let style =
+      match str "style" with
+      | Some "dma" -> Vmht.Wrapper.Dma_iface
+      | _ -> Vmht.Wrapper.Vm_iface
+    in
+    match str "op" with
+    | Some "synth" -> (
+      match (str "workload", str "source") with
+      | Some wname, _ -> (
+        match Vmht_workloads.Registry.find wname with
+        | exception Not_found ->
+          Error (`Request (Printf.sprintf "unknown workload %S" wname))
+        | w ->
+          Ok
+            (Vmht_serve.Proto.Synthesize
+               {
+                 kernel = Vmht_workloads.Workload.kernel w;
+                 style;
+                 config;
+               }))
+      | None, Some source -> (
+        match Vmht.Flow.frontend_program source with
+        | Error e -> Error (`Frontend (Vmht.Flow.error_to_string e))
+        | Ok [] -> Error (`Request "source contains no kernels")
+        | Ok (first :: _ as program) -> (
+          let kernel =
+            match str "name" with
+            | None -> Some first
+            | Some n ->
+              List.find_opt
+                (fun (k : Vmht_lang.Ast.kernel) -> k.Vmht_lang.Ast.kname = n)
+                program
+          in
+          match kernel with
+          | None -> Error (`Request "no kernel with the requested name")
+          | Some kernel ->
+            Ok (Vmht_serve.Proto.Synthesize { kernel; style; config })))
+      | None, None -> Error (`Request "synth needs \"workload\" or \"source\""))
+    | Some "run" -> (
+      match str "workload" with
+      | None -> Error (`Request "run needs \"workload\"")
+      | Some wname -> (
+        match Vmht_workloads.Registry.find wname with
+        | exception Not_found ->
+          Error (`Request (Printf.sprintf "unknown workload %S" wname))
+        | w ->
+          let mode =
+            Option.value
+              (Option.bind (str "mode") Vmht_serve.Proto.mode_of_name)
+              ~default:Vmht_serve.Proto.Vm
+          in
+          let size =
+            Option.value (int "size")
+              ~default:w.Vmht_workloads.Workload.default_size
+          in
+          Ok (Vmht_serve.Proto.Execute { workload = wname; mode; size; config })
+        ))
+    | Some op -> Error (`Request (Printf.sprintf "unknown op %S" op))
+    | None -> Error (`Request "missing \"op\""))
+
+let serve_cmd =
+  let action shards store_dir no_store jobs =
+    match open_store store_dir no_store with
+    | Error e -> store_error e
+    | Ok store ->
+      let server =
+        Vmht_serve.Server.create ~shards ?store
+          ~handle:Vmht_eval.Loadgen.handle ()
+      in
+      if shards = 0 then Vmht_par.Parmap.set_jobs jobs;
+      let module J = Vmht_obs.Json in
+      let next_rid = ref 0 in
+      let batch = ref [] in
+      (* Requests rejected at parse time still get a reply line, held
+         back so each flushed batch prints in request order. *)
+      let prefailed = ref [] in
+      let worst = ref 0 in
+      let reply_line (rid, status, result) =
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("rid", J.Int rid);
+                  ("status", J.String status);
+                  ("result", J.String result);
+                ]))
+      in
+      let flush_batch () =
+        let served =
+          match List.rev !batch with
+          | [] -> []
+          | reqs ->
+            List.map
+              (fun (reply : Vmht_serve.Proto.reply) ->
+                match reply.Vmht_serve.Proto.outcome with
+                | Vmht_serve.Proto.Failed msg ->
+                  worst := max !worst 1;
+                  (reply.Vmht_serve.Proto.rid, "failed", msg)
+                | outcome ->
+                  ( reply.Vmht_serve.Proto.rid,
+                    "ok",
+                    Vmht_serve.Proto.outcome_to_string outcome ))
+              (Vmht_serve.Server.run_batch server reqs)
+        in
+        List.iter reply_line
+          (List.sort compare (List.rev_append !prefailed served));
+        batch := [];
+        prefailed := [];
+        flush stdout
+      in
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line = "" then flush_batch ()
+           else begin
+             let rid = !next_rid in
+             incr next_rid;
+             match serve_line_to_job line with
+             | Ok job ->
+               batch :=
+                 { Vmht_serve.Proto.rid; attempt = 1; deadline_ms = None; job }
+                 :: !batch
+             | Error (`Frontend msg) ->
+               worst := max !worst exit_frontend;
+               prefailed := (rid, "failed", msg) :: !prefailed
+             | Error (`Request msg) ->
+               worst := max !worst 1;
+               prefailed := (rid, "failed", msg) :: !prefailed
+           end
+         done
+       with End_of_file -> flush_batch ());
+      Vmht_serve.Server.shutdown server;
+      !worst
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch synthesis server: JSON-line requests on stdin (a blank line \
+          or EOF flushes a batch), JSON-line replies in request order on \
+          stdout, deduplicated against the persistent store.")
+    Term.(
+      const action $ shards_arg $ store_dir_arg $ no_store_arg
+      $ serve_jobs_arg)
+
 (* ------------------------- profile -------------------------------- *)
 
 let profile_cmd =
@@ -1036,6 +1355,8 @@ let () =
             trace_cmd;
             system_cmd;
             bench_cmd;
+            serve_cmd;
+            loadgen_cmd;
             profile_cmd;
             perf_cmd;
             passes_cmd;

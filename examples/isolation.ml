@@ -35,7 +35,7 @@ let () =
     Addr_space.store_word space_b (vb + (i * 8)) (900 + i)
   done;
 
-  let hw = Flow.synthesize_source config Wrapper.Vm_iface sum_kernel in
+  let hw = Flow.run_exn (Flow.Request.of_source ~config sum_kernel) in
   let mmu_a = Soc.make_mmu soc in
   let mmu_b = Soc.make_mmu ~aspace:(space_b, asid_b) soc in
   let run mmu =

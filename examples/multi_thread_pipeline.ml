@@ -30,12 +30,14 @@ let () =
   let soc = Soc.create config in
   let aspace = Soc.aspace soc in
   let stencil =
-    Flow.synthesize config Wrapper.Vm_iface
-      (Vmht_lang.Parser.parse_kernel stencil_src)
+    Flow.run_exn
+      (Flow.Request.of_kernel ~config
+         (Vmht_lang.Parser.parse_kernel stencil_src))
   in
   let hist =
-    Flow.synthesize config Wrapper.Vm_iface
-      (Vmht_lang.Parser.parse_kernel hist_src)
+    Flow.run_exn
+      (Flow.Request.of_kernel ~config
+         (Vmht_lang.Parser.parse_kernel hist_src))
   in
   let raw = Addr_space.alloc aspace ~bytes:(n * word) in
   let smooth = Addr_space.alloc aspace ~bytes:(n * word) in

@@ -28,7 +28,7 @@ let run config label =
     Addr_space.store_word aspace (b + (i * word)) (i mod 7);
     expected := !expected + (i * (i mod 7))
   done;
-  let hw = Flow.synthesize_source config Wrapper.Vm_iface kernel_source in
+  let hw = Flow.run_exn (Flow.Request.of_source ~config kernel_source) in
   let result =
     Launch.run_to_completion soc (fun () ->
         Launch.run_hw soc hw { Launch.args = [ a; b; n ]; buffers = [] })

@@ -25,7 +25,7 @@ let () =
 
   (* 1. Synthesize: source -> optimized IR -> schedule -> datapath +
         VM interface wrapper (TLB, page-table walker, bus port). *)
-  let hw = Flow.synthesize_source config Wrapper.Vm_iface kernel_source in
+  let hw = Flow.run_exn (Flow.Request.of_source ~config kernel_source) in
   print_endline (Flow.summary hw);
   print_newline ();
 

@@ -16,6 +16,7 @@ type t = {
   dma_setup_cycles : int;
   dma_burst_words : int;
   pin_cycles_per_page : int;
+  wrapper_windows : int;
   opt_level : int;
   passes : string list option;
   cache_maintenance_cycles : int;
@@ -53,6 +54,10 @@ let default =
     dma_setup_cycles = 120;
     dma_burst_words = 64;
     pin_cycles_per_page = 40;
+    (* Address-window comparator bank of the DMA wrapper.  Lives in
+       the config (not as a per-call optional) so the synthesis cache
+       key has a single source of truth. *)
+    wrapper_windows = 3;
     opt_level = 2;
     passes = None;
     cache_maintenance_cycles = 64;
@@ -91,6 +96,8 @@ let with_fault t fault = { t with fault }
 let with_seed t seed = { t with seed }
 
 let with_opt_level t opt_level = { t with opt_level }
+
+let with_windows t wrapper_windows = { t with wrapper_windows }
 
 let with_fastpath t fastpath = { t with fastpath }
 
@@ -168,6 +175,7 @@ let fingerprint (t : t) =
   i t.dma_setup_cycles;
   i t.dma_burst_words;
   i t.pin_cycles_per_page;
+  i t.wrapper_windows;
   i t.cache_maintenance_cycles;
   Buffer.add_string b (Vmht_fault.Plan.fingerprint t.fault);
   (* The pass schedule changes the synthesized datapath, so it must key

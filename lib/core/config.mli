@@ -30,6 +30,10 @@ type t = {
   dma_burst_words : int;
   pin_cycles_per_page : int;
       (** CPU cost to pin + translate one page when staging a DMA *)
+  wrapper_windows : int;
+      (** address-window comparators in the DMA wrapper (ignored by the
+          VM style); part of the config so the synthesis cache key has
+          a single source of truth *)
   (* --- optimizer --- *)
   opt_level : int;
       (** [-O0]/[-O1]/[-O2] preset selecting the pass schedule
@@ -70,6 +74,9 @@ val with_seed : t -> int -> t
 (** Seed for workload data and the fault schedule. *)
 
 val with_opt_level : t -> int -> t
+
+val with_windows : t -> int -> t
+(** Size the DMA wrapper's address-window comparator bank (default 3). *)
 
 val with_passes : t -> string list option -> t
 

@@ -14,7 +14,7 @@ type hw_thread = {
   synthesis_seconds : float;
 }
 
-let synthesize_uncached ~windows (config : Config.t) style kernel =
+let synthesize_uncached (config : Config.t) style kernel =
   Vmht_obs.Span.with_span ~cat:"flow"
     ("synth:" ^ kernel.Ast.kname)
     (fun () ->
@@ -28,7 +28,7 @@ let synthesize_uncached ~windows (config : Config.t) style kernel =
           ~pipeline:config.Config.pipeline_loops
           ~schedule:(Config.schedule config) kernel)
   in
-  let wrapper_area = Wrapper.area config style ~windows in
+  let wrapper_area = Wrapper.area config style in
   let verilog =
     Vmht_obs.Span.with_span ~cat:"flow" "emit" (fun () ->
         Verilog.emit_with_wrapper fsm ~wrapper_ports:(Wrapper.ports style))
@@ -45,13 +45,77 @@ let synthesize_uncached ~windows (config : Config.t) style kernel =
     synthesis_seconds = finished -. started;
   })
 
+(* --- typed front-end and store errors ------------------------------ *)
+
+type store_fault =
+  | Store_unwritable of string
+  | Store_version_mismatch of string
+  | Store_corrupt of string
+
+type error =
+  | Frontend of { loc : Vmht_lang.Loc.t; msg : string }
+  | Unknown_kernel of string
+  | Store_error of { path : string; fault : store_fault }
+
+let store_fault_to_string = function
+  | Store_unwritable msg -> Printf.sprintf "store unwritable: %s" msg
+  | Store_version_mismatch found ->
+    Printf.sprintf "store version mismatch (found %s)" found
+  | Store_corrupt msg -> Printf.sprintf "corrupt store entry: %s" msg
+
+let error_to_string = function
+  | Frontend { loc; msg } ->
+    Printf.sprintf "line %d, col %d: %s" loc.Vmht_lang.Loc.line
+      loc.Vmht_lang.Loc.col msg
+  | Unknown_kernel name -> Printf.sprintf "no kernel named '%s'" name
+  | Store_error { path; fault } ->
+    Printf.sprintf "%s: %s" path (store_fault_to_string fault)
+
+(* --- content-addressed synthesis key ------------------------------- *)
+
+(* The persistent store and the batch server address synthesis results
+   by this digest: everything that determines the synthesized hardware
+   — the full config fingerprint (which includes the wrapper window
+   count and the pass schedule), the wrapper style, and a structural
+   hash of the kernel AST — folded through MD5 into one hex name.  Two
+   requests share a key iff they would synthesize identical hardware. *)
+let cache_key (config : Config.t) style (kernel : Ast.kernel) =
+  let kernel_digest = Digest.string (Marshal.to_string kernel []) in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            Config.fingerprint config;
+            Wrapper.style_name style;
+            Digest.to_hex kernel_digest;
+          ]))
+
+(* --- persistent store backend -------------------------------------- *)
+
+(* The on-disk content-addressed store lives above this library (in
+   vmht_serve); the flow only knows the shape of a backend so that a
+   disk hit can be promoted into the in-memory memo under the same
+   single-flight discipline as a fresh synthesis — concurrent requests
+   for one key trigger exactly one disk read or one synthesis, never
+   both and never several. *)
+type store_backend = {
+  store_load : key:string -> Ast.kernel -> hw_thread option;
+      (** [None] is a miss; backends must swallow corrupt or
+          version-mismatched entries and report them as misses *)
+  store_save : key:string -> Ast.kernel -> hw_thread -> (unit, error) result;
+}
+
+let store_backend : store_backend option ref = ref None
+
+let set_store b = store_backend := b
+
 (* --- synthesis memo cache ----------------------------------------- *)
 
 (* Synthesis is pure (modulo the wall-clock stamp), so results are
-   memoized process-wide, keyed by kernel name, wrapper style, config
-   fingerprint and window count.  Sweeps that vary only runtime
-   parameters (data size, seed, thread count) then synthesize each
-   kernel once instead of once per sweep point.
+   memoized process-wide, keyed by kernel name, wrapper style and
+   config fingerprint (which covers the DMA window count).  Sweeps
+   that vary only runtime parameters (data size, seed, thread count)
+   then synthesize each kernel once instead of once per sweep point.
 
    The cache is single-flight: concurrent requests for the same key
    block on the one in-progress synthesis rather than duplicating it,
@@ -60,7 +124,12 @@ let synthesize_uncached ~windows (config : Config.t) style kernel =
    synthesis time) identical across callers, whatever the parallel
    schedule.  Keys add the kernel name, but the stored kernel AST is
    compared structurally on hit, so a name collision degrades to a
-   miss instead of returning the wrong hardware. *)
+   miss instead of returning the wrong hardware.
+
+   When a persistent backend is installed ({!set_store}), the miss
+   path consults it before synthesizing and writes fresh results back;
+   both happen inside the single-flight window, so a disk entry is
+   loaded (and promoted into the memo) exactly once per process. *)
 
 type cache_stats = { cache_hits : int; cache_misses : int; cache_entries : int }
 
@@ -72,7 +141,7 @@ let cache_mutex = Mutex.create ()
 
 let cache_cond = Condition.create ()
 
-let cache_table : (string * string * string * int, cache_slot) Hashtbl.t =
+let cache_table : (string * string * string, cache_slot) Hashtbl.t =
   Hashtbl.create 64
 
 let cache_hits = Atomic.make 0
@@ -122,65 +191,95 @@ let sync_pass_metrics m =
         rewrites)
     (Vmht_ir.Pass_manager.totals ())
 
-let synthesize ?(cache = true) ?(windows = 3) (config : Config.t) style kernel =
-  if not cache then synthesize_uncached ~windows config style kernel
-  else begin
-    let key =
-      ( kernel.Ast.kname,
-        Wrapper.style_name style,
-        Config.fingerprint config,
-        windows )
-    in
-    let rec acquire () =
-      (* Called with [cache_mutex] held; returns with it released. *)
-      match Hashtbl.find_opt cache_table key with
-      | Some { state = Ready (k, hw) } when k = kernel ->
-        Mutex.unlock cache_mutex;
-        Atomic.incr cache_hits;
-        hw
-      | Some ({ state = In_flight } as _slot) ->
-        Condition.wait cache_cond cache_mutex;
-        acquire ()
-      | Some { state = Ready _ } (* same name, different kernel *) | None ->
-        let slot = { state = In_flight } in
-        Hashtbl.replace cache_table key slot;
-        Mutex.unlock cache_mutex;
-        Atomic.incr cache_misses;
-        let hw =
-          try synthesize_uncached ~windows config style kernel
-          with e ->
-            Mutex.lock cache_mutex;
-            Hashtbl.remove cache_table key;
-            Condition.broadcast cache_cond;
-            Mutex.unlock cache_mutex;
-            raise e
-        in
-        Mutex.lock cache_mutex;
-        slot.state <- Ready (kernel, hw);
-        Condition.broadcast cache_cond;
-        Mutex.unlock cache_mutex;
-        hw
-    in
-    Mutex.lock cache_mutex;
-    acquire ()
-  end
+(* The memo-miss producer: consult the persistent backend (if any),
+   fall back to a fresh synthesis, write fresh results through.  A
+   failed write-back still returns the synthesized hardware alongside
+   the error — the memo keeps the result either way, so one unwritable
+   directory costs one error per key, not the synthesis work. *)
+let produce config style kernel =
+  match !store_backend with
+  | None -> (synthesize_uncached config style kernel, None)
+  | Some b -> (
+    let key = cache_key config style kernel in
+    match b.store_load ~key kernel with
+    | Some hw -> (hw, None)
+    | None ->
+      let hw = synthesize_uncached config style kernel in
+      (match b.store_save ~key kernel hw with
+       | Ok () -> (hw, None)
+       | Error e -> (hw, Some e)))
 
-(* --- typed front-end errors ---------------------------------------- *)
+let synthesize_cached (config : Config.t) style kernel :
+    (hw_thread, error) result =
+  let key =
+    (kernel.Ast.kname, Wrapper.style_name style, Config.fingerprint config)
+  in
+  let rec acquire () =
+    (* Called with [cache_mutex] held; returns with it released. *)
+    match Hashtbl.find_opt cache_table key with
+    | Some { state = Ready (k, hw) } when k = kernel ->
+      Mutex.unlock cache_mutex;
+      Atomic.incr cache_hits;
+      Ok hw
+    | Some ({ state = In_flight } as _slot) ->
+      Condition.wait cache_cond cache_mutex;
+      acquire ()
+    | Some { state = Ready _ } (* same name, different kernel *) | None ->
+      let slot = { state = In_flight } in
+      Hashtbl.replace cache_table key slot;
+      Mutex.unlock cache_mutex;
+      Atomic.incr cache_misses;
+      let hw, save_err =
+        try produce config style kernel
+        with e ->
+          Mutex.lock cache_mutex;
+          Hashtbl.remove cache_table key;
+          Condition.broadcast cache_cond;
+          Mutex.unlock cache_mutex;
+          raise e
+      in
+      Mutex.lock cache_mutex;
+      slot.state <- Ready (kernel, hw);
+      Condition.broadcast cache_cond;
+      Mutex.unlock cache_mutex;
+      (match save_err with None -> Ok hw | Some e -> Error e)
+  in
+  Mutex.lock cache_mutex;
+  acquire ()
 
-type error =
-  | Frontend of { loc : Vmht_lang.Loc.t; msg : string }
-  | Unknown_kernel of string
+(* --- the consolidated request API ---------------------------------- *)
 
-let error_to_string = function
-  | Frontend { loc; msg } ->
-    Printf.sprintf "line %d, col %d: %s" loc.Vmht_lang.Loc.line
-      loc.Vmht_lang.Loc.col msg
-  | Unknown_kernel name -> Printf.sprintf "no kernel named '%s'" name
+module Request = struct
+  type payload =
+    | Kernel of Ast.kernel
+    | Source of string
+    | Program of { source : string; kname : string }
+
+  type t = {
+    payload : payload;
+    config : Config.t;
+    style : Wrapper.style;
+    cache : bool;
+  }
+
+  let make ?(config = Config.default) ?(style = Wrapper.Vm_iface)
+      ?(cache = true) payload =
+    { payload; config; style; cache }
+
+  let of_kernel ?config ?style ?cache kernel =
+    make ?config ?style ?cache (Kernel kernel)
+
+  let of_source ?config ?style ?cache source =
+    make ?config ?style ?cache (Source source)
+
+  let of_program ?config ?style ?cache ~name source =
+    make ?config ?style ?cache (Program { source; kname = name })
+end
 
 (* The front end reports lexical/syntactic/type/inlining problems by
    raising [Loc.Error]; this is the one place that boundary is crossed
-   into typed results, so callers above (CLI, eval) never have to know
-   which exceptions the language layer uses. *)
+   into typed results, so callers above (CLI, eval, serve) never have
+   to know which exceptions the language layer uses. *)
 let capture_frontend f =
   match f () with
   | v -> Ok v
@@ -193,34 +292,74 @@ let frontend_program source =
           Vmht_lang.Typecheck.check_program program;
           Vmht_lang.Inline.program program))
 
-let synthesize_source_result ?cache ?windows config style source =
-  Result.map
-    (synthesize ?cache ?windows config style)
-    (capture_frontend (fun () ->
-         Vmht_obs.Span.with_span ~cat:"flow" "parse" (fun () ->
-             Vmht_lang.Parser.parse_kernel source)))
-
-let synthesize_program_result ?cache ?windows config style source ~name =
-  Result.bind (frontend_program source) (fun program ->
-      match Vmht_lang.Ast.find_kernel program name with
-      | Some kernel -> Ok (synthesize ?cache ?windows config style kernel)
-      | None -> Error (Unknown_kernel name))
-
-(* Raising wrappers, kept for callers that predate the typed API. *)
+let run (r : Request.t) : (hw_thread, error) result =
+  (* Typechecking happens inside HLS synthesis for kernels that arrive
+     as ASTs, so the capture has to surround synthesis too — [run] is
+     total over front-end problems whatever the payload shape. *)
+  let with_kernel kernel =
+    if r.Request.cache then
+      match synthesize_cached r.Request.config r.Request.style kernel with
+      | result -> result
+      | exception Vmht_lang.Loc.Error (loc, msg) ->
+        Error (Frontend { loc; msg })
+    else
+      capture_frontend (fun () ->
+          synthesize_uncached r.Request.config r.Request.style kernel)
+  in
+  match r.Request.payload with
+  | Request.Kernel kernel -> with_kernel kernel
+  | Request.Source source ->
+    Result.bind
+      (capture_frontend (fun () ->
+           Vmht_obs.Span.with_span ~cat:"flow" "parse" (fun () ->
+               Vmht_lang.Parser.parse_kernel source)))
+      with_kernel
+  | Request.Program { source; kname } ->
+    Result.bind (frontend_program source) (fun program ->
+        match Vmht_lang.Ast.find_kernel program kname with
+        | Some kernel -> with_kernel kernel
+        | None -> Error (Unknown_kernel kname))
 
 let raise_error = function
   | Frontend { loc; msg } -> raise (Vmht_lang.Loc.Error (loc, msg))
   | Unknown_kernel _ -> raise Not_found
+  | Store_error _ as e -> raise (Sys_error (error_to_string e))
+
+let run_exn r = match run r with Ok hw -> hw | Error e -> raise_error e
+
+(* --- deprecated thin wrappers -------------------------------------- *)
+
+(* The pre-Request entry points, kept so existing callers (examples,
+   downstream users) keep compiling; each is one [Request.make] away
+   from {!run}.  [?windows] folds into the config — it used to be a
+   scattered optional with its own slot in the cache key. *)
+
+let request ?(cache = true) ?windows config style payload =
+  let config =
+    match windows with
+    | Some w -> Config.with_windows config w
+    | None -> config
+  in
+  { Request.payload; config; style; cache }
+
+let synthesize ?cache ?windows config style kernel =
+  run_exn (request ?cache ?windows config style (Request.Kernel kernel))
+
+let synthesize_source_result ?cache ?windows config style source =
+  run (request ?cache ?windows config style (Request.Source source))
+
+let synthesize_program_result ?cache ?windows config style source ~name =
+  run
+    (request ?cache ?windows config style
+       (Request.Program { source; kname = name }))
 
 let synthesize_source ?cache ?windows config style source =
-  match synthesize_source_result ?cache ?windows config style source with
-  | Ok hw -> hw
-  | Error e -> raise_error e
+  run_exn (request ?cache ?windows config style (Request.Source source))
 
 let synthesize_program ?cache ?windows config style source ~name =
-  match synthesize_program_result ?cache ?windows config style source ~name with
-  | Ok hw -> hw
-  | Error e -> raise_error e
+  run_exn
+    (request ?cache ?windows config style
+       (Request.Program { source; kname = name }))
 
 let compile_sw (config : Config.t) kernel =
   Vmht_lang.Typecheck.check_kernel kernel;

@@ -48,11 +48,12 @@ let dma_area ~scratchpad_words ~windows =
        (Optypes.scale_area (max 1 windows) window_comparator_area)
        { Optypes.lut = 90; ff = 30; dsp = 0; bram })
 
-let area (config : Config.t) style ~windows =
+let area (config : Config.t) style =
   match style with
   | Vm_iface -> vm_area config.Config.mmu
   | Dma_iface ->
-    dma_area ~scratchpad_words:config.Config.scratchpad_words ~windows
+    dma_area ~scratchpad_words:config.Config.scratchpad_words
+      ~windows:config.Config.wrapper_windows
 
 let ports = function
   | Vm_iface ->

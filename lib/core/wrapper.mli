@@ -23,7 +23,9 @@ val dma_area :
   scratchpad_words:int -> windows:int -> Vmht_hls.Optypes.area
 (** DMA engine + window comparators + scratchpad BRAM. *)
 
-val area : Config.t -> style -> windows:int -> Vmht_hls.Optypes.area
+val area : Config.t -> style -> Vmht_hls.Optypes.area
+(** Wrapper area for the style under [config]; the DMA style's window
+    comparator bank is sized by [config.wrapper_windows]. *)
 
 val ports : style -> string list
 (** Extra top-level RTL ports the wrapper adds to the generated

@@ -165,11 +165,19 @@ let run ?(config = Config.default) ?(seed = 42) ?trace_events ?(observe = false)
           let func = Flow.compile_sw config (Workload.kernel w) in
           Launch.run_sw soc func request
         | Vm ->
-          let t = Flow.synthesize config Wrapper.Vm_iface (Workload.kernel w) in
+          let t =
+            Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Vm_iface
+                 (Workload.kernel w))
+          in
           hw := Some t;
           Launch.run_hw soc t request
         | Dma ->
-          let t = Flow.synthesize config Wrapper.Dma_iface (Workload.kernel w) in
+          let t =
+            Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Dma_iface
+                 (Workload.kernel w))
+          in
           hw := Some t;
           Launch.run_hw soc t request)
   in
@@ -190,7 +198,7 @@ let cycles o = o.result.Launch.total_cycles
 let speedup ~baseline o = float_of_int (cycles baseline) /. float_of_int (cycles o)
 
 let synthesize ?(config = Config.default) ?cache style (w : Workload.t) =
-  Flow.synthesize ?cache config style (Workload.kernel w)
+  Flow.run_exn (Flow.Request.of_kernel ~config ~style ?cache (Workload.kernel w))
 
 let source_lines (w : Workload.t) =
   String.split_on_char '\n' w.Workload.source

@@ -25,7 +25,11 @@ let measure config (w : Workload.t) ~size n =
   let instances =
     List.init n (fun i -> w.Workload.setup (Soc.aspace soc) ~size ~seed:(i + 1))
   in
-  let hw = Flow.synthesize config Wrapper.Vm_iface (Workload.kernel w) in
+  let hw =
+    Flow.run_exn
+      (Flow.Request.of_kernel ~config ~style:Wrapper.Vm_iface
+         (Workload.kernel w))
+  in
   let span =
     Launch.run_to_completion soc (fun () ->
         let t0 = Vmht_sim.Engine.now_p () in

@@ -1,0 +1,75 @@
+(** Sharded batch synthesis server.
+
+    A server owns a request queue and a fixed fleet of shards.  With
+    [shards = 0] (the default) batches execute in-process on the
+    shared {!Vmht_par.Parmap} pool; with [shards > 0] the server forks
+    that many worker processes up front and speaks the {!Proto}
+    framing to them over pipes.  The two execution substrates are
+    interchangeable by construction: outcomes carry no timing and
+    replies are returned in request-id order, so the reply stream for
+    a given batch is byte-identical at any shard count.
+
+    Per batch the server
+    - accounts store hits: a [Synthesize] request whose key is already
+      on disk (or seen earlier by this server) is a hit — the
+      deterministic, process-independent definition the load generator
+      reports;
+    - dedups: duplicate-key synthesis requests within a batch dispatch
+      once, and every duplicate receives a copy of the leader's reply;
+    - enforces deadlines: a request whose [deadline_ms] budget (from
+      batch submission) is exhausted before dispatch fails without
+      running;
+    - survives worker death: in-flight requests of a dead worker are
+      retried on a respawned one, [max_attempts] times, then fail.
+
+    Forking and OCaml 5 domains do not mix, so a sharded server must
+    be created before the process spawns any domain (in particular
+    before the first wide {!Vmht_par.Parmap.map}); worker respawn then
+    stays safe for the server's whole life.  [shards = 0] has no such
+    constraint. *)
+
+type t
+
+type stats = {
+  submitted : int;
+  completed : int;  (** replies with a non-[Failed] outcome *)
+  failed : int;
+  expired : int;  (** failed by deadline, never dispatched *)
+  retried : int;  (** re-dispatches after a worker death *)
+  deduped : int;  (** replies cloned from an in-batch duplicate's leader *)
+  key_hits : int;  (** synthesis requests answerable from the store *)
+  key_misses : int;
+  latency : Vmht_obs.Histogram.summary;
+      (** per-request dispatch-to-reply wall time, microseconds *)
+}
+
+val create :
+  ?shards:int ->
+  ?max_attempts:int ->
+  ?window:int ->
+  ?store:Store.t ->
+  handle:(Proto.request -> Proto.outcome) ->
+  unit ->
+  t
+(** Defaults: [shards = 0], [max_attempts = 3], [window = 8]
+    (in-flight requests per worker).  [store] is only consulted for
+    hit accounting ({!Store.contains}); installing it into the flow
+    ({!Store.install}) is the caller's business and must happen before
+    [create] so forked workers inherit it. *)
+
+val shards : t -> int
+
+val run_batch : t -> Proto.request list -> Proto.reply list
+(** Execute one batch; replies sorted by [rid] (which must be unique
+    within the batch).  Blocks until every request has a reply. *)
+
+val stats : t -> stats
+(** Cumulative across batches. *)
+
+val hit_rate : t -> float
+(** [key_hits / (key_hits + key_misses)]; [0.] before any keyed
+    request. *)
+
+val shutdown : t -> unit
+(** Close the request pipes (workers exit on EOF) and reap them.
+    Idempotent; a [shards = 0] server has nothing to do. *)

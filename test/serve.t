@@ -1,0 +1,61 @@
+Synthesis-as-a-service: the batch server, the persistent store and the
+load generator, through the CLI.
+
+A cold loadgen run fills the store and prints a deterministic report
+(the timing-bearing line goes to stderr, the manifest to a file):
+
+  $ vmht loadgen --requests 12 --store-dir store --metrics-json cold.json 2>/dev/null
+  Loadgen: request mix and (deterministic) outcomes
+  +-------------+------------+---------------+---------------+----------+------------+--------+
+  | kernel      | synth reqs | distinct cfgs | verilog bytes | run reqs | run cycles | failed |
+  +-------------+------------+---------------+---------------+----------+------------+--------+
+  | vecadd      |          3 |             3 |        17,058 |        0 |          0 |      0 |
+  | mmul        |          0 |             0 |             0 |        0 |          0 |      0 |
+  | spmv        |          1 |             1 |         4,867 |        2 |     50,160 |      0 |
+  | list_sum    |          1 |             1 |         2,091 |        0 |          0 |      0 |
+  | tree_search |          2 |             1 |        10,120 |        0 |          0 |      0 |
+  | bfs         |          3 |             3 |        19,902 |        0 |          0 |      0 |
+  +-------------+------------+---------------+---------------+----------+------------+--------+
+  total: 12 requests = 10 synthesis (9 distinct configs) + 2 runs, 0 failed
+
+A warm run over the same store answers every synthesis key from disk --
+the --require-hit-rate gate would exit 1 otherwise -- and its stdout is
+byte-identical to the cold run:
+
+  $ vmht loadgen --requests 12 --store-dir store --require-hit-rate 0.9 --metrics-json warm.json > warm.out 2>/dev/null
+  $ vmht loadgen --requests 12 --store-dir store --metrics-json cold2.out 2>/dev/null | diff warm.out -
+
+So is a sharded run (two forked worker processes instead of the
+in-process pool):
+
+  $ vmht loadgen --requests 12 --shards 2 --store-dir store 2>/dev/null | diff warm.out -
+
+The manifest carries the timing and hit-rate fields stdout must not:
+
+  $ grep -c 'throughput_rps\|latency_us\|hit_rate' warm.json
+  3
+
+An unwritable store directory is a typed error with the write-failure
+exit code:
+
+  $ vmht loadgen --requests 1 --store-dir /proc/vmht-nope/store
+  error: /proc/vmht-nope/store: store unwritable: mkdir(/proc/vmht-nope): No such file or directory
+  [3]
+
+The server reads JSON-line requests (a blank line flushes a batch) and
+answers in request order, deduplicating against the same store:
+
+  $ printf '%s\n' \
+  >   '{"op":"synth","workload":"vecadd","style":"vm","unroll":2}' \
+  >   '{"op":"synth","source":"kernel double(x: int): int { return x + x; }"}' \
+  >   '' \
+  >   '{"op":"run","workload":"list_sum","mode":"vm","size":64}' \
+  >   '{"op":"synth","workload":"nosuch"}' \
+  >   '{"op":"bogus"}' \
+  >   | vmht serve --store-dir store
+  {"rid":0,"status":"ok","result":"synthesized vecadd: 18 states, 2448 LUT 2987 FF 0 DSP 2 BRAM, 5069 bytes of Verilog"}
+  {"rid":1,"status":"ok","result":"synthesized double: 1 states, 1589 LUT 2235 FF 0 DSP 2 BRAM, 1365 bytes of Verilog"}
+  {"rid":2,"status":"ok","result":"executed: 229 cycles, ret 2790, correct"}
+  {"rid":3,"status":"failed","result":"unknown workload \"nosuch\""}
+  {"rid":4,"status":"failed","result":"unknown op \"bogus\""}
+  [1]

@@ -59,12 +59,14 @@ let test_wrapper_ports_differ () =
 (* ------------------------- Flow ----------------------------------- *)
 
 let test_flow_total_is_sum () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let sum = Optypes.add_area hw.Flow.datapath_area hw.Flow.wrapper_area in
   check_bool "total = datapath + wrapper" true (hw.Flow.total_area = sum)
 
 let test_flow_verilog_has_wrapper_ports () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let contains s sub =
     let n = String.length sub in
     let rec go i =
@@ -75,16 +77,18 @@ let test_flow_verilog_has_wrapper_ports () =
   check_bool "ptw port present" true (contains hw.Flow.verilog "ptw_addr")
 
 let test_flow_rejects_ill_typed () =
-  check_bool "raises" true
+  check_bool "typed frontend error" true
     (match
-       Flow.synthesize_source Config.default Wrapper.Vm_iface
-         "kernel bad(x: int) { y = 1; }"
+       Flow.run
+         (Flow.Request.of_source ~style:Wrapper.Vm_iface
+            "kernel bad(x: int) { y = 1; }")
      with
-     | _ -> false
-     | exception Vmht_lang.Loc.Error _ -> true)
+     | Error (Flow.Frontend _) -> true
+     | _ -> false)
 
 let test_flow_synthesis_time_recorded () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   check_bool "non-negative" true (hw.Flow.synthesis_seconds >= 0.)
 
 let test_compile_sw_runs () =
@@ -118,8 +122,9 @@ let test_report_gathers_and_renders () =
   let result =
     Launch.run_to_completion soc (fun () ->
         let hw =
-          Flow.synthesize Config.default Wrapper.Vm_iface
-            (Vmht_workloads.Workload.kernel w)
+          Flow.run_exn
+            (Flow.Request.of_kernel ~style:Wrapper.Vm_iface
+               (Vmht_workloads.Workload.kernel w))
         in
         Launch.run_hw soc hw
           {
@@ -183,7 +188,8 @@ let test_trace_off_by_default () =
 (* ------------------------- Sysgen --------------------------------- *)
 
 let test_sysgen_compose_fits () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let design = Sysgen.compose [ (hw, 2) ] in
   check_bool "two copies fit a 7020" true design.Sysgen.fits;
   check_bool "utilization reported" true
@@ -196,14 +202,16 @@ let test_sysgen_compose_fits () =
   check_bool "area accounting" true (design.Sysgen.total_area = expected)
 
 let test_sysgen_overbudget_reported () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let design = Sysgen.compose [ (hw, 1000) ] in
   check_bool "does not fit" true (not design.Sysgen.fits);
   check_bool "utilization exceeds 1" true
     (List.exists (fun (_, f) -> f > 1.) design.Sysgen.utilization)
 
 let test_sysgen_mmio_disjoint () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let design = Sysgen.compose [ (hw, 3); (hw, 2) ] in
   match design.Sysgen.placements with
   | [ a; b ] ->
@@ -212,14 +220,16 @@ let test_sysgen_mmio_disjoint () =
   | _ -> Alcotest.fail "expected two placements"
 
 let test_sysgen_max_instances_monotone () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let small = Sysgen.max_instances ~device:Sysgen.zynq_7020 hw in
   let large = Sysgen.max_instances ~device:Sysgen.zynq_7045 hw in
   check_bool "some fit" true (small >= 1);
   check_bool "bigger device hosts more" true (large > small)
 
 let test_sysgen_top_mentions_instances () =
-  let hw = Flow.synthesize Config.default Wrapper.Vm_iface (Workload.kernel vecadd) in
+  let hw = Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Vm_iface (Workload.kernel vecadd)) in
   let design = Sysgen.compose [ (hw, 2) ] in
   let has sub =
     let s = design.Sysgen.top_verilog in

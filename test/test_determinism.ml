@@ -207,7 +207,8 @@ let fuzz_vm_observe ~fastpath ~tlb_entries ~rate ~seed kernel =
   for i = 0 to Gen_prog.mem_words - 1 do
     Vmht_vm.Addr_space.store_word aspace (base + (i * 8)) ((i * 37) mod 101)
   done;
-  let hw = Flow.synthesize config Vmht.Wrapper.Vm_iface kernel in
+  let hw = Flow.run_exn
+    (Flow.Request.of_kernel ~config ~style:Vmht.Wrapper.Vm_iface kernel) in
   let result =
     Vmht.Launch.run_to_completion soc (fun () ->
         Vmht.Launch.run_hw soc hw

@@ -124,8 +124,9 @@ let test_inline_rejects_multi_return_callee () =
 
 let test_inline_end_to_end_synthesis () =
   let hw =
-    Vmht.Flow.synthesize_program Vmht.Config.default Vmht.Wrapper.Vm_iface
-      program_src ~name:"apply"
+    Vmht.Flow.run_exn
+      (Vmht.Flow.Request.of_program ~style:Vmht.Wrapper.Vm_iface ~name:"apply"
+         program_src)
   in
   (* Run the synthesized (inlined) accelerator and compare. *)
   let data = Array.init 16 (fun i -> (i * 29) - 60) in

@@ -139,7 +139,7 @@ let test_soc_shootdown_reaches_all_levels () =
 (* ---------------------- failure injection ------------------------- *)
 
 let synthesize_source src =
-  Flow.synthesize_source Config.default Wrapper.Vm_iface src
+  Flow.run_exn (Flow.Request.of_source ~style:Wrapper.Vm_iface src)
 
 let test_hw_thread_divide_by_zero () =
   let soc = Soc.create Config.default in
@@ -185,9 +185,10 @@ let test_dma_kernel_escaping_windows () =
   let inside = Addr_space.alloc space ~bytes:4096 in
   let outside = Addr_space.alloc space ~bytes:4096 in
   let hw =
-    Flow.synthesize Config.default Wrapper.Dma_iface
-      (Vmht_lang.Parser.parse_kernel
-         "kernel f(p: int*, q: int*) : int { return p[0] + q[0]; }")
+    Flow.run_exn
+      (Flow.Request.of_kernel ~style:Wrapper.Dma_iface
+         (Vmht_lang.Parser.parse_kernel
+            "kernel f(p: int*, q: int*) : int { return p[0] + q[0]; }"))
   in
   check_bool "escapes are detected" true
     (match

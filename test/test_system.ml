@@ -38,10 +38,14 @@ let run_workload ?(config = Config.default) mode (w : Workload.t) ~size =
           let func = Flow.compile_sw config (Workload.kernel w) in
           Launch.run_sw soc func request
         | Vm ->
-          let hw = Flow.synthesize config Wrapper.Vm_iface (Workload.kernel w) in
+          let hw = Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Vm_iface
+                 (Workload.kernel w)) in
           Launch.run_hw soc hw request
         | Dma ->
-          let hw = Flow.synthesize config Wrapper.Dma_iface (Workload.kernel w) in
+          let hw = Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Dma_iface
+                 (Workload.kernel w)) in
           Launch.run_hw soc hw request)
   in
   (soc, instance, result)
@@ -114,7 +118,9 @@ let test_window_overflow_detected () =
     (match
        Launch.run_to_completion soc (fun () ->
            let hw =
-             Flow.synthesize config Wrapper.Dma_iface (Workload.kernel w)
+             Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Dma_iface
+                 (Workload.kernel w))
            in
            Launch.run_hw soc hw request)
      with
@@ -141,7 +147,8 @@ let test_demand_paging_in_vm_mode () =
   in
   let result =
     Launch.run_to_completion soc (fun () ->
-        let hw = Flow.synthesize config Wrapper.Vm_iface kernel in
+        let hw = Flow.run_exn
+          (Flow.Request.of_kernel ~config ~style:Wrapper.Vm_iface kernel) in
         Launch.run_hw soc hw
           { Launch.args = [ src; dst; n ]; buffers = [] })
   in
@@ -158,7 +165,9 @@ let test_multi_thread_concurrent () =
   let w = Registry.find "dotprod" in
   let i1 = w.Workload.setup (Soc.aspace soc) ~size:1024 ~seed:1 in
   let i2 = w.Workload.setup (Soc.aspace soc) ~size:1024 ~seed:2 in
-  let hw = Flow.synthesize config Wrapper.Vm_iface (Workload.kernel w) in
+  let hw = Flow.run_exn
+              (Flow.Request.of_kernel ~config ~style:Wrapper.Vm_iface
+                 (Workload.kernel w)) in
   let r1, r2 =
     Launch.run_to_completion soc (fun () ->
         let t1 =

@@ -72,6 +72,15 @@ let no_fastpath_arg =
            Simulated cycles and outputs are identical either way — see \
            the $(b,abl7) experiment.")
 
+let banks_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "banks" ] ~docv:"N"
+        ~doc:
+          "Word-interleaved scratchpad banks the scheduler may arbitrate \
+           across (default 1 = flat memory; accesses provably on distinct \
+           banks co-issue).")
+
 let config_with_opt config opt_level passes =
   let config =
     match opt_level with
@@ -151,12 +160,13 @@ let synth_cmd =
   let pipeline =
     Arg.(value & flag & info [ "pipeline" ] ~doc:"Modulo-schedule inner loops.")
   in
-  let action file iface unroll emit_rtl pipeline opt_level passes =
+  let action file iface unroll banks emit_rtl pipeline opt_level passes =
     let config =
       Vmht.Config.with_pipelining
         (Vmht.Config.with_unroll Vmht.Config.default unroll)
         pipeline
     in
+    let config = Vmht.Config.with_banks config banks in
     let config = config_with_opt config opt_level passes in
     with_schedule config (fun _sched ->
         with_program file (fun program ->
@@ -177,7 +187,7 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize hardware threads (HLS + interface wrapper).")
     Term.(
-      const action $ file $ iface $ unroll $ emit_rtl $ pipeline
+      const action $ file $ iface $ unroll $ banks_arg $ emit_rtl $ pipeline
       $ opt_level_arg $ passes_arg)
 
 (* ------------------------- run ------------------------------------ *)
@@ -276,14 +286,20 @@ let run_cmd =
             "Record causal host-time spans (parse, passes, schedule, emit, \
              simulate) and write them as Chrome-trace JSON to $(docv).")
   in
+  let unroll =
+    Arg.(value & opt int 1 & info [ "unroll" ] ~doc:"Loop unroll factor.")
+  in
   let action wname mode size tlb tlb2 walk_cache page_shift stats trace_n
-      trace_out metrics_json spans_out pipeline no_fastpath opt_level passes =
+      trace_out metrics_json spans_out pipeline unroll banks no_fastpath
+      opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
       1
     | w ->
       let config = config_with_opt Vmht.Config.default opt_level passes in
+      let config = Vmht.Config.with_unroll config unroll in
+      let config = Vmht.Config.with_banks config banks in
       let config = Vmht.Config.with_fastpath config (not no_fastpath) in
       let config =
         match tlb with
@@ -420,7 +436,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ tlb2 $ walk_cache
       $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ spans_out
-      $ pipeline $ no_fastpath_arg
+      $ pipeline $ unroll $ banks_arg $ no_fastpath_arg
       $ opt_level_arg
       $ passes_arg)
 
@@ -1286,6 +1302,110 @@ let perf_cmd =
        ~doc:"Performance tooling: the manifest regression gate.")
     [ perf_diff_cmd ]
 
+(* ------------------------- dse ------------------------------------ *)
+
+let dse_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the sweep (default: the machine's \
+             recommended domain count; 1 = sequential).  Output is \
+             byte-identical at any width.")
+  in
+  let size =
+    Arg.(
+      value
+      & opt int Vmht_eval.Dse.default_size
+      & info [ "size" ] ~docv:"N" ~doc:"Elements per kernel run.")
+  in
+  let kernels =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kernels" ] ~docv:"K1,K2"
+          ~doc:"Kernels to explore (default: vecadd,saxpy,dotprod,stencil3).")
+  in
+  let axis_arg name doc =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ name ] ~docv:"N1,N2" ~doc)
+  in
+  let unrolls = axis_arg "unrolls" "Unroll factors to sweep (default: 1,2,4)." in
+  let banks = axis_arg "bank-counts" "Bank counts to sweep (default: 1,2,4)." in
+  let opts = axis_arg "opts" "Optimization levels to sweep (default: 0,2)." in
+  let tlbs = axis_arg "tlbs" "TLB entry counts to sweep (default: 8,32)." in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the full grid (every point, front flags included) \
+             as a vmht-dse/1 manifest to $(docv).")
+  in
+  let action jobs size kernels unrolls banks opts tlbs json_out =
+    Vmht_par.Parmap.set_jobs
+      (match jobs with
+       | Some n -> n
+       | None -> Domain.recommended_domain_count ());
+    let kernels =
+      Option.value ~default:Vmht_eval.Dse.default_kernels kernels
+    in
+    let unknown =
+      List.filter
+        (fun k -> not (List.mem k Vmht_workloads.Registry.names))
+        kernels
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown kernel(s): %s\n" (String.concat ", " unknown);
+      1
+    end
+    else begin
+      let d = Vmht_eval.Dse.default_axes in
+      let pick v dflt = Option.value ~default:dflt v in
+      let axes =
+        {
+          Vmht_eval.Dse.unrolls = pick unrolls d.Vmht_eval.Dse.unrolls;
+          Vmht_eval.Dse.banks = pick banks d.Vmht_eval.Dse.banks;
+          Vmht_eval.Dse.opts = pick opts d.Vmht_eval.Dse.opts;
+          Vmht_eval.Dse.tlbs = pick tlbs d.Vmht_eval.Dse.tlbs;
+        }
+      in
+      let points =
+        Vmht_eval.Dse.explore ~size ~axes ~kernels Vmht.Config.default
+      in
+      print_string (Vmht_eval.Dse.render ~size points);
+      print_newline ();
+      match json_out with
+      | None -> 0
+      | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc
+            (Vmht_obs.Json.to_string_pretty
+               (Vmht_eval.Dse.manifest ~size points));
+          output_char oc '\n';
+          close_out oc;
+          0
+        with Sys_error msg ->
+          Printf.eprintf "cannot write manifest: %s\n" msg;
+          exit_write_failed)
+    end
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Explore the unroll x banks x opt-level x TLB design space over \
+          the domain pool and report each kernel's Pareto front over \
+          cycles vs LUT area.")
+    Term.(
+      const action $ jobs $ size $ kernels $ unrolls $ banks $ opts $ tlbs
+      $ json_out)
+
 (* ------------------------- passes --------------------------------- *)
 
 let passes_cmd =
@@ -1359,6 +1479,7 @@ let () =
             loadgen_cmd;
             profile_cmd;
             perf_cmd;
+            dse_cmd;
             passes_cmd;
             list_cmd;
           ]))

@@ -34,7 +34,10 @@ let default =
     bus_arbitration_cycles = 2;
     cache = Vmht_mem.Cache.default_config;
     resources =
-      { Vmht_hls.Schedule.default_resources with Vmht_hls.Schedule.mem_ports = 2 };
+      {
+        Vmht_hls.Schedule.default_resources with
+        Vmht_hls.Schedule.mem = Vmht_hls.Schedule.flat_mem 2;
+      };
     unroll = 1;
     pipeline_loops = false;
     accel_mem_ports = 2;
@@ -91,6 +94,29 @@ let with_unroll t unroll = { t with unroll }
 
 let with_pipelining t pipeline_loops = { t with pipeline_loops }
 
+(* Re-bank the scratchpad, keeping per-bank porting: [n] word-interleaved
+   banks, each with the current ports-per-bank; the outstanding-miss
+   limit scales with the total port count.  [with_banks t 1] is the
+   default flat memory (identical fingerprint). *)
+let with_banks t banks =
+  let m = t.resources.Vmht_hls.Schedule.mem in
+  let ppb = m.Vmht_hls.Schedule.ports_per_bank in
+  let mem =
+    {
+      m with
+      Vmht_hls.Schedule.banks;
+      Vmht_hls.Schedule.miss_limit = banks * ppb;
+    }
+  in
+  { t with resources = { t.resources with Vmht_hls.Schedule.mem } }
+
+(* Simulator-side width of the accelerator's memory interface: wide
+   enough for both the wrapper's outstanding-access budget and the peak
+   issue width the schedule was arbitrated for. *)
+let accel_width t =
+  max t.accel_mem_ports
+    (Vmht_hls.Schedule.mem_total_ports t.resources.Vmht_hls.Schedule.mem)
+
 let with_fault t fault = { t with fault }
 
 let with_seed t seed = { t with seed }
@@ -145,7 +171,11 @@ let fingerprint (t : t) =
    i r.Vmht_hls.Schedule.mul;
    i r.Vmht_hls.Schedule.div;
    i r.Vmht_hls.Schedule.shift;
-   i r.Vmht_hls.Schedule.mem_ports);
+   (let m = r.Vmht_hls.Schedule.mem in
+    i m.Vmht_hls.Schedule.banks;
+    i m.Vmht_hls.Schedule.ports_per_bank;
+    i m.Vmht_hls.Schedule.interleave_shift;
+    i m.Vmht_hls.Schedule.miss_limit));
   i t.unroll;
   f t.pipeline_loops;
   i t.accel_mem_ports;

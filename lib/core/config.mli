@@ -68,6 +68,18 @@ val with_unroll : t -> int -> t
 
 val with_pipelining : t -> bool -> t
 
+val with_banks : t -> int -> t
+(** Re-bank the scratchpad: [n] word-interleaved banks, keeping the
+    current ports-per-bank; the outstanding-miss limit scales to
+    [n * ports_per_bank].  [with_banks t 1] equals the default flat
+    memory and fingerprints identically. *)
+
+val accel_width : t -> int
+(** Simulator-side memory interface width of an accelerator: the max of
+    [accel_mem_ports] and the scheduler's total memory port count, so a
+    banked schedule's co-issued accesses are not re-serialized by the
+    simulation harness. *)
+
 val with_fault : t -> Vmht_fault.Plan.t -> t
 
 val with_seed : t -> int -> t

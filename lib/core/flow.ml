@@ -327,40 +327,6 @@ let raise_error = function
 
 let run_exn r = match run r with Ok hw -> hw | Error e -> raise_error e
 
-(* --- deprecated thin wrappers -------------------------------------- *)
-
-(* The pre-Request entry points, kept so existing callers (examples,
-   downstream users) keep compiling; each is one [Request.make] away
-   from {!run}.  [?windows] folds into the config — it used to be a
-   scattered optional with its own slot in the cache key. *)
-
-let request ?(cache = true) ?windows config style payload =
-  let config =
-    match windows with
-    | Some w -> Config.with_windows config w
-    | None -> config
-  in
-  { Request.payload; config; style; cache }
-
-let synthesize ?cache ?windows config style kernel =
-  run_exn (request ?cache ?windows config style (Request.Kernel kernel))
-
-let synthesize_source_result ?cache ?windows config style source =
-  run (request ?cache ?windows config style (Request.Source source))
-
-let synthesize_program_result ?cache ?windows config style source ~name =
-  run
-    (request ?cache ?windows config style
-       (Request.Program { source; kname = name }))
-
-let synthesize_source ?cache ?windows config style source =
-  run_exn (request ?cache ?windows config style (Request.Source source))
-
-let synthesize_program ?cache ?windows config style source ~name =
-  run_exn
-    (request ?cache ?windows config style
-       (Request.Program { source; kname = name }))
-
 let compile_sw (config : Config.t) kernel =
   Vmht_lang.Typecheck.check_kernel kernel;
   (* Software threads get the same pass schedule but no unrolling: the

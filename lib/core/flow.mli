@@ -5,10 +5,7 @@
     The front door is {!Request.t} + {!run}: one record naming what to
     synthesize (an AST, a single-kernel source, or a kernel of a
     multi-kernel program), under which {!Config.t} and wrapper style,
-    and whether the process-wide memo may answer.  The six historical
-    entry points ([synthesize], [synthesize_source{,_result}],
-    [synthesize_program{,_result}]) survive as deprecated thin
-    wrappers over it. *)
+    and whether the process-wide memo may answer. *)
 
 type hw_thread = {
   kernel : Vmht_lang.Ast.kernel;
@@ -141,54 +138,6 @@ val set_store : store_backend option -> unit
     calls [store_save] and surfaces a save failure as
     [Error (Store_error _)] from {!run} — the memo keeps the result
     either way. *)
-
-(** {2 Deprecated entry points}
-
-    Thin wrappers over {!run}, kept for existing callers.  [?windows]
-    folds into the config ({!Config.with_windows}) — it used to be a
-    scattered optional with its own slot in the cache key. *)
-
-val synthesize :
-  ?cache:bool ->
-  ?windows:int ->
-  Config.t ->
-  Wrapper.style ->
-  Vmht_lang.Ast.kernel ->
-  hw_thread
-(** @deprecated Use {!run} with {!Request.of_kernel}. *)
-
-val synthesize_source_result :
-  ?cache:bool ->
-  ?windows:int ->
-  Config.t ->
-  Wrapper.style ->
-  string ->
-  (hw_thread, error) result
-(** @deprecated Use {!run} with {!Request.of_source}. *)
-
-val synthesize_program_result :
-  ?cache:bool ->
-  ?windows:int ->
-  Config.t ->
-  Wrapper.style ->
-  string ->
-  name:string ->
-  (hw_thread, error) result
-(** @deprecated Use {!run} with {!Request.of_program}. *)
-
-val synthesize_source :
-  ?cache:bool -> ?windows:int -> Config.t -> Wrapper.style -> string -> hw_thread
-(** @deprecated Use {!run_exn} with {!Request.of_source}. *)
-
-val synthesize_program :
-  ?cache:bool ->
-  ?windows:int ->
-  Config.t ->
-  Wrapper.style ->
-  string ->
-  name:string ->
-  hw_thread
-(** @deprecated Use {!run_exn} with {!Request.of_program}. *)
 
 val compile_sw : Config.t -> Vmht_lang.Ast.kernel -> Vmht_ir.Ir.func
 (** The software path: the same front end and optimizer, no HLS.  Used

@@ -107,7 +107,7 @@ let run_hw_vm soc (hw : Flow.hw_thread) request =
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
         Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Soc.config soc).Config.accel_mem_ports
+          ~ports:(Config.accel_width (Soc.config soc))
           ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
           ~args:request.args)
   in
@@ -238,7 +238,7 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
         Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Soc.config soc).Config.accel_mem_ports
+          ~ports:(Config.accel_width (Soc.config soc))
           ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
           ~args:request.args)
   in

@@ -81,8 +81,9 @@ val synthesize :
   Vmht_workloads.Workload.t ->
   Vmht.Flow.hw_thread
 (** Synthesis only (no execution) — for the area and synthesis-time
-    experiments.  [cache] is passed through to {!Vmht.Flow.synthesize}
-    (default: cached); pass [~cache:false] when *timing* synthesis. *)
+    experiments.  [cache] becomes the request's cache flag for
+    {!Vmht.Flow.run} (default: cached); pass [~cache:false] when
+    *timing* synthesis. *)
 
 val source_lines : Vmht_workloads.Workload.t -> int
 (** Non-empty source lines of the workload's kernel. *)

@@ -137,6 +137,12 @@ let all =
       kind = Sweep;
       run = Robust.run;
     };
+    {
+      name = "dse1";
+      doc = "design-space exploration: unroll x banks x opt x TLB Pareto front";
+      kind = Sweep;
+      run = Dse.run;
+    };
   ]
 
 let names = List.map (fun e -> e.name) all

@@ -6,6 +6,8 @@ type t = {
   fu_counts : (Optypes.op_class * int) list;
   fu_of_instr : (Ir.label * int, int) Hashtbl.t;
   reg_count : int;
+  mem_banks : int;
+  mem_channels : int;
 }
 
 let bind (sched : Schedule.t) =
@@ -47,7 +49,12 @@ let bind (sched : Schedule.t) =
       (Liveness.max_live sched.func live)
       (List.length sched.func.Ir.arg_regs)
   in
-  { schedule = sched; fu_counts; fu_of_instr; reg_count }
+  (* The banked scratchpad the schedule was arbitrated against: the
+     bank count sizes the arbiter/decoder logic, the peak same-cycle
+     memory concurrency sizes the datapath's request channels. *)
+  let mem_banks = sched.Schedule.resources.Schedule.mem.Schedule.banks in
+  let mem_channels = Schedule.max_concurrency sched Optypes.Mem in
+  { schedule = sched; fu_counts; fu_of_instr; reg_count; mem_banks; mem_channels }
 
 let fu_count t cls =
   Option.value ~default:0 (List.assoc_opt cls t.fu_counts)

@@ -12,6 +12,12 @@ type t = {
   fu_of_instr : (Vmht_ir.Ir.label * int, int) Hashtbl.t;
       (** (block label, instruction index) -> unit index within class *)
   reg_count : int; (** datapath registers (peak simultaneous liveness) *)
+  mem_banks : int;
+      (** scratchpad banks the schedule was arbitrated against (from
+          {!Schedule.mem_model}; 1 = flat memory, no arbiter) *)
+  mem_channels : int;
+      (** peak same-cycle memory accesses = request channels the
+          datapath needs (0 for memory-free kernels) *)
 }
 
 val bind : Schedule.t -> t

@@ -32,10 +32,12 @@ let datapath_area (binding : Bind.t) ~states =
         Optypes.add_area acc (Optypes.scale_area n (Optypes.fu_area cls)))
       Optypes.zero_area binding.Bind.fu_counts
   in
-  Optypes.add_area fu_area
-    (Optypes.add_area
-       (Optypes.register_area binding.Bind.reg_count)
-       (Optypes.fsm_area ~states))
+  Optypes.add_area
+    (Optypes.bank_area ~banks:binding.Bind.mem_banks)
+    (Optypes.add_area fu_area
+       (Optypes.add_area
+          (Optypes.register_area binding.Bind.reg_count)
+          (Optypes.fsm_area ~states)))
 
 let synthesize ?(resources = Schedule.default_resources) ?(unroll = 1)
     ?(pipeline = false) ?schedule:opt_schedule kernel =

@@ -61,6 +61,13 @@ let fu_area = function
 
 let register_area n = { lut = 20 * n; ff = 64 * n; dsp = 0; bram = 0 }
 
+(* Banked-scratchpad arbitration: per-bank address decode, a request
+   arbiter and the read-data return mux.  Only multi-bank memories pay
+   it — one bank needs no arbiter, so banks=1 adds nothing. *)
+let bank_area ~banks =
+  if banks <= 1 then zero_area
+  else { lut = 48 * banks; ff = 24 * banks; dsp = 0; bram = 0 }
+
 let fsm_area ~states =
   let state_bits = max 1 (Vmht_util.Bits.ceil_log2 (max states 2)) in
   { lut = 60 + (9 * states); ff = state_bits + 16; dsp = 0; bram = 0 }

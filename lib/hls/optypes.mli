@@ -35,6 +35,10 @@ val fu_area : op_class -> area
 val register_area : int -> area
 (** Area of [n] 64-bit datapath registers (FFs plus input muxing). *)
 
+val bank_area : banks:int -> area
+(** Arbitration logic of a [banks]-way banked scratchpad (address
+    decode, request arbiter, return mux); {!zero_area} for one bank. *)
+
 val fsm_area : states:int -> area
 (** Controller area as a function of the state count. *)
 

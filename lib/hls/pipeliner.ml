@@ -8,6 +8,8 @@ type plan = {
   ii : int;
   depth : int;
   unpipelined_cycles : int;
+  rec_mii : int;
+  res_mii : int;
 }
 
 let lat instr = Optypes.latency (Optypes.classify instr)
@@ -197,23 +199,94 @@ let resource_min_ii resources instrs =
           (Vmht_util.Bits.ceil_div count (Schedule.resource_limit resources cls)))
     1 Optypes.all_classes
 
+(* Bank-pressure refinement of the memory resource bound: every access
+   conflicting with access [i] (not provably on another bank, [i]
+   itself included) competes for the same bank's ports, and such a
+   conflict set is mutually conflicting — accesses sharing [i]'s
+   symbolic form share its bank residue, and accesses with a different
+   form conflict with everything.  So each set is a clique needing
+   [ceil (|set| / ports_per_bank)] distinct modulo slots.  With one
+   bank this is exactly the old [ceil (mem_count / ports)] bound. *)
+let bank_min_ii (m : Schedule.mem_model) instrs addrs =
+  let n = Array.length instrs in
+  let mii = ref 1 in
+  for i = 0 to n - 1 do
+    if is_mem instrs.(i) then begin
+      let conflicts = ref 0 in
+      for j = 0 to n - 1 do
+        if is_mem instrs.(j)
+           && not (Schedule.Bank.provably_distinct m addrs.(i) addrs.(j))
+        then incr conflicts
+      done;
+      mii := max !mii (Vmht_util.Bits.ceil_div !conflicts m.Schedule.ports_per_bank)
+    end
+  done;
+  !mii
+
+(* Recurrence-constrained minimum II: an inter-iteration edge
+   (producer [p], consumer [u], delay) closes a cycle whose intra part
+   is the longest dependence path [u ->* p]; any feasible schedule has
+   [starts p >= starts u + path], and the inter constraint
+   [starts u + ii >= starts p + delay] then forces
+   [ii >= delay + path].  Loop-carried load/store chains enter through
+   the memory inter edges, so memory recurrences bound the II even
+   when ports are plentiful. *)
+let recurrence_min_ii instrs intra inter =
+  let n = Array.length instrs in
+  let longest_path u p =
+    (* intra edges only go forward in program order *)
+    if u > p then None
+    else begin
+      let dist = Array.make n min_int in
+      dist.(u) <- 0;
+      for j = u + 1 to p do
+        List.iter
+          (fun (i, delay) ->
+            if i >= u && dist.(i) > min_int then
+              dist.(j) <- max dist.(j) (dist.(i) + delay))
+          intra.(j)
+      done;
+      if dist.(p) > min_int then Some dist.(p) else None
+    end
+  in
+  List.fold_left
+    (fun acc (p, u, delay) ->
+      match longest_path u p with
+      | Some path -> max acc (delay + path)
+      | None -> acc)
+    1 inter
+
 (* Greedy program-order schedule under intra-iteration dependences and
    the modulo resource table for a fixed II; [None] when the II's
-   resource table cannot host the instructions. *)
-let try_schedule resources ~ii instrs intra_edges =
+   resource table cannot host the instructions.  Memory slots arbitrate
+   through the bank model: an access fits a modulo slot only if the
+   slot's whole access set stays admissible. *)
+let try_schedule resources ~ii instrs intra_edges addrs =
   let n = Array.length instrs in
   let starts = Array.make n 0 in
   let reservation : (int * Optypes.op_class, int) Hashtbl.t =
     Hashtbl.create 32
   in
-  let fits slot cls =
-    Option.value ~default:0 (Hashtbl.find_opt reservation (slot mod ii, cls))
-    < Schedule.resource_limit resources cls
+  let mem_slots : (int, Schedule.Bank.addr option list) Hashtbl.t =
+    Hashtbl.create 8
   in
-  let reserve slot cls =
-    let key = (slot mod ii, cls) in
+  let fits slot cls j =
+    let slot = slot mod ii in
+    Option.value ~default:0 (Hashtbl.find_opt reservation (slot, cls))
+    < Schedule.resource_limit resources cls
+    && (cls <> Optypes.Mem
+       || Schedule.Bank.cycle_ok resources.Schedule.mem
+            (addrs.(j)
+            :: Option.value ~default:[] (Hashtbl.find_opt mem_slots slot)))
+  in
+  let reserve slot cls j =
+    let slot = slot mod ii in
+    let key = (slot, cls) in
     Hashtbl.replace reservation key
-      (1 + Option.value ~default:0 (Hashtbl.find_opt reservation key))
+      (1 + Option.value ~default:0 (Hashtbl.find_opt reservation key));
+    if cls = Optypes.Mem then
+      Hashtbl.replace mem_slots slot
+        (addrs.(j) :: Option.value ~default:[] (Hashtbl.find_opt mem_slots slot))
   in
   let ok = ref true in
   for j = 0 to n - 1 do
@@ -227,23 +300,30 @@ let try_schedule resources ~ii instrs intra_edges =
       (* A free modulo slot exists within any window of II slots. *)
       let rec find slot budget =
         if budget = 0 then None
-        else if fits slot cls then Some slot
+        else if fits slot cls j then Some slot
         else find (slot + 1) (budget - 1)
       in
       match find earliest ii with
       | Some slot ->
         starts.(j) <- slot;
-        reserve slot cls
+        reserve slot cls j
       | None -> ok := false
     end
   done;
   if !ok then Some starts else None
 
-let plan_loop resources (h : Ir.block) (b : Ir.block) exit_l =
+let plan_loop ~roots resources (h : Ir.block) (b : Ir.block) exit_l =
   let instrs = Array.of_list (h.Ir.instrs @ b.Ir.instrs) in
   if Array.length instrs = 0 then None
   else begin
-    let intra = Schedule.dependence_edges instrs in
+    let addrs = Schedule.Bank.addr_forms ~roots instrs in
+    let intra =
+      Schedule.dependence_edges
+        ?addrs:
+          (if resources.Schedule.mem.Schedule.banks > 1 then Some addrs
+           else None)
+        instrs
+    in
     let defs = defs_in instrs in
     let inductions = induction_regs instrs defs in
     let inter = inter_iteration_edges instrs defs inductions in
@@ -263,12 +343,18 @@ let plan_loop resources (h : Ir.block) (b : Ir.block) exit_l =
       |> List.fold_left max 1
     in
     let unpipelined_cycles = makespan h.Ir.instrs + makespan b.Ir.instrs in
-    let min_ii = resource_min_ii resources instrs in
+    let res_mii =
+      max
+        (resource_min_ii resources instrs)
+        (bank_min_ii resources.Schedule.mem instrs addrs)
+    in
+    let rec_mii = recurrence_min_ii instrs intra inter in
+    let min_ii = max res_mii rec_mii in
     let max_ii = max min_ii unpipelined_cycles in
     let rec search ii =
       if ii > max_ii then None
       else
-        match try_schedule resources ~ii instrs intra with
+        match try_schedule resources ~ii instrs intra addrs with
         | None -> search (ii + 1)
         | Some starts ->
           let inter_ok =
@@ -295,13 +381,16 @@ let plan_loop resources (h : Ir.block) (b : Ir.block) exit_l =
             ii;
             depth;
             unpipelined_cycles;
+            rec_mii;
+            res_mii;
           }
       else None
   end
 
 let plan_loops (f : Ir.func) ~resources =
+  let roots = Schedule.Bank.stable_args f in
   List.filter_map
-    (fun (h, b, exit_l) -> plan_loop resources h b exit_l)
+    (fun (h, b, exit_l) -> plan_loop ~roots resources h b exit_l)
     (find_candidate_loops f)
 
 let to_string p =

@@ -10,15 +10,23 @@
     depth such that one iteration can be *initiated* every [II] cycles:
 
     - resource constraints: per modulo slot, class usage stays within
-      the FU budget;
+      the FU budget, and memory slots additionally pass the
+      {!Schedule.Bank} arbitration of the configured
+      {!Schedule.mem_model} (bank pressure raises the
+      resource-constrained minimum II: a set of mutually conflicting
+      accesses needs [ceil (size / ports_per_bank)] slots);
     - register recurrences: a value produced in one iteration and
-      consumed in the next constrains [II] by the producer's latency;
+      consumed in the next constrains [II] by the producer's latency
+      plus the longest intra-iteration dependence path back to the
+      producer (the recurrence-constrained minimum II, reported as
+      [rec_mii]);
     - memory recurrences: stores conservatively recur against every
       load/store of the next iteration *unless* both addresses are
       provably streaming — [invariant_base + (induction << 3)] with
       distinct base registers — in which case iterations are assumed
       disjoint (the `restrict` discipline real HLS demands, documented
-      in LANGUAGE.md).
+      in LANGUAGE.md).  Loop-carried load/store chains therefore bound
+      the II through [rec_mii] like register recurrences do.
 
     Execution stays functionally sequential (so results are exact
     regardless of the plan); the accelerator charges [max(II, actual
@@ -33,6 +41,11 @@ type plan = {
   ii : int;
   depth : int;
   unpipelined_cycles : int; (** header + body makespans, for reports *)
+  rec_mii : int;
+      (** recurrence-constrained minimum II (register and memory
+          loop-carried chains) *)
+  res_mii : int;
+      (** resource-constrained minimum II, including bank pressure *)
 }
 
 val plan_loops :

@@ -1,4 +1,32 @@
 module Ir = Vmht_ir.Ir
+module Ast = Vmht_lang.Ast
+
+(* --- memory-access model ------------------------------------------- *)
+
+(* The scratchpad/interface memory seen by the scheduler: [banks]
+   word-interleaved banks ([bank = (addr >> interleave_shift) mod
+   banks]), each with [ports_per_bank] same-cycle ports, under a global
+   [miss_limit] cap on accesses in flight.  [flat_mem p] (one bank, p
+   ports) is the pre-banking model and the degenerate case every
+   default goes through. *)
+type mem_model = {
+  banks : int;
+  ports_per_bank : int;
+  interleave_shift : int;
+  miss_limit : int;
+}
+
+let flat_mem ports =
+  { banks = 1; ports_per_bank = ports; interleave_shift = 3; miss_limit = ports }
+
+let banked_mem ?(ports_per_bank = 1) ?miss_limit banks =
+  if banks < 1 then invalid_arg "Schedule.banked_mem: banks must be >= 1";
+  let miss_limit =
+    match miss_limit with Some m -> m | None -> banks * ports_per_bank
+  in
+  { banks; ports_per_bank; interleave_shift = 3; miss_limit }
+
+let mem_total_ports m = min (m.banks * m.ports_per_bank) m.miss_limit
 
 type resources = {
   alu : int;
@@ -6,24 +34,212 @@ type resources = {
   mul : int;
   div : int;
   shift : int;
-  mem_ports : int;
+  mem : mem_model;
 }
 
 let default_resources =
-  { alu = 2; cmp = 2; mul = 1; div = 1; shift = 1; mem_ports = 1 }
+  { alu = 2; cmp = 2; mul = 1; div = 1; shift = 1; mem = flat_mem 1 }
+
+(* Large but max_int-safe: resource math multiplies and ceil-divides
+   limits, so a genuine [max_int] would overflow (the old
+   [resource_limit Move -> max_int] fed [ceil_div]'s [limit + 1]
+   straight past the integer range). *)
+let unbounded = 1 lsl 20
 
 let unlimited_resources =
-  let big = 1 lsl 20 in
-  { alu = big; cmp = big; mul = big; div = big; shift = big; mem_ports = big }
+  {
+    alu = unbounded;
+    cmp = unbounded;
+    mul = unbounded;
+    div = unbounded;
+    shift = unbounded;
+    mem =
+      {
+        banks = 1;
+        ports_per_bank = unbounded;
+        interleave_shift = 3;
+        miss_limit = unbounded;
+      };
+  }
 
+(* Total over every class: [Mem] answers with the model's global
+   concurrency cap (the bank arbiter refines it per cycle), [Move] with
+   the safe large bound instead of [max_int]. *)
 let resource_limit r = function
   | Optypes.Alu -> r.alu
   | Optypes.Cmp -> r.cmp
   | Optypes.Mul -> r.mul
   | Optypes.Div -> r.div
   | Optypes.Shift -> r.shift
-  | Optypes.Mem -> r.mem_ports
-  | Optypes.Move -> max_int
+  | Optypes.Mem -> mem_total_ports r.mem
+  | Optypes.Move -> unbounded
+
+(* --- static bank analysis ------------------------------------------ *)
+
+(* Symbolic affine addresses over a straight-line block.  Every
+   register value is [sum (coeff_i * sym_i) + base] where the syms are
+   opaque: live-in registers, load results and unanalyzable arithmetic
+   each mint a fresh one.  Two memory accesses whose forms share the
+   symbolic part and differ by a whole number of words provably land
+   [delta_words mod banks] banks apart — the only disequality the
+   scheduler may exploit.  Everything else (distinct bases, unknown
+   addresses, sub-word offsets) stays "possibly same bank" and is
+   conservatively serialized onto one bank's ports. *)
+module Bank = struct
+  type addr = { terms : (int * int) list; base : int }
+  (* [terms] sorted by symbol id, zero coefficients dropped *)
+
+  let const n = { terms = []; base = n }
+
+  let rec merge_terms f a b =
+    match (a, b) with
+    | [], rest | rest, [] ->
+      List.filter_map
+        (fun (s, c) ->
+          let c = f c 0 in
+          if c = 0 then None else Some (s, c))
+        rest
+    | (sa, ca) :: ta, (sb, cb) :: tb ->
+      if sa < sb then
+        let c = f ca 0 in
+        if c = 0 then merge_terms f ta b else (sa, c) :: merge_terms f ta b
+      else if sb < sa then
+        let c = f 0 cb in
+        if c = 0 then merge_terms f a tb else (sb, c) :: merge_terms f a tb
+      else
+        let c = f ca cb in
+        if c = 0 then merge_terms f ta tb else (sa, c) :: merge_terms f ta tb
+
+  let add a b = { terms = merge_terms ( + ) a.terms b.terms; base = a.base + b.base }
+
+  let sub a b = { terms = merge_terms ( - ) a.terms b.terms; base = a.base - b.base }
+
+  let scale k a =
+    if k = 0 then const 0
+    else { terms = List.map (fun (s, c) -> (s, k * c)) a.terms; base = k * a.base }
+
+  (* Kernel pointer arguments are independent buffers (each maps to its
+     own staged region / VM mapping — the restrict-style contract every
+     HLS flow imposes on top-level pointers), so two accesses rooted at
+     different arguments never alias.  Only arguments whose register is
+     never redefined anywhere in the function qualify: a reassigned
+     pointer variable may point into another argument's buffer. *)
+  let stable_args (f : Ir.func) =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun (b : Ir.block) ->
+               List.exists (fun i -> Ir.def_of i = Some r) b.Ir.instrs)
+             f.Ir.blocks))
+      f.Ir.arg_regs
+
+  (* Forward symbolic evaluation in program order.  Program order is
+     the right reading frame even though the scheduler reorders: WAR
+     edges let an overwriter start no earlier than the same cycle as a
+     reader, so the value an instruction reads is always the one the
+     last preceding writer produced.  [roots] (the function's
+     {!stable_args}) get the negative symbol ids the root analysis of
+     {!provably_disjoint} looks for. *)
+  let addr_forms ?(roots = []) (instrs : Ir.instr array) : addr option array =
+    let next_sym = ref 0 in
+    let fresh () =
+      let s = !next_sym in
+      incr next_sym;
+      { terms = [ (s, 1) ]; base = 0 }
+    in
+    let root_sym : (Ir.reg, int) Hashtbl.t = Hashtbl.create 4 in
+    List.iteri (fun k r -> Hashtbl.replace root_sym r (-(k + 1))) roots;
+    let env : (Ir.reg, addr) Hashtbl.t = Hashtbl.create 16 in
+    let read r =
+      match Hashtbl.find_opt env r with
+      | Some v -> v
+      | None ->
+        (* live-in register: one stable symbol per reg *)
+        let v =
+          match Hashtbl.find_opt root_sym r with
+          | Some s -> { terms = [ (s, 1) ]; base = 0 }
+          | None -> fresh ()
+        in
+        Hashtbl.replace env r v;
+        v
+    in
+    let operand = function Ir.Imm n -> const n | Ir.Reg r -> read r in
+    Array.map
+      (fun instr ->
+        let form =
+          match instr with
+          | Ir.Load (_, a) | Ir.Store (a, _) -> Some (operand a)
+          | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> None
+        in
+        (match instr with
+         | Ir.Mov (d, x) -> Hashtbl.replace env d (operand x)
+         | Ir.Bin (Ast.Add, d, x, y) ->
+           Hashtbl.replace env d (add (operand x) (operand y))
+         | Ir.Bin (Ast.Sub, d, x, y) ->
+           Hashtbl.replace env d (sub (operand x) (operand y))
+         | Ir.Bin (Ast.Shl, d, x, Ir.Imm k) when k >= 0 && k < 32 ->
+           Hashtbl.replace env d (scale (1 lsl k) (operand x))
+         | Ir.Bin (Ast.Mul, d, x, Ir.Imm k)
+         | Ir.Bin (Ast.Mul, d, Ir.Imm k, x) ->
+           Hashtbl.replace env d (scale k (operand x))
+         | Ir.Bin (_, d, _, _) | Ir.Un (_, d, _) | Ir.Load (d, _) ->
+           Hashtbl.replace env d (fresh ())
+         | Ir.Store _ -> ());
+        form)
+      instrs
+
+  (* The root argument an address form points into: exactly one
+     root-tagged (negative) symbol, with coefficient one.  [a + 8*i]
+     is rooted at [a]; [a - c], [2*a] and forms over loaded pointers
+     are not rooted at anything. *)
+  let root x =
+    match List.filter (fun (s, _) -> s < 0) x.terms with
+    | [ (s, 1) ] -> Some s
+    | _ -> None
+
+  (* Two accesses that provably touch different addresses, whatever the
+     symbols' runtime values: either the same symbolic part at a
+     different constant offset, or roots in two different argument
+     buffers.  Model-free — refines the memory-ordering dependences. *)
+  let provably_disjoint a b =
+    match (a, b) with
+    | Some x, Some y ->
+      (x.terms = y.terms && x.base <> y.base)
+      || (match (root x, root y) with
+         | Some ra, Some rb -> ra <> rb
+         | (Some _ | None), _ -> false)
+    | (Some _ | None), _ -> false
+
+  (* Same symbolic part + word-aligned offset delta: the banks differ
+     by exactly [(delta / word) mod banks], whatever the symbols'
+     runtime values (floor((x + word*k) / word) = floor(x / word) + k). *)
+  let provably_distinct m a b =
+    match (a, b) with
+    | Some x, Some y when x.terms = y.terms ->
+      let word = 1 lsl m.interleave_shift in
+      let d = x.base - y.base in
+      d mod word = 0 && d / word mod m.banks <> 0
+    | (Some _ | None), _ -> false
+
+  (* Can this set of accesses issue in one cycle?  Each access must
+     find a port on its bank: its conflict set (everything not provably
+     on another bank, itself included) may not exceed the per-bank
+     ports; the whole set stays within the global cap.  With one bank
+     nothing is ever provably distinct and this collapses to the old
+     [count <= mem_ports]. *)
+  let cycle_ok m (accesses : addr option list) =
+    List.length accesses <= mem_total_ports m
+    && List.for_all
+         (fun a ->
+           let conflicts =
+             List.fold_left
+               (fun c b -> if provably_distinct m a b then c else c + 1)
+               0 accesses
+           in
+           conflicts <= m.ports_per_bank)
+         accesses
+end
 
 type block_schedule = {
   label : Ir.label;
@@ -50,8 +266,12 @@ let is_store = function
   | Ir.Load _ | Ir.Bin _ | Ir.Un _ | Ir.Mov _ -> false
 
 (* Dependence edges i -> j (i before j in program order) with minimum
-   start-to-start delays. *)
-let dependence_edges instrs =
+   start-to-start delays.  [addrs] (the block's affine address forms)
+   refines the memory ordering: store pairs and load/store pairs at
+   provably different addresses commute.  Callers pass it only under a
+   multi-bank model, so flat-memory schedules are bit-identical to the
+   pre-banking scheduler. *)
+let dependence_edges ?addrs instrs =
   let n = Array.length instrs in
   let edges = Array.make n [] in
   (* edges.(j) = list of (i, delay) constraints: start_j >= start_i + delay *)
@@ -75,9 +295,14 @@ let dependence_edges instrs =
        | Some di, Some dj when di = dj ->
          delays := max 1 (lat instrs.(i) - lat instrs.(j) + 1) :: !delays
        | (Some _ | None), _ -> ());
-      (* Memory ordering: loads commute, everything else serializes *)
+      (* Memory ordering: loads commute, everything else serializes —
+         unless the two accesses provably touch different addresses *)
       if is_mem instrs.(i) && is_mem instrs.(j)
          && (is_store instrs.(i) || is_store instrs.(j))
+         && not
+              (match addrs with
+               | Some a -> Bank.provably_disjoint a.(i) a.(j)
+               | None -> false)
       then delays := 1 :: !delays;
       match !delays with
       | [] -> ()
@@ -105,13 +330,15 @@ let priorities instrs edges =
   done;
   prio
 
-let schedule_block resources (b : Ir.block) =
+let schedule_block ~roots resources (b : Ir.block) =
   let instrs = Array.of_list b.instrs in
   let n = Array.length instrs in
   if n = 0 then
     { label = b.label; instrs; starts = [||]; makespan = 1 }
   else begin
-    let edges = dependence_edges instrs in
+    let banked = resources.mem.banks > 1 in
+    let addrs = Bank.addr_forms ~roots instrs in
+    let edges = dependence_edges ?addrs:(if banked then Some addrs else None) instrs in
     let prio = priorities instrs edges in
     let starts = Array.make n (-1) in
     let scheduled = ref 0 in
@@ -119,6 +346,7 @@ let schedule_block resources (b : Ir.block) =
     let usage : (Optypes.op_class, int) Hashtbl.t = Hashtbl.create 8 in
     while !scheduled < n do
       Hashtbl.reset usage;
+      let mems_this_cycle = ref [] in
       (* Instructions ready at this cycle, highest priority first. *)
       let ready = ref [] in
       for j = 0 to n - 1 do
@@ -134,16 +362,50 @@ let schedule_block resources (b : Ir.block) =
       let ready =
         List.sort (fun a b -> compare (prio.(b), a) (prio.(a), b)) !ready
       in
-      List.iter
-        (fun j ->
-          let cls = Optypes.classify instrs.(j) in
-          let used = Option.value ~default:0 (Hashtbl.find_opt usage cls) in
-          if used < resource_limit resources cls then begin
-            starts.(j) <- !cycle;
-            Hashtbl.replace usage cls (used + 1);
-            incr scheduled
-          end)
-        ready;
+      let try_admit j =
+        let cls = Optypes.classify instrs.(j) in
+        let used = Option.value ~default:0 (Hashtbl.find_opt usage cls) in
+        let admit =
+          used < resource_limit resources cls
+          && (cls <> Optypes.Mem
+             || Bank.cycle_ok resources.mem (addrs.(j) :: !mems_this_cycle))
+        in
+        if admit then begin
+          starts.(j) <- !cycle;
+          Hashtbl.replace usage cls (used + 1);
+          if cls = Optypes.Mem then
+            mems_this_cycle := addrs.(j) :: !mems_this_cycle;
+          incr scheduled
+        end;
+        admit
+      in
+      if not banked then List.iter (fun j -> ignore (try_admit j)) ready
+      else begin
+        (* Bank affinity: a priority-order greedy pass would pair
+           accesses of different arrays (mutual "maybe same bank"
+           conflicts) and cap every cycle at one bank's ports.  Admit
+           conflict-free additions — accesses provably on a different
+           bank than everything already issued — first, then let the
+           leftovers fill the remaining ports of contended banks.
+           Within a cycle the inversion is harmless: co-issued is
+           co-issued.  Non-memory ops share no resource class with
+           memory, so their admission order is unchanged. *)
+        let mem_j j = Optypes.classify instrs.(j) = Optypes.Mem in
+        List.iter (fun j -> if not (mem_j j) then ignore (try_admit j)) ready;
+        List.iter
+          (fun j ->
+            if
+              mem_j j
+              && (!mems_this_cycle = []
+                 || List.for_all
+                      (Bank.provably_distinct resources.mem addrs.(j))
+                      !mems_this_cycle)
+            then ignore (try_admit j))
+          ready;
+        List.iter
+          (fun j -> if mem_j j && starts.(j) < 0 then ignore (try_admit j))
+          ready
+      end;
       incr cycle
     done;
     let makespan =
@@ -155,7 +417,12 @@ let schedule_block resources (b : Ir.block) =
   end
 
 let schedule_func ?(resources = default_resources) (f : Ir.func) =
-  { func = f; blocks = List.map (schedule_block resources) f.blocks; resources }
+  let roots = Bank.stable_args f in
+  {
+    func = f;
+    blocks = List.map (schedule_block ~roots resources) f.blocks;
+    resources;
+  }
 
 let total_states t =
   List.fold_left (fun acc b -> acc + b.makespan) 0 t.blocks
@@ -180,10 +447,16 @@ let critical_path_of_block b = b.makespan
 
 let validate t =
   let fail fmt = Printf.ksprintf failwith fmt in
+  let roots = Bank.stable_args t.func in
   List.iter
     (fun b ->
       let n = Array.length b.instrs in
-      let edges = dependence_edges b.instrs in
+      let addrs = Bank.addr_forms ~roots b.instrs in
+      let edges =
+        dependence_edges
+          ?addrs:(if t.resources.mem.banks > 1 then Some addrs else None)
+          b.instrs
+      in
       for j = 0 to n - 1 do
         if b.starts.(j) < 0 then fail "L%d: instruction %d unscheduled" b.label j;
         List.iter
@@ -210,6 +483,25 @@ let validate t =
             fail "L%d cycle %d: %d %s ops exceed limit" b.label cycle count
               (Optypes.class_name cls))
         per_cycle;
+      (* Bank arbitration per cycle: every co-issued memory set must be
+         admissible under the memory model *)
+      let mem_cycles : (int, Bank.addr option list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      Array.iteri
+        (fun i start ->
+          if is_mem b.instrs.(i) then
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt mem_cycles start)
+            in
+            Hashtbl.replace mem_cycles start (addrs.(i) :: cur))
+        b.starts;
+      Hashtbl.iter
+        (fun cycle accesses ->
+          if not (Bank.cycle_ok t.resources.mem accesses) then
+            fail "L%d cycle %d: %d memory ops violate bank arbitration" b.label
+              cycle (List.length accesses))
+        mem_cycles;
       (* Makespan covers all commits *)
       Array.iteri
         (fun i start ->

@@ -35,6 +35,15 @@ let unop_expr op a =
   | Ast.Not -> Printf.sprintf "{63'b0, %s == 0}" a
   | Ast.Bnot -> Printf.sprintf "~%s" a
 
+(* Memory request channels: one per bound memory unit, so a schedule
+   that co-issues N accesses drives N independent channels (the single
+   shared channel used to be silently overwritten by the second access
+   of a cycle).  Channel 0 keeps the historical [mem_*] names so
+   single-issue modules are unchanged. *)
+let ch_prefix c = if c = 0 then "mem" else Printf.sprintf "mem%d" c
+
+let mem_channel_count (hw : Fsm.t) = max 1 hw.Fsm.binding.Bind.mem_channels
+
 (* Global state numbering: block label L, cycle c -> state id. *)
 let state_table (hw : Fsm.t) =
   let table = Hashtbl.create 32 in
@@ -54,6 +63,7 @@ let emit_body buf (hw : Fsm.t) =
   let state_of label cycle = Hashtbl.find states (label, cycle) in
   let bp fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let state_bits = max 1 (Vmht_util.Bits.ceil_log2 (max n_states 2)) in
+  let fu_of = hw.Fsm.binding.Bind.fu_of_instr in
   bp "  // %d FSM states, %d virtual registers\n" n_states f.Ir.next_reg;
   bp "  localparam S_IDLE = %d'd%d;\n" state_bits n_states;
   bp "  localparam S_DONE = %d'd%d;\n" state_bits (n_states + 1);
@@ -79,7 +89,15 @@ let emit_body buf (hw : Fsm.t) =
         let sid = state_of b.Schedule.label c in
         bp "        %d'd%d: begin // L%d cycle %d\n" state_bits sid
           b.Schedule.label c;
-        let has_mem = ref false in
+        let active_channels = ref [] in
+        let channel i =
+          let u =
+            Option.value ~default:0
+              (Hashtbl.find_opt fu_of (b.Schedule.label, i))
+          in
+          active_channels := u :: !active_channels;
+          ch_prefix u
+        in
         Array.iteri
           (fun i start ->
             if start = c then begin
@@ -91,20 +109,26 @@ let emit_body buf (hw : Fsm.t) =
                 bp "          r%d <= %s;\n" d (unop_expr op (operand x))
               | Ir.Mov (d, x) -> bp "          r%d <= %s;\n" d (operand x)
               | Ir.Load (d, addr) ->
-                has_mem := true;
-                bp "          mem_req <= 1'b1; mem_we <= 1'b0;\n";
-                bp "          mem_addr <= %s;\n" (operand addr);
-                bp "          if (mem_ack) r%d <= mem_rdata;\n" d
+                let ch = channel i in
+                bp "          %s_req <= 1'b1; %s_we <= 1'b0;\n" ch ch;
+                bp "          %s_addr <= %s;\n" ch (operand addr);
+                bp "          if (%s_ack) r%d <= %s_rdata;\n" ch d ch
               | Ir.Store (addr, v) ->
-                has_mem := true;
-                bp "          mem_req <= 1'b1; mem_we <= 1'b1;\n";
-                bp "          mem_addr <= %s; mem_wdata <= %s;\n"
-                  (operand addr) (operand v)
+                let ch = channel i in
+                bp "          %s_req <= 1'b1; %s_we <= 1'b1;\n" ch ch;
+                bp "          %s_addr <= %s; %s_wdata <= %s;\n" ch
+                  (operand addr) ch (operand v)
             end)
           b.Schedule.starts;
+        (* The state holds until every channel active this cycle acks. *)
+        let ack_cond () =
+          List.sort_uniq compare !active_channels
+          |> List.map (fun u -> ch_prefix u ^ "_ack")
+          |> String.concat " && "
+        in
         let advance target =
-          if !has_mem then
-            bp "          if (mem_ack) state <= %s;\n" target
+          if !active_channels <> [] then
+            bp "          if (%s) state <= %s;\n" (ack_cond ()) target
           else bp "          state <= %s;\n" target
         in
         if c < b.Schedule.makespan - 1 then
@@ -115,7 +139,7 @@ let emit_body buf (hw : Fsm.t) =
           | Ir.Jmp l ->
             advance (Printf.sprintf "%d'd%d" state_bits (state_of l 0))
           | Ir.Br (cond, l1, l2) ->
-            if !has_mem then bp "          if (mem_ack)\n";
+            if !active_channels <> [] then bp "          if (%s)\n" (ack_cond ());
             bp "          state <= (%s != 0) ? %d'd%d : %d'd%d;\n"
               (operand cond) state_bits (state_of l1 0) state_bits
               (state_of l2 0)
@@ -139,20 +163,28 @@ let module_ports (hw : Fsm.t) extra =
     List.mapi (fun i _ -> Printf.sprintf "input wire [63:0] arg%d" i)
       f.Ir.arg_regs
   in
+  let mem_ports =
+    List.concat_map
+      (fun c ->
+        let p = ch_prefix c in
+        [
+          Printf.sprintf "output reg %s_req" p;
+          Printf.sprintf "output reg %s_we" p;
+          Printf.sprintf "output reg [63:0] %s_addr" p;
+          Printf.sprintf "output reg [63:0] %s_wdata" p;
+          Printf.sprintf "input wire [63:0] %s_rdata" p;
+          Printf.sprintf "input wire %s_ack" p;
+        ])
+      (List.init (mem_channel_count hw) Fun.id)
+  in
   [
     "input wire clk";
     "input wire rst";
     "input wire start";
     "output reg done";
     "output reg [63:0] result";
-    "output reg mem_req";
-    "output reg mem_we";
-    "output reg [63:0] mem_addr";
-    "output reg [63:0] mem_wdata";
-    "input wire [63:0] mem_rdata";
-    "input wire mem_ack";
   ]
-  @ args @ extra
+  @ mem_ports @ args @ extra
 
 let emit_with_wrapper (hw : Fsm.t) ~wrapper_ports =
   let buf = Buffer.create 4096 in
@@ -161,6 +193,13 @@ let emit_with_wrapper (hw : Fsm.t) ~wrapper_ports =
        hw.Fsm.name);
   Buffer.add_string buf
     (Printf.sprintf "// %s\n" (Fsm.stats_to_string hw.Fsm.stats));
+  (let m = hw.Fsm.schedule.Schedule.resources.Schedule.mem in
+   if m.Schedule.banks > 1 then
+     Buffer.add_string buf
+       (Printf.sprintf
+          "// memory: %d word-interleaved bank(s) x %d port(s), %d \
+           channel(s)\n"
+          m.Schedule.banks m.Schedule.ports_per_bank (mem_channel_count hw)));
   List.iter
     (fun plan ->
       Buffer.add_string buf

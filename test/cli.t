@@ -34,6 +34,7 @@ paths a user hits first.
     abl6     ablation  translation hierarchy: shared L2 TLB and page-walk cache
     abl7     ablation  simulator fast path on vs off: identical cycles, faster host
     robust   sweep     fault injection: recovery overhead, vm vs copy-based
+    dse1     sweep     design-space exploration: unroll x banks x opt x TLB Pareto front
 
 Compile a kernel and show the optimized IR:
 
@@ -315,6 +316,51 @@ metric regressed past the threshold:
   $ vmht perf diff old.json bad.json > /dev/null
   error: bad.json: expected '"' at offset 1
   [2]
+
+Design-space exploration sweeps unroll x banks x opt x TLB per kernel
+and reports the Pareto front over cycles vs LUT area; the output is
+deterministic at any -j width, and --json writes every grid point as a
+vmht-dse/1 manifest:
+
+  $ vmht dse --size 64 --kernels vecadd --unrolls 1,2 --bank-counts 1,2 --opts 2 --tlbs 16 -j 2 --json pareto.json
+  DSE: vecadd (vm, size 64) — Pareto front over cycles vs LUT (3 of 4 points; 1 dominated)
+  +--------+-------+-----+-----+--------+-------+-------+
+  | unroll | banks | opt | tlb | cycles | LUT   | FF    |
+  +--------+-------+-----+-----+--------+-------+-------+
+  |      2 |     2 | -O2 |  16 |  1,749 | 2,526 | 3,034 |
+  |      2 |     1 | -O2 |  16 |  1,813 | 2,448 | 2,987 |
+  |      1 |     1 | -O2 |  16 |  1,875 | 2,358 | 2,985 |
+  +--------+-------+-----+-----+--------+-------+-------+
+  
+
+  $ grep -c '"schema": "vmht-dse/1"' pareto.json
+  1
+  $ vmht dse --kernels nonsuch
+  unknown kernel(s): nonsuch
+  [1]
+
+The scratchpad banking axis is a first-class run/synth knob: provably
+bank-distinct accesses co-issue, so a banked memory-bound kernel takes
+strictly fewer cycles than the flat single-bank default, with the same
+answer:
+
+  $ vmht run saxpy --mode vm --size 256 --unroll 4
+  saxpy / vm / size 256: 5,765 cycles (correct)
+    phases: stage=0 compute=4485 drain=1280
+    mmu: 768 accesses, 766 hits, 2 misses, 0 faults, hit rate 0.997
+  $ vmht run saxpy --mode vm --size 256 --unroll 4 --banks 4
+  saxpy / vm / size 256: 4,741 cycles (correct)
+    phases: stage=0 compute=3461 drain=1280
+    mmu: 768 accesses, 766 hits, 2 misses, 0 faults, hit rate 0.997
+
+The pre-Request synthesis wrappers are gone; the old `synthesize`
+surface now fails up front with the list of real commands:
+
+  $ vmht synthesize vecadd.htl
+  vmht: unknown command 'synthesize', must be one of 'bench', 'compile', 'dse', 'list', 'loadgen', 'passes', 'perf', 'profile', 'run', 'serve', 'synth', 'system' or 'trace'.
+  Usage: vmht COMMAND …
+  Try 'vmht --help' for more information.
+  [124]
 
 An experiment with no per-run timing is flagged (the fig1.ns_per_run
 line above) unless the manifest marks it as a synthesis-only study:

@@ -161,7 +161,9 @@ let test_dual_port_overlaps () =
     Parser.parse_kernel
       "kernel f(p: int*, q: int*) : int { return p[0] + q[0]; }"
   in
-  let resources = { Schedule.default_resources with Schedule.mem_ports = 2 } in
+  let resources =
+    { Schedule.default_resources with Schedule.mem = Schedule.flat_mem 2 }
+  in
   let hw = Fsm.synthesize ~resources k in
   let run_with ports =
     let eng = Engine.create () in
@@ -233,7 +235,7 @@ let prop_dual_port_equivalence =
       let kernel = Gen_prog.gen_kernel seed in
       let a = seed mod 9 and b = seed mod 5 in
       let resources =
-        { Schedule.default_resources with Schedule.mem_ports = 2 }
+        { Schedule.default_resources with Schedule.mem = Schedule.flat_mem 2 }
       in
       let d1 = Array.init Gen_prog.mem_words (fun i -> (i * 37) mod 101) in
       let d2 = Array.copy d1 in
@@ -262,6 +264,83 @@ let prop_unroll_accel_equivalence =
       let r2, _ = accel_run ~unroll:4 kernel ~data:d2 ~args:[ 0; a; b ] in
       r1 = r2 && d1 = d2)
 
+(* ----------------------- memory model ----------------------------- *)
+
+(* Bank arbitration in isolation: every non-memory resource is
+   plentiful, so co-issue is decided by the bank model alone. *)
+let ample_mem mem = { Schedule.unlimited_resources with Schedule.mem = mem }
+
+let mem_peak mem src =
+  let s = schedule_of ~resources:(ample_mem mem) (Parser.parse_kernel src) in
+  Schedule.validate s;
+  Schedule.max_concurrency s Optypes.Mem
+
+let test_bank_arbitration () =
+  (* Indices 1/2/3 keep every address chain one add deep, so both
+     loads become ready in the same cycle and the bank model alone
+     decides co-issue. *)
+  let adjacent = "kernel f(m: int*) : int { return m[1] + m[2]; }" in
+  let stride2 = "kernel f(m: int*) : int { return m[1] + m[3]; }" in
+  let unknown = "kernel f(m: int*, i: int, j: int) : int { return m[i] + m[j]; }" in
+  check_int "flat single port serializes" 1
+    (mem_peak (Schedule.flat_mem 1) adjacent);
+  check_int "adjacent words co-issue on 2 banks" 2
+    (mem_peak (Schedule.banked_mem 2) adjacent);
+  check_int "stride 2 collides on 2 banks" 1
+    (mem_peak (Schedule.banked_mem 2) stride2);
+  check_int "stride 2 co-issues on 4 banks" 2
+    (mem_peak (Schedule.banked_mem 4) stride2);
+  check_int "statically-unknown pair serializes" 1
+    (mem_peak (Schedule.banked_mem 4) unknown)
+
+let prop_banked_accel_matches_reference =
+  QCheck.Test.make ~count:120
+    ~name:"banked accelerator matches AST semantics (banks x unroll)"
+    seed_arb (fun seed ->
+      let kernel = Gen_prog.gen_kernel seed in
+      let banks = [| 1; 2; 4 |].(seed mod 3) in
+      let unroll = [| 1; 2; 4 |].(seed / 3 mod 3) in
+      let resources =
+        {
+          Schedule.default_resources with
+          Schedule.mem = Schedule.banked_mem ~ports_per_bank:2 banks;
+        }
+      in
+      let f = Vmht_ir.Lower.lower_kernel kernel in
+      ignore (Vmht_ir.Pass_manager.optimize f);
+      (match Schedule.validate (Schedule.schedule_func ~resources f) with
+       | () -> ()
+       | exception Failure msg -> QCheck.Test.fail_report msg);
+      let a = seed mod 11 and b = seed mod 7 in
+      let reference, ret_ref = Gen_prog.reference_run kernel ~a ~b in
+      let data = Array.init Gen_prog.mem_words (fun i -> (i * 37) mod 101) in
+      let ret, _ =
+        accel_run ~resources ~unroll
+          ~ports:(Schedule.mem_total_ports resources.Schedule.mem)
+          kernel ~data ~args:[ 0; a; b ]
+      in
+      ret = ret_ref && data = reference)
+
+let test_multibank_strictly_faster () =
+  List.iter
+    (fun name ->
+      let w = Vmht_workloads.Registry.find name in
+      let cycles banks =
+        let config =
+          Vmht.Config.with_banks
+            (Vmht.Config.with_unroll Vmht.Config.default 4)
+            banks
+        in
+        let o = Vmht_eval.Common.run ~config Vmht_eval.Common.Vm w ~size:256 in
+        check_bool (name ^ " correct") true o.Vmht_eval.Common.correct;
+        Vmht_eval.Common.cycles o
+      in
+      check_bool
+        (Printf.sprintf "%s: 4 banks strictly faster than 1" name)
+        true
+        (cycles 4 < cycles 1))
+    [ "saxpy"; "stencil3" ]
+
 let suite =
   [
     Alcotest.test_case "schedule: valid" `Quick test_schedule_valid;
@@ -284,7 +363,12 @@ let suite =
     Alcotest.test_case "accel: dual port overlaps" `Quick
       test_dual_port_overlaps;
     Alcotest.test_case "verilog: emission" `Quick test_verilog_emission;
+    Alcotest.test_case "mem model: bank arbitration" `Quick
+      test_bank_arbitration;
+    Alcotest.test_case "mem model: multi-bank strictly faster" `Quick
+      test_multibank_strictly_faster;
     QCheck_alcotest.to_alcotest prop_accel_matches_reference;
+    QCheck_alcotest.to_alcotest prop_banked_accel_matches_reference;
     QCheck_alcotest.to_alcotest prop_schedule_always_valid;
     QCheck_alcotest.to_alcotest prop_dual_port_equivalence;
     QCheck_alcotest.to_alcotest prop_unroll_accel_equivalence;

@@ -301,6 +301,39 @@ let prop_kernel_round_trip =
       | _ -> false
       | exception Loc.Error _ -> false)
 
+(* Whole multi-kernel programs survive the trip too: kernel order and
+   name resolution, not just per-kernel syntax. *)
+let prop_program_round_trip =
+  QCheck.Test.make ~count:100
+    ~name:"pretty |> parse round-trips multi-kernel programs"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let p =
+        [ Gen_prog.gen_kernel seed; Gen_prog.gen_kernel (seed + 50000) ]
+      in
+      match Parser.parse_program (Pretty.program_to_string p) with
+      | p1 when List.length p1 = 2 -> (
+        match Parser.parse_program (Pretty.program_to_string p1) with
+        | p2 -> p2 = p1
+        | exception Loc.Error _ -> false)
+      | _ -> false
+      | exception Loc.Error _ -> false)
+
+(* The generator only emits well-typed kernels, and pretty-printing
+   must not break that: the reparsed kernel still typechecks. *)
+let prop_pretty_preserves_typing =
+  QCheck.Test.make ~count:100 ~name:"pretty |> parse preserves well-typedness"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let k = Gen_prog.gen_kernel seed in
+      match Parser.parse_program (Pretty.program_to_string [ k ]) with
+      | [ k1 ] -> (
+        match Typecheck.check_kernel k1 with
+        | () -> true
+        | exception Loc.Error _ -> false)
+      | _ -> false
+      | exception Loc.Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "lexer: tokens" `Quick test_lexer_tokens;
@@ -328,4 +361,6 @@ let suite =
       test_strict_logical_ops;
     QCheck_alcotest.to_alcotest prop_expr_round_trip;
     QCheck_alcotest.to_alcotest prop_kernel_round_trip;
+    QCheck_alcotest.to_alcotest prop_program_round_trip;
+    QCheck_alcotest.to_alcotest prop_pretty_preserves_typing;
   ]

@@ -2,7 +2,7 @@
    store (codec round-trips, corruption and version-skew fallback,
    promotion into the flow memo), the sharded batch server (substrate
    determinism, dedup, retry-on-worker-death, deadlines) and the
-   consolidated Flow request API's deprecated wrappers.
+   consolidated Flow request API.
 
    This suite lives in its own executable on purpose: the sharded
    server forks worker processes, which must happen while the process
@@ -355,29 +355,29 @@ let test_batch_dedup () =
       rest
   | [] -> Alcotest.fail "no replies"
 
-(* --- deprecated wrappers ------------------------------------------- *)
+(* --- request-key config folding ------------------------------------ *)
 
-let test_deprecated_wrappers_agree () =
+let test_request_config_folding () =
   let kernel = kernel_of "vecadd" in
   let config = Config.default in
-  let via_request =
+  let base =
     Flow.run_exn
       (Flow.Request.of_kernel ~config ~style:Wrapper.Dma_iface kernel)
   in
-  let via_wrapper = Flow.synthesize config Wrapper.Dma_iface kernel in
-  Alcotest.(check bool) "same memoized hardware" true
-    (via_request == via_wrapper);
-  (* [?windows] folds into the config (and so into the cache key). *)
-  let windowed = Flow.synthesize ~windows:5 config Wrapper.Dma_iface kernel in
-  let via_config =
+  let again =
+    Flow.run_exn
+      (Flow.Request.of_kernel ~config ~style:Wrapper.Dma_iface kernel)
+  in
+  Alcotest.(check bool) "same memoized hardware" true (base == again);
+  (* Window count lives in the config (and so in the cache key). *)
+  let windowed =
     Flow.run_exn
       (Flow.Request.of_kernel
          ~config:(Config.with_windows config 5)
          ~style:Wrapper.Dma_iface kernel)
   in
-  Alcotest.(check bool) "windows = with_windows" true (windowed == via_config);
   Alcotest.(check bool) "windows changes the hardware" true
-    (windowed.Flow.wrapper_area <> via_wrapper.Flow.wrapper_area)
+    (windowed.Flow.wrapper_area <> base.Flow.wrapper_area)
 
 let () =
   Alcotest.run "vmht-serve"
@@ -410,7 +410,7 @@ let () =
         ] );
       ( "flow-api",
         [
-          Alcotest.test_case "deprecated wrappers = Request API" `Quick
-            test_deprecated_wrappers_agree;
+          Alcotest.test_case "request key folds the config" `Quick
+            test_request_config_folding;
         ] );
     ]

@@ -72,6 +72,19 @@ let no_fastpath_arg =
            Simulated cycles and outputs are identical either way — see \
            the $(b,abl7) experiment.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", Vmht.Config.Model); ("rtl", Vmht.Config.Rtl) ])
+        Vmht.Config.Model
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Hardware-thread executor: $(b,sim) (the model-level FSM \
+           executor, default) or $(b,rtl) (parse the emitted Verilog back \
+           and execute the emitted bytes on the same memory/VM stack; \
+           contractually cycle- and result-identical — see the $(b,rtl1) \
+           experiment).")
+
 let banks_arg =
   Arg.(
     value & opt int 1
@@ -291,13 +304,21 @@ let run_cmd =
   in
   let action wname mode size tlb tlb2 walk_cache page_shift stats trace_n
       trace_out metrics_json spans_out pipeline unroll banks no_fastpath
-      opt_level passes =
+      backend opt_level passes =
     match Vmht_workloads.Registry.find wname with
     | exception Not_found ->
       Printf.eprintf "unknown workload '%s' (try: vmht list)\n" wname;
       1
+    | _ when backend = Vmht.Config.Rtl && pipeline ->
+      (* The emitted FSM is unpipelined; fail up front rather than from
+         the middle of a launch. *)
+      Printf.eprintf
+        "--backend rtl does not support --pipeline (the emitted FSM is \
+         unpipelined)\n";
+      1
     | w ->
       let config = config_with_opt Vmht.Config.default opt_level passes in
+      let config = Vmht.Config.with_backend config backend in
       let config = Vmht.Config.with_unroll config unroll in
       let config = Vmht.Config.with_banks config banks in
       let config = Vmht.Config.with_fastpath config (not no_fastpath) in
@@ -436,7 +457,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ mode $ size $ tlb $ tlb2 $ walk_cache
       $ page_shift $ stats $ trace_n $ trace_out $ metrics_json $ spans_out
-      $ pipeline $ unroll $ banks_arg $ no_fastpath_arg
+      $ pipeline $ unroll $ banks_arg $ no_fastpath_arg $ backend_arg
       $ opt_level_arg
       $ passes_arg)
 

@@ -1,3 +1,10 @@
+(* Which executor runs the synthesized hardware thread: the model-level
+   FSM executor, or the RTL evaluator running the emitted Verilog text
+   itself.  Both sit on the same lib/mem + lib/vm stack; the backends
+   are contractually cycle- and result-identical, and the rtl1
+   experiment enforces it. *)
+type backend = Model | Rtl
+
 type t = {
   phys_bytes : int;
   page_shift : int;
@@ -23,6 +30,7 @@ type t = {
   fault : Vmht_fault.Plan.t;
   seed : int;
   fastpath : bool;
+  backend : backend;
 }
 
 let default =
@@ -72,6 +80,7 @@ let default =
        outputs do not depend on it — so it defaults on; --no-fastpath
        is the escape hatch and the abl7 ablation proves the claim. *)
     fastpath = true;
+    backend = Model;
   }
 
 let with_tlb_entries t entries =
@@ -126,6 +135,8 @@ let with_opt_level t opt_level = { t with opt_level }
 let with_windows t wrapper_windows = { t with wrapper_windows }
 
 let with_fastpath t fastpath = { t with fastpath }
+
+let with_backend t backend = { t with backend }
 
 let with_passes t passes = { t with passes }
 
@@ -219,6 +230,8 @@ let fingerprint (t : t) =
   (* Purely a runtime toggle, but the all-fields policy wins: a
      spurious cache miss is cheaper than a forgotten field. *)
   f t.fastpath;
+  Buffer.add_string b
+    (match t.backend with Model -> "model;" | Rtl -> "rtl;");
   Buffer.contents b
 
 let to_string t =

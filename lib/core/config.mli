@@ -2,6 +2,12 @@
     with the defaults every experiment starts from.  Each experiment in
     the evaluation varies exactly the fields its figure sweeps. *)
 
+type backend =
+  | Model  (** the model-level FSM executor ({!Vmht_hls.Accel}) *)
+  | Rtl
+      (** the RTL evaluator: parse the emitted Verilog text back and
+          execute the emitted bytes, on the same memory/VM stack *)
+
 type t = {
   (* --- memory system --- *)
   phys_bytes : int; (** physical memory size *)
@@ -50,6 +56,9 @@ type t = {
       (** trace-compiled simulator fast path (wait batching, compiled
           accelerator traces, memoized translation); observationally
           identical, on by default, [--no-fastpath] disables *)
+  backend : backend;
+      (** which executor runs hardware threads; {!Model} by default,
+          [--backend rtl] selects the RTL evaluator *)
 }
 
 val default : t
@@ -94,6 +103,9 @@ val with_passes : t -> string list option -> t
 
 val with_fastpath : t -> bool -> t
 (** Toggle the simulator fast path (the --no-fastpath escape hatch). *)
+
+val with_backend : t -> backend -> t
+(** Select the hardware-thread executor (default {!Model}). *)
 
 val schedule : t -> Vmht_ir.Pass_manager.schedule
 (** The pass schedule this config selects: the explicit [passes] list

@@ -45,6 +45,38 @@ let accel_observer soc =
   if Soc.observing soc then Some (Soc.emitter soc ~component:"accel")
   else None
 
+(* The compute phase of a hardware thread, dispatched to the configured
+   backend.  [Model] interprets the scheduled FSM directly; [Rtl]
+   parses the emitted Verilog text back and executes the emitted bytes
+   against the very same [port] — identical translation, banking and
+   fault draws — so the two backends are contractually result- and
+   cycle-identical (the rtl1 experiment enforces it).  The RTL path
+   reports [ret] only when the kernel returns a value: the emitted
+   module always has a [result] register, but a void kernel's is
+   meaningless. *)
+let exec_thread soc (hw : Flow.hw_thread) ~stats ~port ~args =
+  let cfg = Soc.config soc in
+  match cfg.Config.backend with
+  | Config.Model ->
+    Accel.run ?observer:(accel_observer soc) ~stats
+      ~ports:(Config.accel_width cfg) ~fastpath:cfg.Config.fastpath
+      hw.Flow.fsm ~port ~args
+  | Config.Rtl ->
+    if hw.Flow.fsm.Vmht_hls.Fsm.plans <> [] then
+      invalid_arg
+        "Launch: the rtl backend does not support pipelined schedules \
+         (the emitted FSM is unpipelined); drop --pipeline or use the \
+         model backend";
+    let m = Vmht_rtl.Parse.parse_memo hw.Flow.verilog in
+    let out = Vmht_rtl.Eval.run ~stats ~ports:(Config.accel_width cfg) m ~port ~args in
+    let returns_value =
+      List.exists
+        (fun (b : Ir.block) ->
+          match b.Ir.term with Ir.Ret (Some _) -> true | _ -> false)
+        hw.Flow.fsm.Vmht_hls.Fsm.func.Ir.blocks
+    in
+    if returns_value then out.Vmht_rtl.Eval.result else None
+
 let run_sw soc func request =
   let t0 = Engine.now_p () in
   let cpu = Soc.cpu soc in
@@ -106,10 +138,7 @@ let run_hw_vm soc (hw : Flow.hw_thread) request =
   phase_begin soc "compute";
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
-        Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Config.accel_width (Soc.config soc))
-          ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
-          ~args:request.args)
+        exec_thread soc hw ~stats ~port ~args:request.args)
   in
   phase_end soc "compute";
   let t1 = Engine.now_p () in
@@ -237,10 +266,7 @@ let run_hw_dma soc (hw : Flow.hw_thread) request =
   phase_begin soc "compute";
   let ret =
     Engine.with_phase Profile.Actor (fun () ->
-        Accel.run ?observer:(accel_observer soc) ~stats
-          ~ports:(Config.accel_width (Soc.config soc))
-          ~fastpath:(Soc.config soc).Config.fastpath hw.Flow.fsm ~port
-          ~args:request.args)
+        exec_thread soc hw ~stats ~port ~args:request.args)
   in
   phase_end soc "compute";
   let t2 = Engine.now_p () in

@@ -138,6 +138,12 @@ let all =
       run = Robust.run;
     };
     {
+      name = "rtl1";
+      doc = "RTL loop closed: emitted Verilog vs model executor, cycle-exact";
+      kind = Sweep;
+      run = Rtl1.run;
+    };
+    {
       name = "dse1";
       doc = "design-space exploration: unroll x banks x opt x TLB Pareto front";
       kind = Sweep;

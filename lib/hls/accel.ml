@@ -18,23 +18,7 @@ let untimed_port (mem : Ast_interp.memory) =
   { load = mem.Ast_interp.load; store = mem.Ast_interp.store }
 
 (* Run every thunk as a child process and block until all complete. *)
-let par_run = function
-  | [] -> ()
-  | [ f ] -> f ()
-  | fns ->
-    let remaining = ref (List.length fns) in
-    let resumer = ref None in
-    List.iter
-      (fun f ->
-        Engine.fork ~name:"mem-lane" (fun () ->
-            f ();
-            decr remaining;
-            if !remaining = 0 then
-              match !resumer with
-              | Some resume -> resume ()
-              | None -> ()))
-      fns;
-    if !remaining > 0 then Engine.suspend (fun r -> resumer := Some r)
+let par_run fns = Engine.join_all ~name:"mem-lane" fns
 
 let rec chunks n = function
   | [] -> []

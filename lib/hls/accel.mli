@@ -25,6 +25,13 @@ type run_stats = {
 
 val fresh_stats : unit -> run_stats
 
+val chunks : int -> 'a list -> 'a list list
+(** Split a list into consecutive chunks of at most [n] elements — the
+    port-width discipline for same-cycle memory accesses ([ports]-wide
+    issue groups, later groups queueing behind earlier ones).  Exposed
+    so the RTL evaluator drives its channel lanes through the very same
+    grouping and the two backends stay cycle-identical. *)
+
 val run :
   ?observer:Vmht_obs.Event.emitter ->
   ?stats:run_stats ->

@@ -4,22 +4,33 @@ module Ast = Vmht_lang.Ast
 let operand = function
   | Ir.Reg r -> Printf.sprintf "r%d" r
   | Ir.Imm n ->
+    (* Negative immediates are emitted as sized two's-complement hex
+       literals: [-64'sd5] binds the minus *outside* the sized literal,
+       which is self-determined inside concatenations and silently
+       changes meaning there.  [Int64.of_int] sign-extends OCaml's
+       63-bit int, so the printed pattern reads back to the same
+       value. *)
     if n >= 0 then Printf.sprintf "64'd%d" n
-    else Printf.sprintf "-64'sd%d" (-n)
+    else Printf.sprintf "64'h%Lx" (Int64.of_int n)
 
 let binop_expr op a b =
   let infix sym = Printf.sprintf "%s %s %s" a sym b in
+  (* Div/Rem/Shr act on *signed* values in the reference semantics
+     ({!Vmht_lang.Ast_interp.eval_binop}: OCaml [/], [mod], [asr]); the
+     registers are unsigned 64-bit regs, so without the [$signed]
+     casts Verilog computes the unsigned variants ([>>>] in particular
+     is only an arithmetic shift when its left operand is signed). *)
   match op with
   | Ast.Add -> infix "+"
   | Ast.Sub -> infix "-"
   | Ast.Mul -> infix "*"
-  | Ast.Div -> infix "/"
-  | Ast.Rem -> infix "%"
+  | Ast.Div -> Printf.sprintf "$signed(%s) / $signed(%s)" a b
+  | Ast.Rem -> Printf.sprintf "$signed(%s) %% $signed(%s)" a b
   | Ast.And -> infix "&"
   | Ast.Or -> infix "|"
   | Ast.Xor -> infix "^"
   | Ast.Shl -> infix "<<"
-  | Ast.Shr -> infix ">>>"
+  | Ast.Shr -> Printf.sprintf "$signed(%s) >>> %s" a b
   | Ast.Lt -> Printf.sprintf "{63'b0, $signed(%s) < $signed(%s)}" a b
   | Ast.Le -> Printf.sprintf "{63'b0, $signed(%s) <= $signed(%s)}" a b
   | Ast.Gt -> Printf.sprintf "{63'b0, $signed(%s) > $signed(%s)}" a b
@@ -62,8 +73,13 @@ let emit_body buf (hw : Fsm.t) =
   let states, n_states = state_table hw in
   let state_of label cycle = Hashtbl.find states (label, cycle) in
   let bp fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let state_bits = max 1 (Vmht_util.Bits.ceil_log2 (max n_states 2)) in
+  (* The register also holds S_IDLE = n_states and S_DONE = n_states+1,
+     so the width must cover n_states + 2 values — sizing it for the
+     exec states alone truncated S_IDLE to 0 whenever n_states was a
+     power of two, aliasing idle with the first exec state. *)
+  let state_bits = max 1 (Vmht_util.Bits.ceil_log2 (n_states + 2)) in
   let fu_of = hw.Fsm.binding.Bind.fu_of_instr in
+  let n_channels = mem_channel_count hw in
   bp "  // %d FSM states, %d virtual registers\n" n_states f.Ir.next_reg;
   bp "  localparam S_IDLE = %d'd%d;\n" state_bits n_states;
   bp "  localparam S_DONE = %d'd%d;\n" state_bits (n_states + 1);
@@ -73,14 +89,29 @@ let emit_body buf (hw : Fsm.t) =
   done;
   bp "\n  always @(posedge clk) begin\n";
   bp "    if (rst) begin\n      state <= S_IDLE;\n      done <= 1'b0;\n";
+  (* Every output reg gets a reset value: without these, [result] and
+     the channel outputs power up X, and an X-valued [*_req] is
+     indistinguishable from a request to any honest memory
+     controller. *)
+  bp "      result <= 64'd0;\n";
+  for c = 0 to n_channels - 1 do
+    let p = ch_prefix c in
+    bp "      %s_req <= 1'b0;\n      %s_we <= 1'b0;\n" p p;
+    bp "      %s_addr <= 64'd0;\n      %s_wdata <= 64'd0;\n" p p
+  done;
   bp "    end else begin\n";
   bp "      case (state)\n";
-  bp "        S_IDLE: if (start) begin\n";
-  List.iteri (fun i r -> bp "          r%d <= arg%d;\n" r i) f.Ir.arg_regs;
+  bp "        S_IDLE: begin\n";
+  for c = 0 to n_channels - 1 do
+    bp "          %s_req <= 1'b0;\n" (ch_prefix c)
+  done;
+  bp "          if (start) begin\n";
+  List.iteri (fun i r -> bp "            r%d <= arg%d;\n" r i) f.Ir.arg_regs;
   (match f.Ir.blocks with
    | [] -> ()
-   | entry :: _ -> bp "          state <= %d'd%d;\n" state_bits
+   | entry :: _ -> bp "            state <= %d'd%d;\n" state_bits
                      (state_of entry.Ir.label 0));
+  bp "          end\n";
   bp "        end\n";
   List.iter
     (fun (b : Schedule.block_schedule) ->
@@ -98,21 +129,45 @@ let emit_body buf (hw : Fsm.t) =
           active_channels := u :: !active_channels;
           ch_prefix u
         in
+        (* Nonblocking commits of this state land *after* the edge that
+           leaves it, but the terminator is emitted in this same state
+           and must observe them (the model evaluates terminators after
+           the final cycle's commits).  Any value committed at the
+           final edge comes from a latency-1 op started in this very
+           cycle — its operands read the same register snapshot this
+           edge sees — so forwarding the defining expression (or the
+           channel's rdata for a load) is exact. *)
+        let fwd = Hashtbl.create 4 in
+        let final = c = b.Schedule.makespan - 1 in
+        (* Issue assignments (req/we/addr/wdata) are idempotent under a
+           stall and stay ungated; every register commit — pure ops,
+           load-data captures — must only fire on the advancing edge,
+           or a state held for L cycles would re-commit [r <= r + 1]
+           L times where the model commits it once. *)
+        let committed = ref [] in
+        let commit line = committed := line :: !committed in
         Array.iteri
           (fun i start ->
             if start = c then begin
               match b.Schedule.instrs.(i) with
               | Ir.Bin (op, d, x, y) ->
-                bp "          r%d <= %s;\n" d
-                  (binop_expr op (operand x) (operand y))
+                let e = binop_expr op (operand x) (operand y) in
+                if final then Hashtbl.replace fwd d e;
+                commit (Printf.sprintf "r%d <= %s;" d e)
               | Ir.Un (op, d, x) ->
-                bp "          r%d <= %s;\n" d (unop_expr op (operand x))
-              | Ir.Mov (d, x) -> bp "          r%d <= %s;\n" d (operand x)
+                let e = unop_expr op (operand x) in
+                if final then Hashtbl.replace fwd d e;
+                commit (Printf.sprintf "r%d <= %s;" d e)
+              | Ir.Mov (d, x) ->
+                let e = operand x in
+                if final then Hashtbl.replace fwd d e;
+                commit (Printf.sprintf "r%d <= %s;" d e)
               | Ir.Load (d, addr) ->
                 let ch = channel i in
+                if final then Hashtbl.replace fwd d (ch ^ "_rdata");
                 bp "          %s_req <= 1'b1; %s_we <= 1'b0;\n" ch ch;
                 bp "          %s_addr <= %s;\n" ch (operand addr);
-                bp "          if (%s_ack) r%d <= %s_rdata;\n" ch d ch
+                commit (Printf.sprintf "r%d <= %s_rdata;" d ch)
               | Ir.Store (addr, v) ->
                 let ch = channel i in
                 bp "          %s_req <= 1'b1; %s_we <= 1'b1;\n" ch ch;
@@ -120,40 +175,76 @@ let emit_body buf (hw : Fsm.t) =
                   (operand addr) ch (operand v)
             end)
           b.Schedule.starts;
-        (* The state holds until every channel active this cycle acks. *)
-        let ack_cond () =
-          List.sort_uniq compare !active_channels
-          |> List.map (fun u -> ch_prefix u ^ "_ack")
-          |> String.concat " && "
+        let t_operand op =
+          match op with
+          | Ir.Reg r -> (
+            match Hashtbl.find_opt fwd r with
+            | Some e -> "(" ^ e ^ ")"
+            | None -> operand op)
+          | Ir.Imm _ -> operand op
         in
-        let advance target =
-          if !active_channels <> [] then
-            bp "          if (%s) state <= %s;\n" (ack_cond ()) target
-          else bp "          state <= %s;\n" target
+        (* The state holds until every channel active this cycle acks:
+           the acked edge applies the buffered commits, deasserts the
+           requests (so a channel never keeps requesting into the next
+           state) and advances.  Without channels every edge is an
+           advancing edge and nothing needs the gate. *)
+        let advance stmts =
+          let chans = List.sort_uniq compare !active_channels in
+          if chans <> [] then begin
+            let acks =
+              List.map (fun u -> ch_prefix u ^ "_ack") chans
+              |> String.concat " && "
+            in
+            bp "          if (%s) begin\n" acks;
+            List.iter (bp "            %s\n") (List.rev !committed);
+            List.iter
+              (fun u -> bp "            %s_req <= 1'b0;\n" (ch_prefix u))
+              chans;
+            List.iter (bp "            %s\n") stmts;
+            bp "          end\n"
+          end
+          else begin
+            List.iter (bp "          %s\n") (List.rev !committed);
+            List.iter (bp "          %s\n") stmts
+          end
+        in
+        let goto label cycle =
+          Printf.sprintf "state <= %d'd%d;" state_bits (state_of label cycle)
         in
         if c < b.Schedule.makespan - 1 then
-          advance (Printf.sprintf "%d'd%d" state_bits
-                     (state_of b.Schedule.label (c + 1)))
+          advance [ goto b.Schedule.label (c + 1) ]
         else begin
           match ir_block.Ir.term with
-          | Ir.Jmp l ->
-            advance (Printf.sprintf "%d'd%d" state_bits (state_of l 0))
+          | Ir.Jmp l -> advance [ goto l 0 ]
           | Ir.Br (cond, l1, l2) ->
-            if !active_channels <> [] then bp "          if (%s)\n" (ack_cond ());
-            bp "          state <= (%s != 0) ? %d'd%d : %d'd%d;\n"
-              (operand cond) state_bits (state_of l1 0) state_bits
-              (state_of l2 0)
+            advance
+              [
+                Printf.sprintf "state <= (%s != 0) ? %d'd%d : %d'd%d;"
+                  (t_operand cond) state_bits (state_of l1 0) state_bits
+                  (state_of l2 0);
+              ]
           | Ir.Ret v ->
-            (match v with
-             | Some op -> bp "          result <= %s;\n" (operand op)
-             | None -> ());
-            bp "          done <= 1'b1;\n";
-            advance "S_DONE"
+            (* result and done ride inside the acked advance: asserting
+               done while the final access is still in flight would
+               signal completion early. *)
+            advance
+              ((match v with
+                | Some op ->
+                  [ Printf.sprintf "result <= %s;" (t_operand op) ]
+                | None -> [])
+              @ [ "done <= 1'b1;"; "state <= S_DONE;" ])
         end;
         bp "        end\n"
       done)
     hw.Fsm.schedule.Schedule.blocks;
-  bp "        S_DONE: if (!start) begin state <= S_IDLE; done <= 1'b0; end\n";
+  bp "        S_DONE: begin\n";
+  for c = 0 to n_channels - 1 do
+    bp "          %s_req <= 1'b0;\n" (ch_prefix c)
+  done;
+  bp "          if (!start) begin\n";
+  bp "            state <= S_IDLE;\n            done <= 1'b0;\n";
+  bp "          end\n";
+  bp "        end\n";
   bp "        default: state <= S_IDLE;\n";
   bp "      endcase\n    end\n  end\n"
 

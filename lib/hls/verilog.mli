@@ -2,10 +2,21 @@
 
     Produces a synthesizable-style RTL module: one state register, a
     case-based controller, registered datapath writes, and a simple
-    request/acknowledge memory interface (address/wdata/rdata/valid).
-    The emitted text is for inspection and downstream tooling — the
-    repository's "board" is the cycle simulator, so the RTL is not run,
-    but its structure mirrors exactly what {!Accel.run} simulates. *)
+    per-channel request/acknowledge memory interface
+    (req/we/addr/wdata/rdata/ack).  The emitted text is executable: the
+    RTL evaluator ([Vmht_rtl]) parses it back and runs the emitted
+    bytes against the same memory/VM stack as {!Accel.run}, and the
+    rtl1 experiment holds the two cycle- and result-identical.
+
+    The contract the emitted FSM follows on every memory channel:
+    issue-side assigns (req/we/addr/wdata) are written unconditionally
+    at the state's entry edge and on every held edge (idempotent under
+    stall), while *all* register commits — loaded data, pure-op
+    results, the request deasserts and the state advance (or
+    done/result on a returning state) — ride inside the conjunction of
+    the state's acks, so a stalled state re-executes nothing.  The
+    adapter side of the handshake is documented at
+    [Vmht_rtl.Eval]. *)
 
 val emit : Fsm.t -> string
 (** RTL for the bare datapath + FSM (no memory-interface wrapper). *)

@@ -1,0 +1,36 @@
+(* The structure of an emitted hardware-thread module, as parsed back
+   from the Verilog text.  This is deliberately the *subset* the
+   emitter produces — one clocked always block holding a reset clause
+   and a state case — not general Verilog: the RTL evaluator's claim
+   is "the emitted bytes execute", so the parser accepts exactly what
+   the emitter writes and rejects everything else loudly. *)
+
+type lit = { width : int; value : int; signed : bool }
+
+type expr =
+  | Lit of lit
+  | Var of string
+  | Signed of expr  (** [$signed(e)] *)
+  | Concat of expr list  (** [{a, b, ...}] — evaluated as zero-extension *)
+  | Unop of string * expr  (** ["-"], ["~"], ["!"] *)
+  | Binop of string * expr * expr  (** operator spelled as in the source *)
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr  (** nonblocking [name <= expr;] *)
+  | If of expr * stmt list  (** [if (cond) stmt | begin ... end] (no else) *)
+
+type dir = Input | Output
+
+type port = { dir : dir; is_reg : bool; width : int; pname : string }
+
+type case_key = Knum of int | Kid of string | Kdefault
+
+type t = {
+  mname : string;
+  ports : port list;
+  params : (string * lit) list;  (** [localparam]s, e.g. S_IDLE/S_DONE *)
+  regs : (string * int) list;  (** internal regs: (name, width) *)
+  reset : stmt list;  (** body of [if (rst) begin ... end] *)
+  arms : (case_key * stmt list) list;  (** [case (state)] arms in order *)
+}

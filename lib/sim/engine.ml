@@ -307,3 +307,27 @@ let suspend register =
 let fork ~name fn =
   let t = engine_of_context () in
   Effect.perform (Fork (t, name, fn))
+
+(* Fork every thunk as a child at the current time and park the caller
+   until the last one finishes.  The children run in list order (the
+   event queue is FIFO within a timestamp), so two callers passing the
+   same thunks observe identical event interleavings — the property the
+   accelerator model and the RTL evaluator rely on to stay
+   cycle-identical. *)
+let join_all ?(name = "join") = function
+  | [] -> ()
+  | [ f ] -> f ()
+  | fns ->
+    let remaining = ref (List.length fns) in
+    let resumer = ref None in
+    List.iter
+      (fun f ->
+        fork ~name (fun () ->
+            f ();
+            decr remaining;
+            if !remaining = 0 then
+              match !resumer with
+              | Some resume -> resume ()
+              | None -> ()))
+      fns;
+    if !remaining > 0 then suspend (fun r -> resumer := Some r)

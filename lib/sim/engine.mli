@@ -91,3 +91,12 @@ val suspend : ((unit -> unit) -> unit) -> unit
 
 val fork : name:string -> (unit -> unit) -> unit
 (** Start a child process at the current time and continue immediately. *)
+
+val join_all : ?name:string -> (unit -> unit) list -> unit
+(** Run every thunk as a child process (forked in list order at the
+    current time, [name] defaults to ["join"]) and block until all of
+    them complete.  [[]] is a no-op and [[f]] runs [f] inline — no
+    events are created unless real concurrency is needed.  The barrier
+    the accelerator model's memory lanes and the RTL evaluator's
+    channel adapter share, so both backends schedule identical event
+    sequences for the same access set. *)

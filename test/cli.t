@@ -34,6 +34,7 @@ paths a user hits first.
     abl6     ablation  translation hierarchy: shared L2 TLB and page-walk cache
     abl7     ablation  simulator fast path on vs off: identical cycles, faster host
     robust   sweep     fault injection: recovery overhead, vm vs copy-based
+    rtl1     sweep     RTL loop closed: emitted Verilog vs model executor, cycle-exact
     dse1     sweep     design-space exploration: unroll x banks x opt x TLB Pareto front
 
 Compile a kernel and show the optimized IR:
@@ -217,6 +218,22 @@ land on exactly the same cycle count and answer:
   list_sum / vm / size 4096: 6,159 cycles (correct)
     phases: stage=0 compute=6095 drain=64
     mmu: 256 accesses, 240 hits, 16 misses, 0 faults, hit rate 0.938
+
+The RTL loop is closed: --backend rtl parses the emitted Verilog back
+and executes the emitted bytes on the same memory/VM stack, and must
+land on exactly the same cycle count and answer as the model executor:
+
+  $ vmht run list_sum --mode vm --size 4096 --backend rtl
+  list_sum / vm / size 4096: 6,159 cycles (correct)
+    phases: stage=0 compute=6095 drain=64
+    mmu: 256 accesses, 240 hits, 16 misses, 0 faults, hit rate 0.938
+
+The emitted FSM is unpipelined, so the rtl backend rejects --pipeline
+up front:
+
+  $ vmht run vecadd --backend rtl --pipeline
+  --backend rtl does not support --pipeline (the emitted FSM is unpipelined)
+  [1]
 
 The abl7 experiment asserts that equivalence across kernels, modes and
 a fault-injected subject (the de-optimization witness), and reports

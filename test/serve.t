@@ -9,12 +9,12 @@ A cold loadgen run fills the store and prints a deterministic report
   +-------------+------------+---------------+---------------+----------+------------+--------+
   | kernel      | synth reqs | distinct cfgs | verilog bytes | run reqs | run cycles | failed |
   +-------------+------------+---------------+---------------+----------+------------+--------+
-  | vecadd      |          3 |             3 |        17,734 |        0 |          0 |      0 |
+  | vecadd      |          3 |             3 |        20,700 |        0 |          0 |      0 |
   | mmul        |          0 |             0 |             0 |        0 |          0 |      0 |
-  | spmv        |          1 |             1 |         5,047 |        2 |     50,160 |      0 |
-  | list_sum    |          1 |             1 |         2,091 |        0 |          0 |      0 |
-  | tree_search |          2 |             1 |        10,120 |        0 |          0 |      0 |
-  | bfs         |          3 |             3 |        20,262 |        0 |          0 |      0 |
+  | spmv        |          1 |             1 |         5,833 |        2 |     50,160 |      0 |
+  | list_sum    |          1 |             1 |         2,484 |        0 |          0 |      0 |
+  | tree_search |          2 |             1 |        11,252 |        0 |          0 |      0 |
+  | bfs         |          3 |             3 |        23,324 |        0 |          0 |      0 |
   +-------------+------------+---------------+---------------+----------+------------+--------+
   total: 12 requests = 10 synthesis (9 distinct configs) + 2 runs, 0 failed
 
@@ -53,8 +53,8 @@ answers in request order, deduplicating against the same store:
   >   '{"op":"synth","workload":"nosuch"}' \
   >   '{"op":"bogus"}' \
   >   | vmht serve --store-dir store
-  {"rid":0,"status":"ok","result":"synthesized vecadd: 18 states, 2448 LUT 2987 FF 0 DSP 2 BRAM, 5283 bytes of Verilog"}
-  {"rid":1,"status":"ok","result":"synthesized double: 1 states, 1589 LUT 2235 FF 0 DSP 2 BRAM, 1365 bytes of Verilog"}
+  {"rid":0,"status":"ok","result":"synthesized vecadd: 18 states, 2448 LUT 2987 FF 0 DSP 2 BRAM, 6181 bytes of Verilog"}
+  {"rid":1,"status":"ok","result":"synthesized double: 1 states, 1589 LUT 2235 FF 0 DSP 2 BRAM, 1641 bytes of Verilog"}
   {"rid":2,"status":"ok","result":"executed: 229 cycles, ret 2790, correct"}
   {"rid":3,"status":"failed","result":"unknown workload \"nosuch\""}
   {"rid":4,"status":"failed","result":"unknown op \"bogus\""}

@@ -11,6 +11,7 @@ let () =
       ("passes", Test_passes.suite);
       ("licm", Test_licm.suite);
       ("hls", Test_hls.suite);
+      ("rtl", Test_rtl.suite);
       ("pipeliner", Test_pipeliner.suite);
       ("mem", Test_mem.suite);
       ("vm", Test_vm.suite);
